@@ -1,0 +1,266 @@
+(* Bechamel benchmarks: one kernel per reproduced figure, the ablation
+   comparisons called out in DESIGN.md, and substrate micro-benchmarks.
+
+   All inputs are precomputed so the staged closures measure only the kernel
+   under study. Run with: dune exec bench/main.exe *)
+
+open Bechamel
+module Instance = Toolkit.Instance
+
+(* ------------------------------------------------------------------ *)
+(* Shared fixtures                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let geant_graph = Ic_topology.Topologies.geant_like ()
+
+let routing = Ic_topology.Routing.build geant_graph
+
+let binning = Ic_timeseries.Timebin.five_min
+
+(* A small clean IC world for fitting kernels: 64 bins, 22 nodes. *)
+let fit_series =
+  let n = 22 and bins = 64 in
+  let rng = Ic_prng.Rng.create 42 in
+  let preference =
+    Ic_linalg.Vec.normalize_sum
+      (Array.init n (fun _ -> Ic_prng.Sampler.lognormal rng ~mu:(-4.3) ~sigma:1.7))
+  in
+  let base = Array.init n (fun _ -> Ic_prng.Sampler.lognormal rng ~mu:16. ~sigma:1.3) in
+  let phase = Array.init n (fun _ -> Ic_prng.Rng.float_range rng 0. 6.28) in
+  let activity =
+    Array.init bins (fun t ->
+        Array.init n (fun i ->
+            base.(i) *. (1.3 +. sin ((float_of_int t /. 9.) +. phase.(i)))))
+  in
+  let params : Ic_core.Params.stable_fp = { f = 0.22; preference; activity } in
+  let series = Ic_core.Model.stable_fp params binning in
+  let rng = Ic_prng.Rng.create 43 in
+  Ic_traffic.Series.map
+    (fun tm ->
+      Ic_traffic.Tm.init (Ic_traffic.Tm.size tm) (fun i j ->
+          Ic_traffic.Tm.get tm i j
+          *. exp (Ic_prng.Sampler.normal rng ~mu:0. ~sigma:0.1)))
+    series
+
+let one_bin = Ic_traffic.Series.tm fit_series 30
+
+let one_bin_vec = Ic_traffic.Tm.to_vector one_bin
+
+let link_loads = Ic_topology.Routing.link_loads routing one_bin_vec
+
+let gravity_prior = Ic_gravity.Gravity.of_tm one_bin
+
+let ingress = Ic_traffic.Marginals.ingress one_bin
+
+let egress = Ic_traffic.Marginals.egress one_bin
+
+let fitted = Ic_core.Fit.fit_stable_fp fit_series
+
+(* Trace fixture for the fig4 kernel: a modest 20-minute capture. *)
+let trace =
+  let ab =
+    Ic_datasets.Abilene.generate ~seed:7 ~duration_s:1200.
+      ~connections_per_bin:120. ()
+  in
+  ab.trace_clev
+
+(* NNLS fixture with active constraints. *)
+let nnls_g, nnls_c =
+  let n = 22 in
+  let rng = Ic_prng.Rng.create 5 in
+  let a =
+    Ic_linalg.Mat.init (2 * n) n (fun _ _ -> Ic_prng.Rng.float_range rng (-1.) 1.)
+  in
+  let b = Array.init (2 * n) (fun _ -> Ic_prng.Rng.float_range rng (-1.) 2.) in
+  (Ic_linalg.Mat.gram a, Ic_linalg.Mat.mulv_t a b)
+
+let spd_122 =
+  let rng = Ic_prng.Rng.create 6 in
+  let m = 122 in
+  let b = Ic_linalg.Mat.init m m (fun _ _ -> Ic_prng.Rng.float_range rng (-1.) 1.) in
+  Ic_linalg.Mat.add (Ic_linalg.Mat.gram b)
+    (Ic_linalg.Mat.scale (float_of_int m) (Ic_linalg.Mat.identity m))
+
+let qr_tall =
+  let rng = Ic_prng.Rng.create 7 in
+  Ic_linalg.Mat.init 44 22 (fun _ _ -> Ic_prng.Rng.float_range rng (-1.) 1.)
+
+let preference_sample = fitted.params.preference
+
+(* ------------------------------------------------------------------ *)
+(* Benchmarks                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let figure_tests =
+  [
+    Test.make ~name:"fig3/fit-stable-fp-64bins"
+      (Staged.stage (fun () -> Ic_core.Fit.fit_stable_fp fit_series));
+    Test.make ~name:"fig3/gravity-fit-64bins"
+      (Staged.stage (fun () -> Ic_core.Fit.gravity_fit fit_series));
+    Test.make ~name:"fig4/trace-f-measurement"
+      (Staged.stage (fun () -> Ic_netflow.Trace.measure_f trace ~bin_s:300.));
+    Test.make ~name:"fig5/weekly-fit-stable-f"
+      (Staged.stage (fun () -> Ic_core.Fit.fit_stable_f fit_series));
+    Test.make ~name:"fig7/tail-model-comparison"
+      (Staged.stage (fun () ->
+           Ic_stats.Fit_dist.compare_tail_models preference_sample));
+    Test.make ~name:"fig9/acf-daily-period"
+      (Staged.stage (fun () ->
+           let series = Ic_traffic.Series.ingress_series fit_series 0 in
+           Ic_timeseries.Acf.periodicity_strength series ~period:16));
+    Test.make ~name:"fig11/tomogravity-one-bin"
+      (Staged.stage (fun () ->
+           Ic_estimation.Tomogravity.estimate routing ~link_loads
+             ~prior:gravity_prior));
+    Test.make ~name:"fig12/estimate-activities"
+      (Staged.stage (fun () ->
+           Ic_core.Estimate_a.activities ~f:fitted.params.f
+             ~preference:fitted.params.preference ~ingress ~egress));
+    Test.make ~name:"fig13/closed-form-estimate"
+      (Staged.stage (fun () ->
+           Ic_core.Closed_form.estimate ~f:0.22 ~ingress ~egress));
+  ]
+
+let ablation_tests =
+  [
+    Test.make ~name:"ablation/tomogravity-cholesky"
+      (Staged.stage (fun () ->
+           Ic_estimation.Tomogravity.estimate
+             ~solver:Ic_estimation.Tomogravity.Cholesky routing ~link_loads
+             ~prior:gravity_prior));
+    Test.make ~name:"ablation/tomogravity-cg"
+      (Staged.stage (fun () ->
+           Ic_estimation.Tomogravity.estimate
+             ~solver:Ic_estimation.Tomogravity.Cg routing ~link_loads
+             ~prior:gravity_prior));
+    Test.make ~name:"ablation/ipf-one-bin"
+      (Staged.stage (fun () ->
+           Ic_estimation.Ipf.fit gravity_prior ~row_targets:ingress
+             ~col_targets:egress));
+    Test.make ~name:"ablation/nnls-active-set"
+      (Staged.stage (fun () -> Ic_linalg.Nnls.solve_gram nnls_g nnls_c));
+    Test.make ~name:"ablation/ls-then-clamp"
+      (Staged.stage (fun () ->
+           let ch = Ic_linalg.Chol.factorize_ridge ~ridge:1e-10 nnls_g in
+           Ic_linalg.Vec.clamp_nonneg (Ic_linalg.Chol.solve ch nnls_c)));
+    Test.make ~name:"ablation/general-f-fit"
+      (Staged.stage (fun () ->
+           Ic_core.Fit.fit_general_f fitted.params fit_series));
+  ]
+
+let extension_tests =
+  [
+    Test.make ~name:"extension/maxent-one-bin"
+      (Staged.stage (fun () ->
+           Ic_estimation.Entropy.estimate routing ~link_loads
+             ~prior:gravity_prior));
+    Test.make ~name:"extension/fanout-prior"
+      (Staged.stage (fun () ->
+           Ic_estimation.Prior.fanout ~calibration:fit_series fit_series));
+    Test.make ~name:"extension/anomaly-detect-64bins"
+      (Staged.stage (fun () ->
+           Ic_core.Anomaly.detect ~threshold:5. fitted.params fit_series));
+    Test.make ~name:"extension/pgd-fit-64bins"
+      (Staged.stage (fun () ->
+           Ic_core.Pgd.fit_stable_fp
+             ~options:{ Ic_core.Pgd.default_options with max_iters = 60 }
+             fit_series));
+    Test.make ~name:"extension/cyclo-fit-weekly"
+      (Staged.stage
+         (let xs =
+            Ic_timeseries.Cyclo.generate
+              (Ic_timeseries.Cyclo.make ~base_level:1e6 ())
+              binning (Ic_prng.Rng.create 9) ~bins:2016
+          in
+          fun () -> Ic_timeseries.Cyclo_fit.fit binning xs));
+  ]
+
+let substrate_tests =
+  [
+    Test.make ~name:"linalg/cholesky-122"
+      (Staged.stage (fun () -> Ic_linalg.Chol.factorize spd_122));
+    Test.make ~name:"linalg/svd-44x22"
+      (Staged.stage (fun () -> Ic_linalg.Svd.decompose qr_tall));
+    Test.make ~name:"linalg/eig-60"
+      (Staged.stage
+         (let m =
+            let rng = Ic_prng.Rng.create 8 in
+            let b =
+              Ic_linalg.Mat.init 60 60 (fun _ _ ->
+                  Ic_prng.Rng.float_range rng (-1.) 1.)
+            in
+            Ic_linalg.Mat.gram b
+          in
+          fun () -> Ic_linalg.Eig.decompose m));
+    Test.make ~name:"stats/pca-150dims"
+      (Staged.stage
+         (let rng = Ic_prng.Rng.create 10 in
+          let data =
+            Ic_linalg.Mat.init 200 150 (fun _ _ ->
+                Ic_prng.Rng.float_range rng 0. 1.)
+          in
+          fun () -> Ic_stats.Pca.fit data));
+    Test.make ~name:"linalg/qr-44x22"
+      (Staged.stage (fun () -> Ic_linalg.Qr.factorize qr_tall));
+    Test.make ~name:"topology/routing-build-geant"
+      (Staged.stage (fun () -> Ic_topology.Routing.build geant_graph));
+    Test.make ~name:"topology/link-loads"
+      (Staged.stage (fun () ->
+           Ic_topology.Routing.link_loads routing one_bin_vec));
+    Test.make ~name:"model/eval-one-bin"
+      (Staged.stage (fun () ->
+           Ic_core.Model.simplified ~f:0.22
+             ~activity:fitted.params.activity.(30)
+             ~preference:fitted.params.preference));
+    Test.make ~name:"gravity/of-tm"
+      (Staged.stage (fun () -> Ic_gravity.Gravity.of_tm one_bin));
+    Test.make ~name:"prng/lognormal-1k"
+      (Staged.stage
+         (let rng = Ic_prng.Rng.create 1 in
+          fun () ->
+            for _ = 1 to 1000 do
+              ignore (Ic_prng.Sampler.lognormal rng ~mu:0. ~sigma:1.)
+            done));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Harness                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let run_group label tests =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.4) ~kde:None ()
+  in
+  Printf.printf "== %s ==\n%!" label;
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg instances test in
+      let results = Analyze.all ols Instance.monotonic_clock raw in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let ns =
+            match Analyze.OLS.estimates ols_result with
+            | Some (t :: _) -> t
+            | _ -> Float.nan
+          in
+          let pretty =
+            if ns > 1e9 then Printf.sprintf "%8.3f s " (ns /. 1e9)
+            else if ns > 1e6 then Printf.sprintf "%8.3f ms" (ns /. 1e6)
+            else if ns > 1e3 then Printf.sprintf "%8.3f us" (ns /. 1e3)
+            else Printf.sprintf "%8.0f ns" ns
+          in
+          Printf.printf "  %-36s %s/run\n%!" name pretty)
+        results)
+    tests
+
+let () =
+  print_endline "IC traffic-matrix benchmarks (bechamel)";
+  run_group "figure kernels" figure_tests;
+  run_group "ablations" ablation_tests;
+  run_group "extensions" extension_tests;
+  run_group "substrates" substrate_tests;
+  print_endline "done."

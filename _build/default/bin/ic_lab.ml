@@ -1,0 +1,438 @@
+(* ic-lab: command-line driver for the IC traffic-matrix laboratory. *)
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let dataset_of_string = function
+  | "geant" -> `Geant
+  | "totem" -> `Totem
+  | s -> invalid_arg ("unknown dataset " ^ s ^ " (expected geant|totem)")
+
+let load_dataset which weeks seed =
+  match which with
+  | `Geant -> Ic_datasets.Geant.generate ?weeks ?seed ()
+  | `Totem -> Ic_datasets.Totem.generate ?weeks ?seed ()
+
+(* --- experiment ------------------------------------------------------- *)
+
+let run_experiments ids stride out_dir verbose =
+  setup_logs verbose;
+  let ctx = Ic_experiments.Context.create ~stride ?out_dir () in
+  let targets =
+    match ids with
+    | [] | [ "all" ] -> Ic_experiments.Registry.ids
+    | ids -> ids
+  in
+  let missing =
+    List.filter
+      (fun id -> Option.is_none (Ic_experiments.Registry.find id))
+      targets
+  in
+  if missing <> [] then begin
+    Printf.eprintf "unknown experiment(s): %s\navailable: %s\n"
+      (String.concat ", " missing)
+      (String.concat ", " Ic_experiments.Registry.ids);
+    exit 1
+  end;
+  List.iter
+    (fun id ->
+      let run = Option.get (Ic_experiments.Registry.find id) in
+      let outcome = run ctx in
+      print_string (Ic_experiments.Outcome.render outcome);
+      (match Ic_experiments.Context.out_dir ctx with
+      | Some dir ->
+          let path = Ic_experiments.Outcome.write_csv ~dir outcome in
+          Printf.printf "  [series written to %s]\n" path;
+          let spec =
+            (* Figure 7 is the paper's log-log CCDF *)
+            if id = "fig7" then
+              Some
+                {
+                  Ic_report.Svg_plot.default_spec with
+                  title = outcome.Ic_experiments.Outcome.title;
+                  x_axis = Ic_report.Svg_plot.Log;
+                  y_axis = Ic_report.Svg_plot.Log;
+                }
+            else None
+          in
+          (match Ic_experiments.Outcome.write_svg ?spec ~dir outcome with
+          | Some svg -> Printf.printf "  [chart written to %s]\n" svg
+          | None -> ())
+      | None -> ());
+      print_newline ())
+    targets
+
+(* --- gen --------------------------------------------------------------- *)
+
+let run_gen which weeks seed out =
+  let ds = load_dataset (dataset_of_string which) weeks seed in
+  Ic_traffic.Csv_io.write_series ~path:out ds.Ic_datasets.Dataset.series;
+  Printf.printf "wrote %d bins x %d nodes to %s\n"
+    (Ic_traffic.Series.length ds.Ic_datasets.Dataset.series)
+    (Ic_traffic.Series.size ds.Ic_datasets.Dataset.series)
+    out
+
+(* --- fit --------------------------------------------------------------- *)
+
+let subsample stride series =
+  if stride = 1 then series
+  else begin
+    let len = max 1 (Ic_traffic.Series.length series / stride) in
+    Ic_traffic.Series.make series.Ic_traffic.Series.binning
+      (Array.init len (fun k ->
+           Ic_traffic.Series.tm series
+             (min (k * stride) (Ic_traffic.Series.length series - 1))))
+  end
+
+let run_fit which weeks seed week stride input nodes bin_minutes =
+  let series, name_of =
+    match input with
+    | Some path ->
+        let n =
+          match nodes with
+          | Some n -> n
+          | None ->
+              invalid_arg "--nodes is required when fitting from a CSV file"
+        in
+        let binning =
+          Ic_timeseries.Timebin.make ~width_s:(bin_minutes * 60)
+        in
+        let series = Ic_traffic.Csv_io.read_series ~path ~binning ~n in
+        (series, string_of_int)
+    | None ->
+        let ds = load_dataset (dataset_of_string which) weeks seed in
+        ( Ic_datasets.Dataset.week ds week,
+          fun i -> Ic_topology.Graph.name ds.Ic_datasets.Dataset.graph i )
+  in
+  let series = subsample stride series in
+  let fit = Ic_core.Fit.fit_stable_fp series in
+  Printf.printf "stable-fP fit (%d bins, %d nodes)\n"
+    (Ic_traffic.Series.length series)
+    (Ic_traffic.Series.size series);
+  Printf.printf "  f = %.4f\n" fit.params.f;
+  Printf.printf "  mean RelL2 = %.4f (sweeps %d)\n" fit.mean_error fit.sweeps;
+  Printf.printf "  preferences:\n";
+  Array.iteri
+    (fun i p -> Printf.printf "    %-6s %.4f\n" (name_of i) p)
+    fit.params.preference
+
+(* --- estimate ---------------------------------------------------------- *)
+
+let run_estimate which weeks seed calib_week target_week prior_name stride =
+  let ds = load_dataset (dataset_of_string which) weeks seed in
+  let take w = subsample stride (Ic_datasets.Dataset.week ds w) in
+  let truth = take target_week in
+  let routing = Ic_topology.Routing.build ds.Ic_datasets.Dataset.graph in
+  let config = Ic_estimation.Pipeline.default_config routing in
+  let prior =
+    match prior_name with
+    | "gravity" -> Ic_estimation.Prior.gravity truth
+    | "measured" ->
+        let fit = Ic_core.Fit.fit_stable_fp truth in
+        Ic_estimation.Prior.ic_measured fit.params
+          truth.Ic_traffic.Series.binning
+    | "stable-fp" ->
+        let fit = Ic_core.Fit.fit_stable_fp (take calib_week) in
+        Ic_estimation.Prior.ic_stable_fp ~f:fit.params.f
+          ~preference:fit.params.preference truth
+    | "stable-f" ->
+        let fit = Ic_core.Fit.fit_stable_fp (take calib_week) in
+        Ic_estimation.Prior.ic_stable_f ~f:fit.params.f truth
+    | s -> invalid_arg ("unknown prior " ^ s)
+  in
+  let result = Ic_estimation.Pipeline.run config ~truth ~prior in
+  Printf.printf
+    "estimated %s week %d with %s prior: mean RelL2 = %.4f over %d bins\n"
+    which target_week prior_name result.mean_error
+    (Array.length result.per_bin_error)
+
+(* --- trace --------------------------------------------------------------- *)
+
+let run_trace seed duration_s connections_per_bin =
+  let ab =
+    Ic_datasets.Abilene.generate ?seed ~duration_s ~connections_per_bin ()
+  in
+  let report name (trace : Ic_netflow.Trace.t) =
+    let m = Ic_netflow.Trace.measure_f trace ~bin_s:300. in
+    let f_ij = Array.map (fun b -> b.Ic_netflow.Trace.f_ij) m in
+    let f_ji = Array.map (fun b -> b.Ic_netflow.Trace.f_ji) m in
+    let mean a =
+      if Array.length a = 0 then 0.
+      else Array.fold_left ( +. ) 0. a /. float_of_int (Array.length a)
+    in
+    Printf.printf "%s (%d fwd pkts, %d rev pkts):\n" name
+      (List.length trace.fwd) (List.length trace.rev);
+    Printf.printf "  f forward  %.3f  %s\n" (mean f_ij)
+      (Ic_report.Sparkline.render f_ij);
+    Printf.printf "  f reverse  %.3f  %s\n" (mean f_ji)
+      (Ic_report.Sparkline.render f_ji);
+    Printf.printf "  unknown traffic: %.1f%%\n"
+      (100. *. Ic_netflow.Trace.unknown_fraction m)
+  in
+  Printf.printf "application-mix aggregate f: %.3f\n"
+    (Ic_netflow.App_mix.aggregate_f ab.mix);
+  report "IPLS <-> CLEV" ab.trace_clev;
+  report "IPLS <-> KSCY" ab.trace_kscy
+
+(* --- whatif -------------------------------------------------------------- *)
+
+let run_whatif node boost f_new seed topology_file =
+  let graph =
+    match topology_file with
+    | None -> Ic_topology.Topologies.geant_like ()
+    | Some path -> begin
+        match Ic_topology.Topo_io.load path with
+        | Ok g -> g
+        | Error e -> invalid_arg ("bad topology file: " ^ e)
+      end
+  in
+  let routing = Ic_topology.Routing.build ~with_marginals:false graph in
+  let binning = Ic_timeseries.Timebin.five_min in
+  let spec =
+    {
+      Ic_core.Synth.default_spec with
+      nodes = Ic_topology.Graph.node_count graph;
+      binning;
+      bins = Ic_timeseries.Timebin.bins_per_day binning;
+      mean_total_bytes = 40e9;
+    }
+  in
+  let { Ic_core.Synth.series = _; truth } =
+    Ic_core.Synth.generate spec
+      (Ic_prng.Rng.create (Option.value ~default:77 seed))
+  in
+  let scenario =
+    let t = truth in
+    let t =
+      match node with
+      | Some name -> begin
+          match Ic_topology.Graph.index_of_name graph name with
+          | Some idx -> Ic_core.Synth.with_flash_crowd ~node:idx ~boost t
+          | None -> invalid_arg ("unknown PoP " ^ name)
+        end
+      | None -> t
+    in
+    match f_new with
+    | Some f -> Ic_core.Synth.with_application_shift ~f t
+    | None -> t
+  in
+  let peak params =
+    let series = Ic_core.Model.stable_fp params binning in
+    let m = Ic_topology.Graph.edge_count graph in
+    let out = Array.make m 0. in
+    for k = 0 to Ic_traffic.Series.length series - 1 do
+      let y =
+        Ic_topology.Routing.link_loads routing
+          (Ic_traffic.Tm.to_vector (Ic_traffic.Series.tm series k))
+      in
+      for e = 0 to m - 1 do
+        out.(e) <- Float.max out.(e) y.(e)
+      done
+    done;
+    out
+  in
+  let base = peak truth and changed = peak scenario in
+  Printf.printf "%-12s %12s %12s %8s\n" "link" "base-peak" "whatif-peak" "delta";
+  let rows =
+    List.map
+      (fun (e : Ic_topology.Graph.edge) ->
+        let d =
+          if base.(e.id) > 0. then
+            100. *. (changed.(e.id) -. base.(e.id)) /. base.(e.id)
+          else 0.
+        in
+        (e, d))
+      (Ic_topology.Graph.edges graph)
+  in
+  let sorted = List.sort (fun (_, a) (_, b) -> compare (Float.abs b) (Float.abs a)) rows in
+  List.iteri
+    (fun k ((e : Ic_topology.Graph.edge), d) ->
+      if k < 12 then
+        Printf.printf "%-5s->%-5s %12.3g %12.3g %+7.1f%%\n"
+          (Ic_topology.Graph.name graph e.src)
+          (Ic_topology.Graph.name graph e.dst)
+          base.(e.id) changed.(e.id) d)
+    sorted
+
+(* --- topology ------------------------------------------------------------ *)
+
+let run_topology name out =
+  let graph =
+    match name with
+    | "geant" -> Ic_topology.Topologies.geant_like ()
+    | "totem" -> Ic_topology.Topologies.totem_like ()
+    | "abilene" -> Ic_topology.Topologies.abilene_like ()
+    | s -> invalid_arg ("unknown topology " ^ s)
+  in
+  (match out with
+  | Some path ->
+      Ic_topology.Topo_io.save path graph;
+      Printf.printf "wrote %s to %s\n" name path
+  | None ->
+      Printf.printf "%d nodes, %d directed links\n"
+        (Ic_topology.Graph.node_count graph)
+        (Ic_topology.Graph.edge_count graph);
+      List.iter
+        (fun (e : Ic_topology.Graph.edge) ->
+          if e.src < e.dst then
+            Printf.printf "  %s -- %s (weight %g)\n"
+              (Ic_topology.Graph.name graph e.src)
+              (Ic_topology.Graph.name graph e.dst)
+              e.weight)
+        (Ic_topology.Graph.edges graph))
+
+(* --- cmdliner glue ------------------------------------------------------ *)
+
+open Cmdliner
+
+let stride_arg =
+  let doc = "Keep every STRIDE-th time bin (1 = full resolution)." in
+  Arg.(value & opt int 1 & info [ "stride" ] ~docv:"STRIDE" ~doc)
+
+let weeks_arg =
+  let doc = "Number of weeks to generate (dataset default if omitted)." in
+  Arg.(value & opt (some int) None & info [ "weeks" ] ~docv:"WEEKS" ~doc)
+
+let seed_arg =
+  let doc = "Generator seed (dataset default if omitted)." in
+  Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let dataset_arg =
+  let doc = "Dataset: geant or totem." in
+  Arg.(value & opt string "geant" & info [ "dataset"; "d" ] ~docv:"NAME" ~doc)
+
+let experiment_cmd =
+  let ids =
+    let doc = "Experiment ids (or 'all')." in
+    Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc)
+  in
+  let out_dir =
+    let doc = "Directory for CSV series output." in
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"DIR" ~doc)
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Verbose logging.")
+  in
+  let doc = "Regenerate the paper's figures (see DESIGN.md for the index)." in
+  Cmd.v
+    (Cmd.info "experiment" ~doc)
+    Term.(const run_experiments $ ids $ stride_arg $ out_dir $ verbose)
+
+let gen_cmd =
+  let out =
+    let doc = "Output CSV path." in
+    Arg.(value & opt string "tm_series.csv" & info [ "out"; "o" ] ~docv:"FILE" ~doc)
+  in
+  let doc = "Generate a synthetic TM dataset and write it as CSV." in
+  Cmd.v (Cmd.info "gen" ~doc)
+    Term.(const run_gen $ dataset_arg $ weeks_arg $ seed_arg $ out)
+
+let fit_cmd =
+  let week =
+    let doc = "Week to fit (0-based)." in
+    Arg.(value & opt int 0 & info [ "week" ] ~docv:"WEEK" ~doc)
+  in
+  let input =
+    let doc =
+      "Fit a TM series from a CSV file (bin,origin,destination,bytes — the \
+       format written by 'gen') instead of a built-in dataset."
+    in
+    Arg.(value & opt (some file) None & info [ "input"; "i" ] ~docv:"FILE" ~doc)
+  in
+  let nodes =
+    let doc = "Node count of the CSV series (required with --input)." in
+    Arg.(value & opt (some int) None & info [ "nodes" ] ~docv:"N" ~doc)
+  in
+  let bin_minutes =
+    let doc = "Bin width of the CSV series in minutes." in
+    Arg.(value & opt int 5 & info [ "bin-minutes" ] ~docv:"MIN" ~doc)
+  in
+  let doc = "Fit the stable-fP IC model and print parameters." in
+  Cmd.v (Cmd.info "fit" ~doc)
+    Term.(
+      const run_fit $ dataset_arg $ weeks_arg $ seed_arg $ week $ stride_arg
+      $ input $ nodes $ bin_minutes)
+
+let estimate_cmd =
+  let calib =
+    let doc = "Calibration week for the IC priors." in
+    Arg.(value & opt int 0 & info [ "calib-week" ] ~docv:"WEEK" ~doc)
+  in
+  let target =
+    let doc = "Week to estimate." in
+    Arg.(value & opt int 1 & info [ "week" ] ~docv:"WEEK" ~doc)
+  in
+  let prior =
+    let doc = "Prior: gravity, measured, stable-fp or stable-f." in
+    Arg.(value & opt string "stable-fp" & info [ "prior" ] ~docv:"PRIOR" ~doc)
+  in
+  let doc = "Run the three-step TM estimation pipeline on one week." in
+  Cmd.v (Cmd.info "estimate" ~doc)
+    Term.(
+      const run_estimate $ dataset_arg $ weeks_arg $ seed_arg $ calib $ target
+      $ prior $ stride_arg)
+
+let trace_cmd =
+  let duration =
+    let doc = "Capture length in seconds." in
+    Arg.(value & opt float 7200. & info [ "duration" ] ~docv:"SECONDS" ~doc)
+  in
+  let rate =
+    let doc = "Connections initiated per 5-minute bin per node pair." in
+    Arg.(value & opt float 220. & info [ "rate" ] ~docv:"CONNS" ~doc)
+  in
+  let doc =
+    "Simulate bidirectional packet traces at IPLS and measure f per bin \
+     (the paper's Section 5.2 procedure)."
+  in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(const run_trace $ seed_arg $ duration $ rate)
+
+let whatif_cmd =
+  let node =
+    let doc = "PoP receiving a flash crowd (e.g. gr)." in
+    Arg.(value & opt (some string) None & info [ "flash-crowd" ] ~docv:"POP" ~doc)
+  in
+  let boost =
+    let doc = "Preference multiplier for the flash-crowd PoP." in
+    Arg.(value & opt float 10. & info [ "boost" ] ~docv:"FACTOR" ~doc)
+  in
+  let f_new =
+    let doc = "Override the forward fraction (application-mix shift)." in
+    Arg.(value & opt (some float) None & info [ "set-f" ] ~docv:"F" ~doc)
+  in
+  let topology =
+    let doc = "Topology file (see 'ic-lab topology' for the format)." in
+    Arg.(value & opt (some file) None & info [ "topology" ] ~docv:"FILE" ~doc)
+  in
+  let doc =
+    "What-if study on a synthetic day of traffic: flash crowds and \
+     application-mix shifts, reported as per-link peak-load deltas."
+  in
+  Cmd.v (Cmd.info "whatif" ~doc)
+    Term.(const run_whatif $ node $ boost $ f_new $ seed_arg $ topology)
+
+let topology_cmd =
+  let topo_name =
+    let doc = "Built-in topology: geant, totem or abilene." in
+    Arg.(value & opt string "geant" & info [ "name"; "n" ] ~docv:"NAME" ~doc)
+  in
+  let topo_out =
+    let doc = "Export to a topology file instead of printing." in
+    Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE" ~doc)
+  in
+  let doc = "Inspect or export the built-in topologies." in
+  Cmd.v (Cmd.info "topology" ~doc)
+    Term.(const run_topology $ topo_name $ topo_out)
+
+let main_cmd =
+  let doc =
+    "laboratory for the independent-connection traffic-matrix model \
+     (Erramilli, Crovella, Taft; IMC 2006)"
+  in
+  Cmd.group (Cmd.info "ic-lab" ~version:"1.0.0" ~doc)
+    [ experiment_cmd; gen_cmd; fit_cmd; estimate_cmd; trace_cmd; whatif_cmd;
+      topology_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/anomaly_detection.ml: Ic_core Ic_datasets Ic_stats Ic_topology Ic_traffic List Printf

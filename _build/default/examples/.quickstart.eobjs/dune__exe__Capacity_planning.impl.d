@@ -1,0 +1,1 @@
+examples/capacity_planning.ml: Array Float Ic_core Ic_prng Ic_timeseries Ic_topology Ic_traffic List Option Printf

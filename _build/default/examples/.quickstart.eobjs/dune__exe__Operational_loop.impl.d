@@ -1,0 +1,1 @@
+examples/operational_loop.ml: Array Ic_core Ic_datasets Ic_estimation Ic_stats Ic_topology Ic_traffic Printf

@@ -1,0 +1,1 @@
+examples/operational_loop.mli:

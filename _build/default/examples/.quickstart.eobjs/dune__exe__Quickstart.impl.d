@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Ic_core Ic_gravity Ic_prng Ic_timeseries Ic_traffic Printf

@@ -1,0 +1,1 @@
+examples/synthetic_generation.ml: Array Ic_core Ic_gravity Ic_linalg Ic_prng Ic_report Ic_timeseries Ic_traffic Printf

@@ -1,0 +1,1 @@
+examples/synthetic_generation.mli:

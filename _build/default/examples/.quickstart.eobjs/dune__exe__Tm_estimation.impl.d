@@ -1,0 +1,1 @@
+examples/tm_estimation.ml: Array Ic_core Ic_datasets Ic_estimation Ic_report Ic_stats Ic_topology Ic_traffic List Printf

@@ -1,0 +1,1 @@
+examples/tm_estimation.mli:

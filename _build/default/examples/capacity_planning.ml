@@ -1,0 +1,95 @@
+(* A downstream use of the model: capacity planning. Route synthetic IC
+   traffic matrices over a topology, find the busiest links, and ask what a
+   flash crowd at one PoP would do to them — the kind of what-if analysis
+   Section 5.5 motivates.
+
+   Run with: dune exec examples/capacity_planning.exe *)
+
+let link_utilization graph routing series =
+  (* peak per-link load over the series, as a fraction of capacity *)
+  let m = Ic_topology.Graph.edge_count graph in
+  let peak = Array.make m 0. in
+  for k = 0 to Ic_traffic.Series.length series - 1 do
+    let x = Ic_traffic.Tm.to_vector (Ic_traffic.Series.tm series k) in
+    let y = Ic_topology.Routing.link_loads routing x in
+    for e = 0 to m - 1 do
+      peak.(e) <- Float.max peak.(e) y.(e)
+    done
+  done;
+  let bin_s =
+    float_of_int series.Ic_traffic.Series.binning.Ic_timeseries.Timebin.width_s
+  in
+  List.map
+    (fun (e : Ic_topology.Graph.edge) ->
+      (e, peak.(e.id) *. 8. /. bin_s /. e.capacity))
+    (Ic_topology.Graph.edges graph)
+
+let print_top graph label utils =
+  let sorted = List.sort (fun (_, a) (_, b) -> compare b a) utils in
+  Printf.printf "%s: top-5 links by peak utilization\n" label;
+  List.iteri
+    (fun k ((e : Ic_topology.Graph.edge), u) ->
+      if k < 5 then
+        Printf.printf "  %s -> %s : %.1f%%\n"
+          (Ic_topology.Graph.name graph e.src)
+          (Ic_topology.Graph.name graph e.dst)
+          (100. *. u))
+    sorted
+
+let () =
+  let graph = Ic_topology.Topologies.geant_like () in
+  (* Routing without marginal pseudo-links: we want physical links only. *)
+  let routing = Ic_topology.Routing.build ~with_marginals:false graph in
+  let binning = Ic_timeseries.Timebin.five_min in
+  let spec =
+    {
+      Ic_core.Synth.default_spec with
+      nodes = Ic_topology.Graph.node_count graph;
+      binning;
+      bins = Ic_timeseries.Timebin.bins_per_day binning;
+      mean_total_bytes = 40e9;
+    }
+  in
+  let { Ic_core.Synth.series; truth } =
+    Ic_core.Synth.generate spec (Ic_prng.Rng.create 77)
+  in
+  print_top graph "baseline day" (link_utilization graph routing series);
+
+  (* What-if: a flash crowd makes 'gr' 25x more popular. *)
+  let gr = Option.get (Ic_topology.Graph.index_of_name graph "gr") in
+  let crowd = Ic_core.Synth.with_flash_crowd ~node:gr ~boost:25. truth in
+  let crowd_series = Ic_core.Model.stable_fp crowd binning in
+  print_top graph "flash crowd at gr"
+    (link_utilization graph routing crowd_series);
+
+  (* How did the links adjacent to gr move? *)
+  let base = link_utilization graph routing series in
+  let flash = link_utilization graph routing crowd_series in
+  Printf.printf "links at gr under the flash crowd:\n";
+  List.iter
+    (fun ((e : Ic_topology.Graph.edge), u) ->
+      if e.src = gr || e.dst = gr then
+        Printf.printf "  %s -> %s : %.1f%% (was %.1f%%)\n"
+          (Ic_topology.Graph.name graph e.src)
+          (Ic_topology.Graph.name graph e.dst)
+          (100. *. u)
+          (100. *. List.assq e base))
+    flash;
+
+  (* Links crossing a 40% planning threshold only under the crowd. *)
+  let newly_hot =
+    List.filter
+      (fun ((e : Ic_topology.Graph.edge), u) ->
+        u > 0.4 && List.assq e base < 0.4)
+      flash
+  in
+  Printf.printf "links newly above 40%% under the flash crowd: %d\n"
+    (List.length newly_hot);
+  List.iter
+    (fun ((e : Ic_topology.Graph.edge), u) ->
+      Printf.printf "  %s -> %s : %.1f%% (was %.1f%%)\n"
+        (Ic_topology.Graph.name graph e.src)
+        (Ic_topology.Graph.name graph e.dst)
+        (100. *. u)
+        (100. *. List.assq e base))
+    newly_hot

@@ -1,0 +1,1 @@
+lib/core/anomaly.ml: Array Float Ic_traffic List Model Params

@@ -1,0 +1,1 @@
+lib/core/estimate_a.ml: Array Ic_linalg Ic_traffic Model

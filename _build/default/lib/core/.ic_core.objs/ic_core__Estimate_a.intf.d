@@ -1,0 +1,1 @@
+lib/core/estimate_a.mli: Ic_linalg Ic_traffic

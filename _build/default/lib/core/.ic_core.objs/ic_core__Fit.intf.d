@@ -1,0 +1,1 @@
+lib/core/fit.mli: Ic_linalg Ic_traffic Params

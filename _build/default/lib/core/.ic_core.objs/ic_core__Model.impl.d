@@ -1,0 +1,1 @@
+lib/core/model.ml: Array Ic_linalg Ic_traffic Params Printf

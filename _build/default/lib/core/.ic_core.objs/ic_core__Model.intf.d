@@ -1,0 +1,1 @@
+lib/core/model.mli: Ic_linalg Ic_timeseries Ic_traffic Params

@@ -1,0 +1,1 @@
+lib/core/params.ml: Array Float Ic_linalg Result

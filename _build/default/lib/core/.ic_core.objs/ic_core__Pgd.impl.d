@@ -1,0 +1,1 @@
+lib/core/pgd.ml: Array Closed_form Float Ic_linalg Ic_traffic Params

@@ -1,0 +1,1 @@
+lib/core/pgd.mli: Ic_traffic Params

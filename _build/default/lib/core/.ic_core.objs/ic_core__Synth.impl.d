@@ -1,0 +1,1 @@
+lib/core/synth.ml: Array Ic_linalg Ic_prng Ic_timeseries Ic_traffic Model Params

@@ -1,0 +1,1 @@
+lib/core/synth.mli: Ic_linalg Ic_prng Ic_timeseries Ic_traffic Params

@@ -1,0 +1,135 @@
+module Tm = Ic_traffic.Tm
+module Series = Ic_traffic.Series
+
+type detection = {
+  bin : int;
+  origin : int;
+  destination : int;
+  score : float;
+  observed : float;
+  expected : float;
+}
+
+let median xs =
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else if n mod 2 = 1 then sorted.(n / 2)
+  else (sorted.((n / 2) - 1) +. sorted.(n / 2)) /. 2.
+
+(* robust scale: 1.4826 * median absolute deviation, consistent with the
+   standard deviation for Gaussian residuals *)
+let mad_scale xs =
+  let m = median xs in
+  1.4826 *. median (Array.map (fun x -> Float.abs (x -. m)) xs)
+
+(* The measurement quantum of sampled netflow: one sampled packet inverts
+   to pkt_bytes * rate bytes. Sampled data always contains exact zeros
+   (small flows sample to nothing), and the smallest positive entry is then
+   the one-packet quantum. Data without zeros is not sparsely sampled and
+   gets no quantum floor. *)
+let estimate_quantum series =
+  let q = ref infinity in
+  let saw_zero = ref false in
+  for t = 0 to Series.length series - 1 do
+    let tm = Series.tm series t in
+    for i = 0 to Tm.size tm - 1 do
+      for j = 0 to Tm.size tm - 1 do
+        let v = Tm.get tm i j in
+        if v = 0. then saw_zero := true
+        else if v < !q then q := v
+      done
+    done
+  done;
+  if !saw_zero && Float.is_finite !q then !q else 0.
+
+let detect ?(threshold = 5.) ?min_bytes (params : Params.stable_fp) series =
+  let n = Series.size series in
+  let t_count = Series.length series in
+  if Array.length params.preference <> n then
+    invalid_arg "Anomaly.detect: parameter dimension mismatch";
+  if Array.length params.activity <> t_count then
+    invalid_arg "Anomaly.detect: parameter bin-count mismatch";
+  let model = Model.stable_fp params series.Series.binning in
+  let quantum = estimate_quantum series in
+  (* materiality floor: by default 0.2% of the median bin total — an
+     anomaly smaller than that is operationally invisible *)
+  let min_bytes =
+    match min_bytes with
+    | Some b -> b
+    | None -> 0.002 *. median (Series.total_series series)
+  in
+  (* Residuals are taken in log space, where the multiplicative
+     measurement noise is homoscedastic across the diurnal cycle; the
+     quantum shift keeps the transform finite for sampled-to-zero flows. *)
+  let shift = Float.max quantum 1. (* keeps the transform finite at zero *) in
+  let log_residual i j =
+    Array.init t_count (fun t ->
+        let x = Tm.get (Series.tm series t) i j in
+        let e = Tm.get (Series.tm model t) i j in
+        log ((x +. shift) /. (e +. shift)))
+  in
+  (* relative sampling noise of a flow of expected volume v: one sampled
+     packet more or less moves log volume by about sqrt(quantum / v) *)
+  let sampling_log_sd v =
+    if quantum <= 0. then 0. else sqrt (quantum /. Float.max v quantum)
+  in
+  let detections = ref [] in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let r = log_residual i j in
+      let mad = mad_scale r in
+      let center = median r in
+      Array.iteri
+        (fun t rv ->
+          let expected = Tm.get (Series.tm model t) i j in
+          let observed = Tm.get (Series.tm series t) i j in
+          let scale = Float.max mad (sampling_log_sd expected) in
+          if scale > 0. then begin
+            let score = (rv -. center) /. scale in
+            if score > threshold && observed -. expected > min_bytes then
+              detections :=
+                { bin = t; origin = i; destination = j; score; observed;
+                  expected }
+                :: !detections
+          end)
+        r
+    done
+  done;
+  List.sort (fun a b -> compare b.score a.score) !detections
+
+type evaluation = {
+  true_positives : int;
+  false_positives : int;
+  false_negatives : int;
+  precision : float;
+  recall : float;
+}
+
+let evaluate ~detections ~labels =
+  let detected =
+    List.map (fun d -> (d.bin, d.origin, d.destination)) detections
+  in
+  let label_set = List.sort_uniq compare labels in
+  let detected_set = List.sort_uniq compare detected in
+  let tp =
+    List.length (List.filter (fun d -> List.mem d label_set) detected_set)
+  in
+  let fp = List.length detected_set - tp in
+  let fn = List.length label_set - tp in
+  let precision =
+    if detected_set = [] then 1.
+    else float_of_int tp /. float_of_int (List.length detected_set)
+  in
+  let recall =
+    if label_set = [] then 1.
+    else float_of_int tp /. float_of_int (List.length label_set)
+  in
+  {
+    true_positives = tp;
+    false_positives = fp;
+    false_negatives = fn;
+    precision;
+    recall;
+  }

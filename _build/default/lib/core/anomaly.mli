@@ -1,0 +1,55 @@
+(** Volume-anomaly detection with the IC model as the normal-behaviour
+    reference — the kind of "what-if / diagnosis" application the paper's
+    introduction motivates (and the use case of Lakhina et al.'s
+    network-wide anomaly diagnosis, the paper's reference [7]).
+
+    A stable-fP fit captures the predictable structure of the TM series;
+    OD entries that deviate from the model by many robust standard
+    deviations are flagged. Scores are studentized per OD pair with a
+    median-absolute-deviation scale, so small flows with proportionally
+    large sampling noise do not drown the detector. *)
+
+type detection = {
+  bin : int;
+  origin : int;
+  destination : int;
+  score : float;  (** robust z-score of the residual; positive = excess *)
+  observed : float;  (** bytes in the bin *)
+  expected : float;  (** model prediction *)
+}
+
+val detect :
+  ?threshold:float ->
+  ?min_bytes:float ->
+  Params.stable_fp ->
+  Ic_traffic.Series.t ->
+  detection list
+(** [detect params series] scores every (bin, OD) residual against the
+    model evaluation of [params] and returns entries whose score exceeds
+    [threshold] (default 5) {e and} whose absolute excess exceeds
+    [min_bytes] (default 0.2% of the median bin total), ordered by
+    decreasing score. Residuals are studentized in log space, where the
+    multiplicative measurement noise is homoscedastic across the diurnal
+    cycle; the scale per entry is the larger of the OD pair's
+    median-absolute-deviation over time and the relative sampling-noise
+    floor [sqrt(quantum / expected)], with the sampling quantum estimated
+    from the data (smallest positive entry) — without these, single
+    sampled packets on tiny flows and peak-hour bins dominate the ranking.
+    Raises [Invalid_argument] if [params] does not match the series
+    dimensions. *)
+
+type evaluation = {
+  true_positives : int;
+  false_positives : int;
+  false_negatives : int;
+  precision : float;  (** 1 when there are no detections *)
+  recall : float;  (** 1 when there are no labels *)
+}
+
+val evaluate :
+  detections:detection list ->
+  labels:(int * int * int) list ->
+  evaluation
+(** Compare detections against ground-truth labels [(bin, origin,
+    destination)]. A detection matches a label iff all three coordinates
+    are equal. *)

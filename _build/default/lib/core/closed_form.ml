@@ -1,0 +1,45 @@
+module Vec = Ic_linalg.Vec
+
+type estimate = { activity : Vec.t; preference : Vec.t }
+
+let estimate ~f ~ingress ~egress =
+  let n = Array.length ingress in
+  if Array.length egress <> n then
+    invalid_arg "Closed_form.estimate: dimension mismatch";
+  if f < 0. || f > 1. then invalid_arg "Closed_form.estimate: f out of [0,1]";
+  let denom = (2. *. f) -. 1. in
+  if Float.abs denom < 1e-6 then Error `F_near_half
+  else begin
+    let activity =
+      Array.init n (fun i ->
+          Float.max 0. (((f *. ingress.(i)) -. ((1. -. f) *. egress.(i))) /. denom))
+    in
+    let pref_raw =
+      Array.init n (fun i ->
+          Float.max 0. (((f *. egress.(i)) -. ((1. -. f) *. ingress.(i))) /. denom))
+    in
+    let preference =
+      if Vec.sum pref_raw > 0. then Vec.normalize_sum pref_raw
+      else begin
+        (* all clamped away: fall back to egress shares *)
+        let total = Vec.sum egress in
+        if total > 0. then Vec.scale (1. /. total) egress
+        else Array.make n (1. /. float_of_int n)
+      end
+    in
+    Ok { activity; preference }
+  end
+
+let prior_series ~f series =
+  let tms =
+    Array.init (Ic_traffic.Series.length series) (fun k ->
+        let tm = Ic_traffic.Series.tm series k in
+        let ingress = Ic_traffic.Marginals.ingress tm in
+        let egress = Ic_traffic.Marginals.egress tm in
+        match estimate ~f ~ingress ~egress with
+        | Ok { activity; preference } ->
+            Model.simplified ~f ~activity ~preference
+        | Error `F_near_half ->
+            invalid_arg "Closed_form.prior_series: f too close to 1/2")
+  in
+  Ic_traffic.Series.make series.Ic_traffic.Series.binning tms

@@ -1,0 +1,33 @@
+(** Closed-form activity and preference estimates from marginal counts when
+    only [f] is known (paper Section 6.3, Equations 11–12).
+
+    Eliminating [P_i] (respectively [A_i]) between the two marginal
+    identities yields, writing [in_i] for the ingress count [X_i.] and
+    [out_i] for the egress count [X_.i]:
+
+    - [A_i = (f in_i - (1 - f) out_i) / (2f - 1)]      (Equation 11)
+    - [P_i propto (f out_i - (1 - f) in_i) / (2f - 1)] (Equation 12)
+
+    The system degenerates at [f = 1/2], where forward and reverse traffic
+    are indistinguishable from marginals alone. *)
+
+type estimate = {
+  activity : Ic_linalg.Vec.t;  (** clamped non-negative *)
+  preference : Ic_linalg.Vec.t;  (** clamped, normalized to sum 1 *)
+}
+
+val estimate :
+  f:float ->
+  ingress:Ic_linalg.Vec.t ->
+  egress:Ic_linalg.Vec.t ->
+  (estimate, [ `F_near_half ]) result
+(** Per-bin closed-form estimates. Returns [Error `F_near_half] when
+    [|2f - 1| < 1e-6]. Negative raw values (possible under noise) are
+    clamped to zero; if the clamped preference vector is all-zero it falls
+    back to the egress shares. *)
+
+val prior_series :
+  f:float -> Ic_traffic.Series.t -> Ic_traffic.Series.t
+(** Build a stable-f prior series: for each bin, estimate activities and
+    preferences from that bin's marginals and evaluate the model. Raises
+    [Invalid_argument] when [f] is too close to 1/2. *)

@@ -1,0 +1,40 @@
+module Vec = Ic_linalg.Vec
+module Mat = Ic_linalg.Mat
+
+let design_matrix ~f ~preference =
+  if f < 0. || f > 1. then invalid_arg "Estimate_a.design_matrix: f out of [0,1]";
+  let n = Array.length preference in
+  let p = Vec.normalize_sum preference in
+  Mat.init (2 * n) n (fun r k ->
+      if r < n then begin
+        (* ingress row i: f A_i + (1-f) P_i sum_k A_k *)
+        let i = r in
+        ((1. -. f) *. p.(i)) +. (if k = i then f else 0.)
+      end
+      else begin
+        (* egress row j: f P_j sum_k A_k + (1-f) A_j *)
+        let j = r - n in
+        (f *. p.(j)) +. (if k = j then 1. -. f else 0.)
+      end)
+
+let activities ~f ~preference ~ingress ~egress =
+  let n = Array.length preference in
+  if Array.length ingress <> n || Array.length egress <> n then
+    invalid_arg "Estimate_a.activities: dimension mismatch";
+  let design = design_matrix ~f ~preference in
+  let b = Array.append ingress egress in
+  Ic_linalg.Nnls.solve design b
+
+let prior_series ~f ~preference series =
+  let n = Ic_traffic.Series.size series in
+  if Array.length preference <> n then
+    invalid_arg "Estimate_a.prior_series: dimension mismatch";
+  let tms =
+    Array.init (Ic_traffic.Series.length series) (fun k ->
+        let tm = Ic_traffic.Series.tm series k in
+        let ingress = Ic_traffic.Marginals.ingress tm in
+        let egress = Ic_traffic.Marginals.egress tm in
+        let activity = activities ~f ~preference ~ingress ~egress in
+        Model.simplified ~f ~activity ~preference)
+  in
+  Ic_traffic.Series.make series.Ic_traffic.Series.binning tms

@@ -1,0 +1,34 @@
+(** Recovering activities from marginal counts when [f] and [P] are known
+    (paper Section 6.2, Equations 7–9).
+
+    With normalized preferences and [S = sum_k A_k], the stable-fP model
+    implies the per-bin marginal identities
+
+    - ingress: [X_i* = f A_i + (1 - f) P_i S]
+    - egress:  [X_*j = f P_j S + (1 - f) A_j]
+
+    which is a [2n x n] linear system [Q Phi A = (X_ingress; X_egress)]. The
+    paper solves it by pseudo-inverse; we solve the equivalent least-squares
+    problem with non-negativity (activities are byte volumes). *)
+
+val design_matrix : f:float -> preference:Ic_linalg.Vec.t -> Ic_linalg.Mat.t
+(** The [2n x n] matrix [Q Phi] mapping activities to (ingress; egress)
+    counts. The preference vector is normalized internally. *)
+
+val activities :
+  f:float ->
+  preference:Ic_linalg.Vec.t ->
+  ingress:Ic_linalg.Vec.t ->
+  egress:Ic_linalg.Vec.t ->
+  Ic_linalg.Vec.t
+(** Least-squares, non-negative estimate of one bin's activities from its
+    marginal counts. *)
+
+val prior_series :
+  f:float ->
+  preference:Ic_linalg.Vec.t ->
+  Ic_traffic.Series.t ->
+  Ic_traffic.Series.t
+(** Equation 9 applied per bin of an observed series: estimate activities
+    from the series' own marginals (the only part of the data this function
+    reads) and evaluate the stable-fP model to produce a TM prior series. *)

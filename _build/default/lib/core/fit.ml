@@ -1,0 +1,510 @@
+module Vec = Ic_linalg.Vec
+module Mat = Ic_linalg.Mat
+module Tm = Ic_traffic.Tm
+module Series = Ic_traffic.Series
+
+type options = {
+  max_sweeps : int;
+  tol : float;
+  f_init : float;
+  fixed_f : bool;
+  f_bounds : float * float;
+}
+
+let default_options =
+  {
+    max_sweeps = 40;
+    tol = 1e-6;
+    f_init = 0.25;
+    fixed_f = false;
+    f_bounds = (0., 1.);
+  }
+
+type 'p fitted = {
+  params : 'p;
+  per_bin_error : float array;
+  mean_error : float;
+  sweeps : int;
+}
+
+(* Solve the normal-equation system G x = c under x >= 0. The unconstrained
+   solution is usually feasible here (activities and preferences are interior
+   for realistic traffic), so try a plain Cholesky solve first and fall back
+   to Lawson-Hanson only when it goes negative. *)
+let solve_nonneg g c =
+  let feasible x = Array.for_all (fun v -> v >= -1e-9 *. (1. +. Float.abs v)) x in
+  match Ic_linalg.Chol.factorize g with
+  | Ok ch ->
+      let x = Ic_linalg.Chol.solve ch c in
+      if feasible x then Vec.clamp_nonneg x
+      else Ic_linalg.Nnls.solve_gram g c
+  | Error (`Not_positive_definite _) -> Ic_linalg.Nnls.solve_gram g c
+
+(* Activity subproblem for one bin: accumulate Gram/right-hand side of the
+   n^2 x n design whose row (i,j) has f*p_j at column i and (1-f)*p_i at
+   column j (column i gets the full p_i when i = j). *)
+let solve_activity ~f ~p tm =
+  let n = Array.length p in
+  let g = Mat.create n n in
+  let c = Vec.create n in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let x = Tm.get tm i j in
+      if i = j then begin
+        Mat.update g i i (fun v -> v +. (p.(i) *. p.(i)));
+        c.(i) <- c.(i) +. (p.(i) *. x)
+      end
+      else begin
+        let a = f *. p.(j) and b = (1. -. f) *. p.(i) in
+        Mat.update g i i (fun v -> v +. (a *. a));
+        Mat.update g j j (fun v -> v +. (b *. b));
+        Mat.update g i j (fun v -> v +. (a *. b));
+        Mat.update g j i (fun v -> v +. (a *. b));
+        c.(i) <- c.(i) +. (a *. x);
+        c.(j) <- c.(j) +. (b *. x)
+      end
+    done
+  done;
+  solve_nonneg g c
+
+(* Preference subproblem: same structure with the roles of A and P swapped;
+   accumulated across bins with weights w.(t), then solved once. *)
+let solve_preference ~f ~activities ~weights tms =
+  let n = Array.length activities.(0) in
+  let g = Mat.create n n in
+  let c = Vec.create n in
+  Array.iteri
+    (fun t tm ->
+      let w = weights.(t) in
+      if w > 0. then begin
+        let a_t = activities.(t) in
+        for i = 0 to n - 1 do
+          for j = 0 to n - 1 do
+            let x = Tm.get tm i j in
+            if i = j then begin
+              Mat.update g i i (fun v -> v +. (w *. a_t.(i) *. a_t.(i)));
+              c.(i) <- c.(i) +. (w *. a_t.(i) *. x)
+            end
+            else begin
+              let a = f *. a_t.(i) and b = (1. -. f) *. a_t.(j) in
+              Mat.update g j j (fun v -> v +. (w *. a *. a));
+              Mat.update g i i (fun v -> v +. (w *. b *. b));
+              Mat.update g i j (fun v -> v +. (w *. a *. b));
+              Mat.update g j i (fun v -> v +. (w *. a *. b));
+              c.(j) <- c.(j) +. (w *. a *. x);
+              c.(i) <- c.(i) +. (w *. b *. x)
+            end
+          done
+        done
+      end)
+    tms;
+  solve_nonneg g c
+
+(* Forward-fraction subproblem: X_ij = f (A_i p_j - A_j p_i) + A_j p_i is
+   linear in f; weighted scalar least squares, clamped into [0,1]. *)
+let solve_f ~bounds:(f_lo, f_hi) ~activities ~preferences ~weights tms =
+  let num = ref 0. and den = ref 0. in
+  Array.iteri
+    (fun t tm ->
+      let w = weights.(t) in
+      if w > 0. then begin
+        let a_t = activities.(t) and p = preferences t in
+        let n = Array.length a_t in
+        for i = 0 to n - 1 do
+          for j = 0 to n - 1 do
+            if i <> j then begin
+              let slope = (a_t.(i) *. p.(j)) -. (a_t.(j) *. p.(i)) in
+              let base = a_t.(j) *. p.(i) in
+              let x = Tm.get tm i j in
+              num := !num +. (w *. slope *. (x -. base));
+              den := !den +. (w *. slope *. slope)
+            end
+          done
+        done
+      end)
+    tms;
+  if !den <= 0. then None
+  else Some (Ic_linalg.Proj.box ~lo:f_lo ~hi:f_hi (!num /. !den))
+
+let bin_norms tms = Array.map (fun tm -> Vec.nrm2 (Tm.to_vector tm)) tms
+
+let weights_of_norms norms =
+  Array.map (fun nrm -> if nrm > 0. then 1. /. (nrm *. nrm) else 0.) norms
+
+let model_tm ~f ~activity ~p =
+  let n = Array.length p in
+  Tm.init n (fun i j ->
+      (f *. activity.(i) *. p.(j)) +. ((1. -. f) *. activity.(j) *. p.(i)))
+
+let rel_l2 tm model norm =
+  if norm <= 0. then 0.
+  else Vec.nrm2_diff (Tm.to_vector tm) (Tm.to_vector model) /. norm
+
+(* Surrogate objective: sum of squared relative errors. *)
+let surrogate ~f ~activities ~preferences norms tms =
+  let acc = ref 0. in
+  Array.iteri
+    (fun t tm ->
+      let e = rel_l2 tm (model_tm ~f ~activity:activities.(t) ~p:(preferences t)) norms.(t) in
+      acc := !acc +. (e *. e))
+    tms;
+  !acc
+
+let normalize_preference_and_rescale p activities =
+  let s = Vec.sum p in
+  if s <= 0. then (p, activities)
+  else begin
+    let p' = Vec.scale (1. /. s) p in
+    let activities' = Array.map (Vec.scale s) activities in
+    (p', activities')
+  end
+
+let errors_of ~f ~activities ~preferences norms tms =
+  Array.mapi
+    (fun t tm ->
+      rel_l2 tm (model_tm ~f ~activity:activities.(t) ~p:(preferences t)) norms.(t))
+    tms
+
+let mean_of errs =
+  if Array.length errs = 0 then 0. else Vec.sum errs /. float_of_int (Array.length errs)
+
+(* Initial preferences via the closed-form Equation 12 at the starting f:
+   egress shares alone are dominated by the activity shape when f < 1/2 and
+   would start the descent inside the mirrored basin (see pick_basin). *)
+let initial_preference ~f_init tms =
+  let n = Tm.size tms.(0) in
+  let ingress = Vec.create n and egress = Vec.create n in
+  Array.iter
+    (fun tm ->
+      Vec.axpy 1. (Ic_traffic.Marginals.ingress tm) ingress;
+      Vec.axpy 1. (Ic_traffic.Marginals.egress tm) egress)
+    tms;
+  let fallback () =
+    let total = Vec.sum egress in
+    if total > 0. then
+      Vec.normalize_sum (Vec.map (fun x -> Float.max x 1e-12) egress)
+    else Array.make n (1. /. float_of_int n)
+  in
+  match Closed_form.estimate ~f:f_init ~ingress ~egress with
+  | Ok e ->
+      Vec.normalize_sum
+        (Vec.map (fun x -> Float.max x 1e-12) e.Closed_form.preference)
+  | Error `F_near_half -> fallback ()
+  | exception Invalid_argument _ -> fallback ()
+
+let fit_stable_fp_single ~options series =
+  let tms = Array.init (Series.length series) (Series.tm series) in
+  let norms = bin_norms tms in
+  let weights = weights_of_norms norms in
+  let f = ref options.f_init in
+  let p = ref (initial_preference ~f_init:options.f_init tms) in
+  let activities =
+    ref (Array.map (fun tm -> solve_activity ~f:!f ~p:!p tm) tms)
+  in
+  let prev = ref infinity in
+  let sweeps = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !sweeps < options.max_sweeps do
+    incr sweeps;
+    activities := Array.map (fun tm -> solve_activity ~f:!f ~p:!p tm) tms;
+    let p_raw = solve_preference ~f:!f ~activities:!activities ~weights tms in
+    let p', acts' = normalize_preference_and_rescale p_raw !activities in
+    p := p';
+    activities := acts';
+    (if not options.fixed_f then
+       match
+         solve_f ~bounds:options.f_bounds ~activities:!activities
+           ~preferences:(fun _ -> !p) ~weights tms
+       with
+       | Some f' -> f := f'
+       | None -> ());
+    let obj =
+      surrogate ~f:!f ~activities:!activities ~preferences:(fun _ -> !p) norms
+        tms
+    in
+    if Float.is_finite !prev && !prev -. obj <= options.tol *. Float.max !prev 1e-12 then
+      continue_ := false;
+    prev := obj
+  done;
+  let per_bin_error =
+    errors_of ~f:!f ~activities:!activities ~preferences:(fun _ -> !p) norms
+      tms
+  in
+  let params : Params.stable_fp =
+    { f = !f; preference = !p; activity = !activities }
+  in
+  { params; per_bin_error; mean_error = mean_of per_bin_error; sweeps = !sweeps }
+
+let fit_stable_f_single ~options series =
+  let tms = Array.init (Series.length series) (Series.tm series) in
+  let norms = bin_norms tms in
+  let weights = weights_of_norms norms in
+  let t_count = Array.length tms in
+  let f = ref options.f_init in
+  let prefs = ref (Array.make t_count (initial_preference ~f_init:options.f_init tms)) in
+  let activities =
+    ref
+      (Array.mapi
+         (fun t tm ->
+           let p = (!prefs).(t) in
+           solve_activity ~f:!f ~p tm)
+         tms)
+  in
+  let prev = ref infinity in
+  let sweeps = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !sweeps < options.max_sweeps do
+    incr sweeps;
+    (* per-bin activity and preference given the shared f *)
+    let old_prefs = !prefs in
+    let acts =
+      Array.mapi (fun t tm -> solve_activity ~f:!f ~p:old_prefs.(t) tm) tms
+    in
+    let new_prefs = Array.make t_count old_prefs.(0) in
+    Array.iteri
+      (fun t tm ->
+        if weights.(t) > 0. then begin
+          let p_raw =
+            solve_preference ~f:!f ~activities:[| acts.(t) |] ~weights:[| 1. |]
+              [| tm |]
+          in
+          let p', acts' = normalize_preference_and_rescale p_raw [| acts.(t) |] in
+          new_prefs.(t) <- p';
+          acts.(t) <- acts'.(0)
+        end
+        else new_prefs.(t) <- old_prefs.(t))
+      tms;
+    activities := acts;
+    prefs := new_prefs;
+    let pref_at t = (!prefs).(t) in
+    (if not options.fixed_f then
+       match
+         solve_f ~bounds:options.f_bounds ~activities:!activities
+           ~preferences:pref_at ~weights tms
+       with
+       | Some f' -> f := f'
+       | None -> ());
+    let obj =
+      surrogate ~f:!f ~activities:!activities ~preferences:pref_at norms tms
+    in
+    if Float.is_finite !prev && !prev -. obj <= options.tol *. Float.max !prev 1e-12 then
+      continue_ := false;
+    prev := obj
+  done;
+  let pref_at t = (!prefs).(t) in
+  let per_bin_error =
+    errors_of ~f:!f ~activities:!activities ~preferences:pref_at norms tms
+  in
+  let params : Params.stable_f =
+    { f = !f; preference = !prefs; activity = !activities }
+  in
+  { params; per_bin_error; mean_error = mean_of per_bin_error; sweeps = !sweeps }
+
+let fit_time_varying_single ~options series =
+  let tms = Array.init (Series.length series) (Series.tm series) in
+  let norms = bin_norms tms in
+  let t_count = Array.length tms in
+  let fs = Array.make t_count options.f_init in
+  let prefs = Array.make t_count (initial_preference ~f_init:options.f_init tms) in
+  let activities = Array.make t_count (Vec.create (Series.size series)) in
+  let max_sweeps_total = ref 0 in
+  Array.iteri
+    (fun t tm ->
+      (* each bin is an independent single-bin fit *)
+      let w = weights_of_norms [| norms.(t) |] in
+      let f = ref options.f_init in
+      let p = ref (initial_preference ~f_init:options.f_init [| tm |]) in
+      let act = ref (solve_activity ~f:!f ~p:!p tm) in
+      let prev = ref infinity in
+      let sweeps = ref 0 in
+      let continue_ = ref true in
+      while !continue_ && !sweeps < options.max_sweeps do
+        incr sweeps;
+        act := solve_activity ~f:!f ~p:!p tm;
+        let p_raw =
+          solve_preference ~f:!f ~activities:[| !act |] ~weights:w [| tm |]
+        in
+        let p', acts' = normalize_preference_and_rescale p_raw [| !act |] in
+        p := p';
+        act := acts'.(0);
+        (if not options.fixed_f then
+           match
+             solve_f ~bounds:options.f_bounds ~activities:[| !act |]
+               ~preferences:(fun _ -> !p)
+               ~weights:w [| tm |]
+           with
+           | Some f' -> f := f'
+           | None -> ());
+        let obj =
+          surrogate ~f:!f ~activities:[| !act |]
+            ~preferences:(fun _ -> !p)
+            [| norms.(t) |] [| tm |]
+        in
+        if Float.is_finite !prev && !prev -. obj <= options.tol *. Float.max !prev 1e-12 then
+          continue_ := false;
+        prev := obj
+      done;
+      if !sweeps > !max_sweeps_total then max_sweeps_total := !sweeps;
+      fs.(t) <- !f;
+      prefs.(t) <- !p;
+      activities.(t) <- !act)
+    tms;
+  let per_bin_error =
+    Array.mapi
+      (fun t tm ->
+        rel_l2 tm
+          (model_tm ~f:fs.(t) ~activity:activities.(t) ~p:prefs.(t))
+          norms.(t))
+      tms
+  in
+  let params : Params.time_varying =
+    { f = fs; preference = prefs; activity = activities }
+  in
+  {
+    params;
+    per_bin_error;
+    mean_error = mean_of per_bin_error;
+    sweeps = !max_sweeps_total;
+  }
+
+(* The simplified IC model has a near-symmetry exchanging the roles of
+   activity and preference: (f, A, P) and (1 - f, S P, A / S) produce the
+   same TM whenever the activity profiles are (close to) rank one across
+   (node, time). Block-coordinate descent can therefore converge into the
+   mirrored basin. We run the descent from both f_init and 1 - f_init and
+   keep the solution with the smaller mean RelL2, breaking near-ties (0.5%)
+   toward f < 1/2 — the physically meaningful, response-dominated branch
+   the paper observes throughout. *)
+let pick_basin f_of a b =
+  let margin = Float.max 1e-6 (0.03 *. Float.max a.mean_error b.mean_error) in
+  if Float.abs (a.mean_error -. b.mean_error) <= margin then
+    if f_of a.params <= f_of b.params then a else b
+  else if a.mean_error < b.mean_error then a
+  else b
+
+let dual_start ~options fit f_of series =
+  if options.fixed_f then fit ~options series
+  else begin
+    let lo_init = Float.min options.f_init (1. -. options.f_init) in
+    let low =
+      { options with f_init = lo_init; f_bounds = (0., 0.5) }
+    in
+    let high =
+      { options with f_init = 1. -. lo_init; f_bounds = (0.5, 1.) }
+    in
+    let a = fit ~options:low series in
+    let b = fit ~options:high series in
+    pick_basin f_of a b
+  end
+
+let fit_stable_fp ?(options = default_options) series =
+  dual_start ~options fit_stable_fp_single
+    (fun (p : Params.stable_fp) -> p.f)
+    series
+
+let fit_stable_f ?(options = default_options) series =
+  dual_start ~options fit_stable_f_single
+    (fun (p : Params.stable_f) -> p.f)
+    series
+
+let fit_time_varying ?(options = default_options) series =
+  (* Bins are independent; select the better basin bin by bin. *)
+  let lo_init = Float.min options.f_init (1. -. options.f_init) in
+  let a =
+    fit_time_varying_single
+      ~options:{ options with f_init = lo_init; f_bounds = (0., 0.5) }
+      series
+  in
+  let b =
+    fit_time_varying_single
+      ~options:{ options with f_init = 1. -. lo_init; f_bounds = (0.5, 1.) }
+      series
+  in
+  let t_count = Array.length a.per_bin_error in
+  let f = Array.make t_count 0. in
+  let preference = Array.make t_count [||] in
+  let activity = Array.make t_count [||] in
+  let per_bin_error = Array.make t_count 0. in
+  for t = 0 to t_count - 1 do
+    let ea = a.per_bin_error.(t) and eb = b.per_bin_error.(t) in
+    let margin = Float.max 1e-6 (0.03 *. Float.max ea eb) in
+    let take_a =
+      if Float.abs (ea -. eb) <= margin then a.params.f.(t) <= b.params.f.(t)
+      else ea < eb
+    in
+    let src = if take_a then a else b in
+    f.(t) <- src.params.f.(t);
+    preference.(t) <- src.params.preference.(t);
+    activity.(t) <- src.params.activity.(t);
+    per_bin_error.(t) <- src.per_bin_error.(t)
+  done;
+  let params : Params.time_varying = { f; preference; activity } in
+  {
+    params;
+    per_bin_error;
+    mean_error = mean_of per_bin_error;
+    sweeps = Stdlib.max a.sweeps b.sweeps;
+  }
+
+let fit_general_f (params : Params.stable_fp) series =
+  let n = Params.nodes params in
+  let p = params.preference in
+  let fm = Mat.init n n (fun i j -> if i = j then params.f else 0.) in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      (* Unknowns u = (f_ij, f_ji); per bin two residual rows:
+         X_ij - b = a u1 - b u2 and X_ji - a = -a u1 + b u2,
+         with a = A_i p_j, b = A_j p_i. *)
+      let g11 = ref 0. and g12 = ref 0. and g22 = ref 0. in
+      let c1 = ref 0. and c2 = ref 0. in
+      Array.iteri
+        (fun t activity ->
+          let a = activity.(i) *. p.(j) and b = activity.(j) *. p.(i) in
+          let tm = Series.tm series t in
+          let r1 = Tm.get tm i j -. b and r2 = Tm.get tm j i -. a in
+          (* row 1: (a, -b); row 2: (-a, b) *)
+          g11 := !g11 +. (2. *. a *. a);
+          g22 := !g22 +. (2. *. b *. b);
+          g12 := !g12 -. (2. *. a *. b);
+          c1 := !c1 +. ((a *. r1) -. (a *. r2));
+          c2 := !c2 +. ((b *. r2) -. (b *. r1)))
+        params.activity;
+      (* 2x2 solve with a tiny ridge; the system is rank-1 when activities
+         are proportional across bins, in which case we fall back to the
+         symmetric solution f_ij = f_ji. *)
+      let det = (!g11 *. !g22) -. (!g12 *. !g12) in
+      let scale = Float.max (Float.abs !g11) (Float.abs !g22) in
+      if det > 1e-9 *. scale *. scale && scale > 0. then begin
+        let u1 = ((!g22 *. !c1) -. (!g12 *. !c2)) /. det in
+        let u2 = ((!g11 *. !c2) -. (!g12 *. !c1)) /. det in
+        Mat.set fm i j (Ic_linalg.Proj.box ~lo:0. ~hi:1. u1);
+        Mat.set fm j i (Ic_linalg.Proj.box ~lo:0. ~hi:1. u2)
+      end
+      else begin
+        Mat.set fm i j params.f;
+        Mat.set fm j i params.f
+      end
+    done
+  done;
+  fm
+
+let gravity_fit series =
+  let n = Series.size series in
+  let tms =
+    Array.init (Series.length series) (fun k ->
+        let tm = Series.tm series k in
+        let ing = Ic_traffic.Marginals.ingress tm in
+        let egr = Ic_traffic.Marginals.egress tm in
+        let tot = Tm.total tm in
+        if tot <= 0. then Tm.create n
+        else Tm.init n (fun i j -> ing.(i) *. egr.(j) /. tot))
+  in
+  Series.make series.Series.binning tms
+
+let per_bin_error data model =
+  if Series.length data <> Series.length model then
+    invalid_arg "Fit.per_bin_error: length mismatch";
+  Array.init (Series.length data) (fun k ->
+      let tm = Series.tm data k in
+      let norm = Vec.nrm2 (Tm.to_vector tm) in
+      rel_l2 tm (Series.tm model k) norm)

@@ -1,0 +1,81 @@
+(** Estimation of IC-model parameters from observed traffic matrices
+    (paper Section 5.1).
+
+    The paper minimizes [sum_t RelL2(t)] with Matlab's optimization toolbox
+    under the constraints [A_i(t) >= 0], [P_i >= 0], [sum_i P_i = 1]. We
+    minimize the smooth surrogate [sum_t RelL2(t)^2] by block-coordinate
+    descent where every block subproblem is a constrained linear
+    least-squares problem solved exactly:
+
+    - activities [A(t)]: one non-negative least-squares problem per bin
+      (the design has two nonzeros per row, so normal equations are
+      accumulated directly);
+    - preferences [P]: one NNLS problem accumulated over all bins with
+      per-bin weights [1 / ||X(t)||^2], then normalized to the simplex with
+      the scale absorbed into the activities;
+    - forward fraction [f]: a closed-form weighted scalar solve clamped to
+      [[0, 1]].
+
+    Reported errors are the paper's RelL2, not the surrogate.
+
+    The simplified IC model has a near-symmetry exchanging activity and
+    preference roles, [(f, A, P) ~ (1 - f, S P, A / S)], which creates a
+    mirrored local minimum when activities are close to rank one across
+    (node, time). All fitters therefore run the descent from both [f_init]
+    and [1 - f_init], each confined to its branch ([f <= 1/2] respectively
+    [f >= 1/2]), and keep the lower-error solution, breaking ties within 3%
+    toward [f < 1/2] (the response-dominated branch the paper observes and
+    validates directly from packet traces in its Section 5.2). *)
+
+type options = {
+  max_sweeps : int;  (** block-coordinate sweeps (default 40) *)
+  tol : float;  (** relative surrogate-improvement stop (default 1e-6) *)
+  f_init : float;  (** starting forward fraction (default 0.25) *)
+  fixed_f : bool;
+      (** when true, [f] stays at [f_init] and only activities and
+          preferences are optimized — the fit used when [f] is known from a
+          previous measurement (default false) *)
+  f_bounds : float * float;
+      (** interval the [f] update is clamped into (default [(0, 1)]); the
+          dual-start driver overrides it per branch *)
+}
+
+val default_options : options
+
+type 'p fitted = {
+  params : 'p;
+  per_bin_error : float array;  (** RelL2(t) of the fitted model *)
+  mean_error : float;
+  sweeps : int;  (** sweeps actually performed *)
+}
+
+val fit_stable_fp :
+  ?options:options -> Ic_traffic.Series.t -> Params.stable_fp fitted
+(** Fit the stable-fP model (Equation 5): one [f], one preference vector,
+    per-bin activities. *)
+
+val fit_stable_f :
+  ?options:options -> Ic_traffic.Series.t -> Params.stable_f fitted
+(** Fit the stable-f model (Equation 4): one [f], per-bin preferences and
+    activities. *)
+
+val fit_time_varying :
+  ?options:options -> Ic_traffic.Series.t -> Params.time_varying fitted
+(** Fit the time-varying model (Equation 3): every parameter per bin. Each
+    bin is fitted independently. *)
+
+val fit_general_f :
+  Params.stable_fp -> Ic_traffic.Series.t -> Ic_linalg.Mat.t
+(** Given fitted stable-fP parameters, estimate per-OD forward fractions
+    [f_ij] (Equation 1) by least squares over the bins, clamped to [[0,1]].
+    Diagonal entries are set to the global [f] (they are not identifiable).
+    Used by the routing-asymmetry ablation. *)
+
+val gravity_fit : Ic_traffic.Series.t -> Ic_traffic.Series.t
+(** The gravity-model "fit" of a series — [X_ij = X_i* X_*j / X_**] per bin —
+    the baseline the paper compares against in Figure 3. *)
+
+val per_bin_error :
+  Ic_traffic.Series.t -> Ic_traffic.Series.t -> float array
+(** RelL2(t) between a data series and a model series (bins where the data
+    is all-zero yield 0). *)

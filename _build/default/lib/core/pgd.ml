@@ -1,0 +1,234 @@
+module Vec = Ic_linalg.Vec
+module Tm = Ic_traffic.Tm
+module Series = Ic_traffic.Series
+
+type options = { max_iters : int; tol : float; f_init : float }
+
+let default_options = { max_iters = 500; tol = 1e-8; f_init = 0.25 }
+
+type result = {
+  params : Params.stable_fp;
+  objective : float;
+  per_bin_error : float array;
+  mean_error : float;
+  iterations : int;
+}
+
+type state = { f : float; p : Vec.t; a : Vec.t array }
+
+(* weighted squared residual objective: sum_t ||Xhat(t) - X(t)||^2 / ||X(t)||^2 *)
+let objective tms weights st =
+  let n = Array.length st.p in
+  let acc = ref 0. in
+  Array.iteri
+    (fun t tm ->
+      let w = weights.(t) in
+      if w > 0. then begin
+        let at = st.a.(t) in
+        for i = 0 to n - 1 do
+          for j = 0 to n - 1 do
+            let pred =
+              (st.f *. at.(i) *. st.p.(j))
+              +. ((1. -. st.f) *. at.(j) *. st.p.(i))
+            in
+            let r = pred -. Tm.get tm i j in
+            acc := !acc +. (w *. r *. r)
+          done
+        done
+      end)
+    tms;
+  !acc
+
+(* gradients of the objective with respect to each block *)
+let grad_a tms weights st t =
+  let n = Array.length st.p in
+  let at = st.a.(t) in
+  let g = Vec.create n in
+  let w = weights.(t) in
+  if w > 0. then begin
+    let tm = tms.(t) in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        let pred =
+          (st.f *. at.(i) *. st.p.(j)) +. ((1. -. st.f) *. at.(j) *. st.p.(i))
+        in
+        let r = 2. *. w *. (pred -. Tm.get tm i j) in
+        g.(i) <- g.(i) +. (r *. st.f *. st.p.(j));
+        g.(j) <- g.(j) +. (r *. (1. -. st.f) *. st.p.(i))
+      done
+    done
+  end;
+  g
+
+let grad_p tms weights st =
+  let n = Array.length st.p in
+  let g = Vec.create n in
+  Array.iteri
+    (fun t tm ->
+      let w = weights.(t) in
+      if w > 0. then begin
+        let at = st.a.(t) in
+        for i = 0 to n - 1 do
+          for j = 0 to n - 1 do
+            let pred =
+              (st.f *. at.(i) *. st.p.(j))
+              +. ((1. -. st.f) *. at.(j) *. st.p.(i))
+            in
+            let r = 2. *. w *. (pred -. Tm.get tm i j) in
+            g.(j) <- g.(j) +. (r *. st.f *. at.(i));
+            g.(i) <- g.(i) +. (r *. (1. -. st.f) *. at.(j))
+          done
+        done
+      end)
+    tms;
+  g
+
+let grad_f tms weights st =
+  let n = Array.length st.p in
+  let acc = ref 0. in
+  Array.iteri
+    (fun t tm ->
+      let w = weights.(t) in
+      if w > 0. then begin
+        let at = st.a.(t) in
+        for i = 0 to n - 1 do
+          for j = 0 to n - 1 do
+            let pred =
+              (st.f *. at.(i) *. st.p.(j))
+              +. ((1. -. st.f) *. at.(j) *. st.p.(i))
+            in
+            let r = 2. *. w *. (pred -. Tm.get tm i j) in
+            acc := !acc +. (r *. ((at.(i) *. st.p.(j)) -. (at.(j) *. st.p.(i))))
+          done
+        done
+      end)
+    tms;
+  !acc
+
+(* backtracking step on one block: try the update at [step], halving until
+   the objective decreases; returns the accepted state and step (possibly
+   unchanged if no decrease was found). *)
+let backtrack ~apply ~current ~step tms weights =
+  let base = objective tms weights current in
+  let rec go step tries =
+    if tries = 0 then (current, step, base)
+    else begin
+      let candidate = apply step in
+      let value = objective tms weights candidate in
+      if value < base then (candidate, step, value) else go (step /. 2.) (tries - 1)
+    end
+  in
+  go step 14
+
+let fit_stable_fp ?(options = default_options) series =
+  let t_count = Series.length series in
+  let tms = Array.init t_count (Series.tm series) in
+  let norms = Array.map (fun tm -> Vec.nrm2 (Tm.to_vector tm)) tms in
+  let weights =
+    Array.map (fun nrm -> if nrm > 0. then 1. /. (nrm *. nrm) else 0.) norms
+  in
+  (* initialization mirrors Fit: closed-form preferences, activities from
+     one exact least-squares pass at f_init *)
+  let n = Series.size series in
+  let ingress = Vec.create n and egress = Vec.create n in
+  Array.iter
+    (fun tm ->
+      Vec.axpy 1. (Ic_traffic.Marginals.ingress tm) ingress;
+      Vec.axpy 1. (Ic_traffic.Marginals.egress tm) egress)
+    tms;
+  let p0 =
+    match Closed_form.estimate ~f:options.f_init ~ingress ~egress with
+    | Ok e -> Vec.normalize_sum (Vec.map (fun x -> Float.max x 1e-12) e.preference)
+    | Error `F_near_half -> Array.make n (1. /. float_of_int n)
+  in
+  let a0 =
+    Array.map
+      (fun tm ->
+        let i = Ic_traffic.Marginals.ingress tm in
+        let e = Ic_traffic.Marginals.egress tm in
+        match Closed_form.estimate ~f:options.f_init ~ingress:i ~egress:e with
+        | Ok est -> est.activity
+        | Error `F_near_half -> i)
+      tms
+  in
+  let st = ref { f = options.f_init; p = p0; a = a0 } in
+  let steps = ref (1e-2, 1e-2, 1e-2) (* per-block step memory: a, p, f *) in
+  let prev = ref (objective tms weights !st) in
+  let iters = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !iters < options.max_iters do
+    incr iters;
+    let sa, sp, sf = !steps in
+    (* activity block: per-bin gradient steps with a shared relative step *)
+    let st1, sa', _ =
+      backtrack
+        ~apply:(fun step ->
+          let a =
+            Array.mapi
+              (fun t at ->
+                let g = grad_a tms weights !st t in
+                let scale = Float.max (Vec.amax at) 1. in
+                let gmax = Float.max (Vec.amax g) 1e-300 in
+                let eta = step *. scale /. gmax in
+                Vec.clamp_nonneg
+                  (Array.mapi (fun k x -> x -. (eta *. g.(k))) at))
+              !st.a
+          in
+          { !st with a })
+        ~current:!st ~step:(Float.min (sa *. 2.) 1.) tms weights
+    in
+    st := st1;
+    (* preference block *)
+    let st2, sp', _ =
+      backtrack
+        ~apply:(fun step ->
+          let g = grad_p tms weights !st in
+          let gmax = Float.max (Vec.amax g) 1e-300 in
+          let eta = step /. gmax in
+          let p =
+            Ic_linalg.Proj.simplex
+              (Array.mapi (fun k x -> x -. (eta *. g.(k))) !st.p)
+          in
+          { !st with p })
+        ~current:!st ~step:(Float.min (sp *. 2.) 1.) tms weights
+    in
+    st := st2;
+    (* forward-fraction block, kept in the physical branch *)
+    let st3, sf', value =
+      backtrack
+        ~apply:(fun step ->
+          let g = grad_f tms weights !st in
+          let eta = step /. Float.max (Float.abs g) 1e-300 in
+          { !st with f = Ic_linalg.Proj.box ~lo:0. ~hi:0.5 (!st.f -. (eta *. g)) })
+        ~current:!st ~step:(Float.min (sf *. 2.) 0.5) tms weights
+    in
+    st := st3;
+    steps := (sa', sp', sf');
+    if !prev -. value <= options.tol *. Float.max !prev 1e-12 then
+      continue_ := false;
+    prev := value
+  done;
+  let model_err t =
+    if norms.(t) <= 0. then 0.
+    else begin
+      let at = !st.a.(t) in
+      let pred =
+        Tm.init (Array.length !st.p) (fun i j ->
+            (!st.f *. at.(i) *. !st.p.(j))
+            +. ((1. -. !st.f) *. at.(j) *. !st.p.(i)))
+      in
+      Vec.nrm2_diff (Tm.to_vector tms.(t)) (Tm.to_vector pred) /. norms.(t)
+    end
+  in
+  let per_bin_error = Array.init t_count model_err in
+  let mean_error =
+    if t_count = 0 then 0.
+    else Vec.sum per_bin_error /. float_of_int t_count
+  in
+  {
+    params = { f = !st.f; preference = !st.p; activity = !st.a };
+    objective = !prev;
+    per_bin_error;
+    mean_error;
+    iterations = !iters;
+  }

@@ -1,0 +1,29 @@
+(** Projected gradient descent on the stable-fP objective — an independent
+    cross-check of {!Fit}'s block-coordinate descent. Both minimize the same
+    surrogate [sum_t RelL2(t)^2] over the same constraint set ([f] boxed,
+    [P] on the simplex, [A >= 0]); agreeing minima from two different
+    optimization families is the strongest evidence available that neither
+    is stuck in an algorithm-specific artifact (the paper's fmincon results
+    cannot be rerun). *)
+
+type options = {
+  max_iters : int;  (** gradient steps (default 500) *)
+  tol : float;  (** relative objective-decrease stop (default 1e-8) *)
+  f_init : float;  (** starting forward fraction (default 0.25) *)
+}
+
+val default_options : options
+
+type result = {
+  params : Params.stable_fp;
+  objective : float;  (** final surrogate value *)
+  per_bin_error : float array;  (** RelL2(t) *)
+  mean_error : float;
+  iterations : int;
+}
+
+val fit_stable_fp :
+  ?options:options -> Ic_traffic.Series.t -> result
+(** Fit by projected gradient with backtracking line search, initialized
+    like {!Fit} (closed-form preferences at [f_init]). Single-branch: runs
+    in the [f <= 1/2] branch only; use {!Fit} for production fitting. *)

@@ -1,0 +1,127 @@
+module Vec = Ic_linalg.Vec
+
+type spec = {
+  nodes : int;
+  binning : Ic_timeseries.Timebin.t;
+  bins : int;
+  f : float;
+  preference_mu : float;
+  preference_sigma : float;
+  mean_total_bytes : float;
+  activity_spread : float;
+  diurnal : Ic_timeseries.Diurnal.t;
+  weekend_damping : float;
+  noise_sigma : float;
+  noise_phi : float;
+}
+
+let default_spec =
+  {
+    nodes = 22;
+    binning = Ic_timeseries.Timebin.five_min;
+    bins = Ic_timeseries.Timebin.bins_per_week Ic_timeseries.Timebin.five_min;
+    f = 0.25;
+    preference_mu = -4.3;
+    preference_sigma = 1.7;
+    mean_total_bytes = 2e9;
+    activity_spread = 1.3;
+    diurnal = Ic_timeseries.Diurnal.default;
+    weekend_damping = 0.6;
+    noise_sigma = 0.15;
+    noise_phi = 0.8;
+  }
+
+type generated = { series : Ic_traffic.Series.t; truth : Params.stable_fp }
+
+let check spec =
+  if spec.nodes < 2 then invalid_arg "Synth: need at least 2 nodes";
+  if spec.bins <= 0 then invalid_arg "Synth: bins must be positive";
+  if spec.f < 0. || spec.f > 1. then invalid_arg "Synth: f out of [0,1]";
+  if spec.mean_total_bytes <= 0. then invalid_arg "Synth: bytes must be positive"
+
+let preferences spec rng =
+  check spec;
+  let raw =
+    Array.init spec.nodes (fun _ ->
+        Ic_prng.Sampler.lognormal rng ~mu:spec.preference_mu
+          ~sigma:spec.preference_sigma)
+  in
+  Vec.normalize_sum raw
+
+let activity_series spec rng =
+  check spec;
+  (* Heterogeneous node sizes: lognormal base shares. *)
+  let bases =
+    Array.init spec.nodes (fun _ ->
+        Ic_prng.Sampler.lognormal rng ~mu:0. ~sigma:spec.activity_spread)
+  in
+  let base_total = Vec.sum bases in
+  let generators =
+    Array.map
+      (fun base ->
+        let share = base /. base_total in
+        (* Per-node diurnal phase jitter of up to +-1.5 hours. *)
+        let peak_jitter = Ic_prng.Rng.float_range rng (-1.5) 1.5 in
+        let diurnal =
+          {
+            spec.diurnal with
+            Ic_timeseries.Diurnal.peak_hour =
+              spec.diurnal.Ic_timeseries.Diurnal.peak_hour +. peak_jitter;
+          }
+        in
+        Ic_timeseries.Cyclo.make ~diurnal ~weekend:spec.weekend_damping
+          ~noise_sigma:spec.noise_sigma ~noise_phi:spec.noise_phi
+          ~base_level:(share *. spec.mean_total_bytes)
+          ())
+      bases
+  in
+  let per_node =
+    Array.map
+      (fun gen ->
+        Ic_timeseries.Cyclo.generate gen spec.binning
+          (Ic_prng.Rng.split rng)
+          ~bins:spec.bins)
+      generators
+  in
+  Array.init spec.bins (fun t ->
+      Array.init spec.nodes (fun i -> per_node.(i).(t)))
+
+let generate spec rng =
+  check spec;
+  let preference = preferences spec rng in
+  let activity = activity_series spec rng in
+  let truth : Params.stable_fp = { f = spec.f; preference; activity } in
+  let series = Model.stable_fp truth spec.binning in
+  { series; truth }
+
+let with_flash_crowd ~node ~boost (params : Params.stable_fp) =
+  if boost <= 0. then invalid_arg "Synth.with_flash_crowd: boost must be positive";
+  let n = Array.length params.preference in
+  if node < 0 || node >= n then
+    invalid_arg "Synth.with_flash_crowd: node out of range";
+  let p = Array.copy params.preference in
+  p.(node) <- p.(node) *. boost;
+  { params with preference = Vec.normalize_sum p }
+
+let with_application_shift ~f (params : Params.stable_fp) =
+  if f < 0. || f > 1. then
+    invalid_arg "Synth.with_application_shift: f out of [0,1]";
+  { params with f }
+
+let from_measured (params : Params.stable_fp) binning rng ~weeks =
+  if weeks <= 0 then invalid_arg "Synth.from_measured: weeks must be positive";
+  let n = Array.length params.preference in
+  let t_count = Array.length params.activity in
+  let bins = weeks * Ic_timeseries.Timebin.bins_per_week binning in
+  let node_series i = Array.init t_count (fun t -> params.activity.(t).(i)) in
+  let per_node =
+    Array.init n (fun i ->
+        let fitted = Ic_timeseries.Cyclo_fit.fit binning (node_series i) in
+        Ic_timeseries.Cyclo_fit.generate fitted binning
+          (Ic_prng.Rng.split rng) ~bins)
+  in
+  let activity =
+    Array.init bins (fun t -> Array.init n (fun i -> per_node.(i).(t)))
+  in
+  let truth : Params.stable_fp = { params with activity } in
+  { series = Model.stable_fp truth binning; truth }

@@ -1,0 +1,70 @@
+(** Synthetic traffic-matrix generation with the stable-fP IC model
+    (paper Section 5.5).
+
+    The recipe: pick an [f] in the observed 0.2–0.3 band, draw long-tailed
+    preferences (lognormal, Figure 7), generate cyclo-stationary activity
+    series per node, and evaluate Equation 5 at each bin. Because the
+    activity inputs are causally unconstrained (unlike the gravity model's
+    marginals, which must balance), they can be generated independently per
+    node. *)
+
+type spec = {
+  nodes : int;
+  binning : Ic_timeseries.Timebin.t;
+  bins : int;
+  f : float;  (** forward fraction; the paper suggests 0.2–0.3 *)
+  preference_mu : float;  (** lognormal log-mean; paper MLE ~ -4.3 *)
+  preference_sigma : float;  (** lognormal log-stddev; paper MLE ~ 1.7 *)
+  mean_total_bytes : float;  (** target mean network-wide bytes per bin *)
+  activity_spread : float;
+      (** lognormal sigma of per-node base activity; larger = more node
+          size inequality *)
+  diurnal : Ic_timeseries.Diurnal.t;
+  weekend_damping : float;
+  noise_sigma : float;  (** per-bin lognormal modulation of activities *)
+  noise_phi : float;  (** AR(1) coefficient of the modulation *)
+}
+
+val default_spec : spec
+(** 22 nodes, 5-minute bins, one week, [f = 0.25], paper-fitted lognormal
+    preferences. *)
+
+type generated = {
+  series : Ic_traffic.Series.t;
+  truth : Params.stable_fp;  (** the generating parameters *)
+}
+
+val preferences : spec -> Ic_prng.Rng.t -> Ic_linalg.Vec.t
+(** Draw and normalize lognormal preference values. *)
+
+val activity_series : spec -> Ic_prng.Rng.t -> Ic_linalg.Vec.t array
+(** Per-bin activity vectors: heterogeneous node bases (lognormal with
+    [activity_spread]), node-specific diurnal phase jitter, AR(1) lognormal
+    noise; scaled so the expected network total per bin is
+    [mean_total_bytes]. *)
+
+val generate : spec -> Ic_prng.Rng.t -> generated
+(** Full recipe; deterministic given the generator state. *)
+
+val with_flash_crowd :
+  node:int -> boost:float -> Params.stable_fp -> Params.stable_fp
+(** What-if transform: multiply one node's preference by [boost] and
+    renormalize — the paper's suggested way to model hot spots. *)
+
+val with_application_shift : f:float -> Params.stable_fp -> Params.stable_fp
+(** What-if transform: change the forward fraction (e.g. a shift from web to
+    P2P traffic raises [f]). *)
+
+val from_measured :
+  Params.stable_fp ->
+  Ic_timeseries.Timebin.t ->
+  Ic_prng.Rng.t ->
+  weeks:int ->
+  generated
+(** Measure-then-generate (the paper's Section 5.4 future-work direction):
+    fit a cyclo-stationary model ({!Ic_timeseries.Cyclo_fit}) to each node's
+    measured activity series, then synthesize [weeks] fresh weeks of
+    activities with the same daily profile, weekend damping and residual
+    AR(1) structure, keeping the measured [f] and preferences. Raises
+    [Invalid_argument] when the measured activities span less than one
+    day. *)

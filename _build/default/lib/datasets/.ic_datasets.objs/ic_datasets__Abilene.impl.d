@@ -1,0 +1,1 @@
+lib/datasets/abilene.ml: Array Float Ic_netflow Ic_prng Ic_topology List

@@ -1,0 +1,1 @@
+lib/datasets/abilene.mli: Ic_netflow Ic_topology

@@ -1,0 +1,1 @@
+lib/datasets/dataset.ml: Array Ic_core Ic_linalg Ic_netflow Ic_prng Ic_timeseries Ic_topology Ic_traffic List

@@ -1,0 +1,1 @@
+lib/datasets/dataset.mli: Ic_linalg Ic_timeseries Ic_topology Ic_traffic

@@ -1,0 +1,1 @@
+lib/datasets/geant.ml: Dataset Ic_timeseries Ic_topology

@@ -1,0 +1,1 @@
+lib/datasets/geant.mli: Dataset

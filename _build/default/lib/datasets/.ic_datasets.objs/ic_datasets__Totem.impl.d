@@ -1,0 +1,1 @@
+lib/datasets/totem.ml: Dataset Ic_timeseries Ic_topology

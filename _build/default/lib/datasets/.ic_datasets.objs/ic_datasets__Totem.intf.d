@@ -1,0 +1,1 @@
+lib/datasets/totem.mli: Dataset

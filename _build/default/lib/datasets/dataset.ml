@@ -1,0 +1,263 @@
+module Vec = Ic_linalg.Vec
+module Mat = Ic_linalg.Mat
+
+type week_truth = {
+  f_matrix : Ic_linalg.Mat.t;
+  f_aggregate : float;
+  preference : Ic_linalg.Vec.t;
+  activity : Ic_linalg.Vec.t array;
+}
+
+type anomaly = { bin : int; origin : int; destination : int; boost : float }
+
+type t = {
+  name : string;
+  graph : Ic_topology.Graph.t;
+  series : Ic_traffic.Series.t;
+  truth : week_truth array;
+  anomalies : anomaly list;
+  seed : int;
+}
+
+type spec = {
+  name : string;
+  graph : Ic_topology.Graph.t;
+  binning : Ic_timeseries.Timebin.t;
+  weeks : int;
+  f_base : float;
+  f_spatial_sigma : float;
+  f_weekly_sigma : float;
+  pref_mu : float;
+  pref_sigma : float;
+  pref_weekly_jitter : float;
+  pref_activity_coupling : float;
+  mean_total_bytes : float;
+  activity_spread : float;
+  diurnal : Ic_timeseries.Diurnal.t;
+  weekend_damping : float;
+  activity_noise_sigma : float;
+  activity_noise_phi : float;
+  od_noise_sigma : float;
+  node_noise_sigma : float;
+  oneway_share : float;
+  oneway_sink_sigma : float;
+  sampling_rate : int;
+  mean_packet_bytes : float;
+  anomaly_rate : float;
+  anomaly_boost : float;
+}
+
+let clamp_f x = Ic_linalg.Proj.box ~lo:0.02 ~hi:0.8 x
+
+(* Per-OD forward fractions: symmetric-pair-correlated jitter around the
+   weekly base (the paper observes f(i,j) close to f(j,i)). *)
+let draw_f_matrix rng ~n ~base ~sigma =
+  let m = Mat.create n n in
+  for i = 0 to n - 1 do
+    for j = i to n - 1 do
+      let pair = Ic_prng.Sampler.normal rng ~mu:0. ~sigma in
+      let own = Ic_prng.Sampler.normal rng ~mu:0. ~sigma:(sigma /. 3.) in
+      let other = Ic_prng.Sampler.normal rng ~mu:0. ~sigma:(sigma /. 3.) in
+      Mat.set m i j (clamp_f (base +. pair +. own));
+      Mat.set m j i (clamp_f (base +. pair +. other))
+    done
+  done;
+  m
+
+let byte_weighted_f f_matrix ~preference ~mean_activity =
+  let n = Array.length preference in
+  let num = ref 0. and den = ref 0. in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      (* weight of the (i,j) forward component in total traffic *)
+      let w = mean_activity.(i) *. preference.(j) in
+      num := !num +. (w *. Mat.get f_matrix i j);
+      den := !den +. w
+    done
+  done;
+  if !den > 0. then !num /. !den else 0.
+
+let generate spec ~seed =
+  if spec.weeks <= 0 then invalid_arg "Dataset.generate: weeks must be positive";
+  let n = Ic_topology.Graph.node_count spec.graph in
+  let root = Ic_prng.Rng.create seed in
+  let pref_rng = Ic_prng.Rng.split root in
+  let f_rng = Ic_prng.Rng.split root in
+  let act_rng = Ic_prng.Rng.split root in
+  let noise_rng = Ic_prng.Rng.split root in
+  let bins_per_week = Ic_timeseries.Timebin.bins_per_week spec.binning in
+  (* Heterogeneous node sizes (drawn first: preferences couple to them). *)
+  let bases =
+    Array.init n (fun _ ->
+        Ic_prng.Sampler.lognormal act_rng ~mu:0. ~sigma:spec.activity_spread)
+  in
+  let base_total = Vec.sum bases in
+  (* Stable base preference; weekly versions perturb it slightly. Coupled to
+     node size with exponent [pref_activity_coupling]. *)
+  let base_pref =
+    Vec.normalize_sum
+      (Array.init n (fun i ->
+           ((bases.(i) /. base_total) ** spec.pref_activity_coupling)
+           *. Ic_prng.Sampler.lognormal pref_rng ~mu:spec.pref_mu
+                ~sigma:spec.pref_sigma))
+  in
+  let weekly_pref =
+    Array.init spec.weeks (fun _ ->
+        Vec.normalize_sum
+          (Array.map
+             (fun p ->
+               p
+               *. Ic_prng.Sampler.lognormal pref_rng ~mu:0.
+                    ~sigma:spec.pref_weekly_jitter)
+             base_pref))
+  in
+  (* Continuous activity series over all weeks, per node. *)
+  let total_bins = spec.weeks * bins_per_week in
+  let per_node_activity =
+    Array.map
+      (fun base ->
+        let peak_jitter = Ic_prng.Rng.float_range act_rng (-3.) 3. in
+        let diurnal =
+          {
+            spec.diurnal with
+            Ic_timeseries.Diurnal.peak_hour =
+              spec.diurnal.Ic_timeseries.Diurnal.peak_hour +. peak_jitter;
+          }
+        in
+        let gen =
+          Ic_timeseries.Cyclo.make ~diurnal ~weekend:spec.weekend_damping
+            ~noise_sigma:spec.activity_noise_sigma
+            ~noise_phi:spec.activity_noise_phi
+            ~base_level:(base /. base_total *. spec.mean_total_bytes)
+            ()
+        in
+        Ic_timeseries.Cyclo.generate gen spec.binning
+          (Ic_prng.Rng.split act_rng) ~bins:total_bins)
+      bases
+  in
+  let activity_at t = Array.init n (fun i -> per_node_activity.(i).(t)) in
+  (* Weekly truth parameters. *)
+  let truth =
+    Array.init spec.weeks (fun w ->
+        let weekly_base =
+          clamp_f
+            (spec.f_base
+            +. Ic_prng.Sampler.normal f_rng ~mu:0. ~sigma:spec.f_weekly_sigma)
+        in
+        let f_matrix =
+          draw_f_matrix f_rng ~n ~base:weekly_base ~sigma:spec.f_spatial_sigma
+        in
+        let activity =
+          Array.init bins_per_week (fun k ->
+              activity_at ((w * bins_per_week) + k))
+        in
+        let mean_activity =
+          Array.init n (fun i ->
+              let acc = ref 0. in
+              Array.iter (fun a -> acc := !acc +. a.(i)) activity;
+              !acc /. float_of_int bins_per_week)
+        in
+        {
+          f_matrix;
+          f_aggregate =
+            byte_weighted_f f_matrix ~preference:weekly_pref.(w) ~mean_activity;
+          preference = weekly_pref.(w);
+          activity;
+        })
+  in
+  (* Measured series: general IC model, plus a rank-one one-way component
+     (no forward/reverse coupling), plus measurement noise and anomalies. *)
+  if spec.oneway_share < 0. || spec.oneway_share >= 1. then
+    invalid_arg "Dataset.generate: oneway_share must lie in [0,1)";
+  let sink_popularity =
+    Vec.normalize_sum
+      (Array.init n (fun _ ->
+           Ic_prng.Sampler.lognormal pref_rng ~mu:0.
+             ~sigma:spec.oneway_sink_sigma))
+  in
+  let log_noise_correction = spec.od_noise_sigma *. spec.od_noise_sigma /. 2. in
+  let injected = ref [] in
+  let tms =
+    Array.init total_bins (fun t ->
+        let w = t / bins_per_week in
+        let tw = truth.(w) in
+        let activity = tw.activity.(t mod bins_per_week) in
+        let connection_part =
+          Ic_core.Model.general ~f_matrix:tw.f_matrix ~activity
+            ~preference:tw.preference
+        in
+        let clean =
+          if spec.oneway_share <= 0. then connection_part
+          else begin
+            let total = Ic_traffic.Tm.total connection_part in
+            let activity_total = Vec.sum activity in
+            let oneway_total =
+              total *. spec.oneway_share /. (1. -. spec.oneway_share)
+            in
+            Ic_traffic.Tm.init n (fun i j ->
+                Ic_traffic.Tm.get connection_part i j
+                +. (oneway_total *. activity.(i) /. activity_total
+                   *. sink_popularity.(j)))
+          end
+        in
+        let anomaly =
+          if Ic_prng.Rng.float noise_rng < spec.anomaly_rate then begin
+            let ai = Ic_prng.Rng.int noise_rng n in
+            let aj = Ic_prng.Rng.int noise_rng n in
+            injected :=
+              { bin = t; origin = ai; destination = aj;
+                boost = spec.anomaly_boost }
+              :: !injected;
+            Some (ai, aj)
+          end
+          else None
+        in
+        (* Per-node collection noise (mean-corrected lognormal factors). *)
+        let node_factor () =
+          if spec.node_noise_sigma <= 0. then Array.make n 1.
+          else begin
+            let correction = spec.node_noise_sigma *. spec.node_noise_sigma /. 2. in
+            Array.init n (fun _ ->
+                exp
+                  (Ic_prng.Sampler.normal noise_rng ~mu:(-.correction)
+                     ~sigma:spec.node_noise_sigma))
+          end
+        in
+        let row_factor = node_factor () and col_factor = node_factor () in
+        Ic_traffic.Tm.init n (fun i j ->
+            let base =
+              Ic_traffic.Tm.get clean i j *. row_factor.(i) *. col_factor.(j)
+            in
+            let boosted =
+              match anomaly with
+              | Some (ai, aj) when ai = i && aj = j ->
+                  base *. spec.anomaly_boost
+              | _ -> base
+            in
+            let noisy =
+              boosted
+              *. exp
+                   (Ic_prng.Sampler.normal noise_rng ~mu:(-.log_noise_correction)
+                      ~sigma:spec.od_noise_sigma)
+            in
+            Ic_netflow.Sampling.estimate_volume noise_rng
+              ~rate:spec.sampling_rate ~pkt_bytes:spec.mean_packet_bytes noisy))
+  in
+  {
+    name = spec.name;
+    graph = spec.graph;
+    series = Ic_traffic.Series.make spec.binning tms;
+    truth;
+    anomalies = List.rev !injected;
+    seed;
+  }
+
+let bins_per_week t =
+  Ic_timeseries.Timebin.bins_per_week t.series.Ic_traffic.Series.binning
+
+let week_count t = Ic_traffic.Series.length t.series / bins_per_week t
+
+let week t w =
+  if w < 0 || w >= week_count t then invalid_arg "Dataset.week: out of range";
+  let per = bins_per_week t in
+  Ic_traffic.Series.sub t.series ~pos:(w * per) ~len:per

@@ -1,0 +1,89 @@
+(** Synthetic multi-week TM datasets standing in for the paper's D1 (Géant)
+    and D2 (Totem) — see DESIGN.md for the substitution rationale.
+
+    Ground truth is generated from a *general* IC process: per-week
+    preference vectors (lognormal across nodes, nearly constant across
+    weeks), per-week, per-OD forward fractions (spatial jitter around a
+    stable network-wide value — mild routing asymmetry), and
+    cyclo-stationary activities. The measured series then adds what real
+    collection adds: multiplicative estimation noise, 1-in-N packet-sampling
+    noise, and rare volume anomalies. *)
+
+type week_truth = {
+  f_matrix : Ic_linalg.Mat.t;  (** per-OD forward fractions used that week *)
+  f_aggregate : float;  (** byte-weighted network-wide value *)
+  preference : Ic_linalg.Vec.t;
+  activity : Ic_linalg.Vec.t array;  (** per bin within the week *)
+}
+
+type anomaly = {
+  bin : int;  (** global bin index of the injected volume anomaly *)
+  origin : int;
+  destination : int;
+  boost : float;  (** multiplier applied to that OD entry *)
+}
+
+type t = {
+  name : string;
+  graph : Ic_topology.Graph.t;
+  series : Ic_traffic.Series.t;  (** the measured data, [weeks * bins_per_week] bins *)
+  truth : week_truth array;  (** one entry per week *)
+  anomalies : anomaly list;  (** ground-truth labels of injected anomalies,
+                                 in bin order — for detector evaluation *)
+  seed : int;
+}
+
+type spec = {
+  name : string;
+  graph : Ic_topology.Graph.t;
+  binning : Ic_timeseries.Timebin.t;
+  weeks : int;
+  f_base : float;  (** network-wide forward fraction *)
+  f_spatial_sigma : float;  (** per-OD jitter of [f_ij] *)
+  f_weekly_sigma : float;  (** week-to-week drift of the base *)
+  pref_mu : float;
+  pref_sigma : float;
+  pref_weekly_jitter : float;  (** lognormal sigma of weekly P perturbation *)
+  pref_activity_coupling : float;
+      (** exponent gamma in [P_i propto base_activity_i^gamma * lognormal]:
+          ties preference to node size at the low end, as the paper's
+          Figure 8 observes (small nodes necessarily have small preference;
+          above the median the correlation is weak) *)
+  mean_total_bytes : float;  (** mean network-wide bytes per bin *)
+  activity_spread : float;
+  diurnal : Ic_timeseries.Diurnal.t;
+  weekend_damping : float;
+  activity_noise_sigma : float;
+  activity_noise_phi : float;
+  od_noise_sigma : float;  (** multiplicative lognormal measurement noise *)
+  node_noise_sigma : float;
+      (** per-bin, per-node multiplicative collection noise: every bin draws
+          an ingress factor per origin and an egress factor per destination
+          (lognormal, mean-corrected) and scales row/column-wise. Models
+          router-level measurement variation; notably it breaks the exact
+          marginal identities that the closed-form (stable-f) estimators
+          rely on *)
+  oneway_share : float;
+      (** fraction of traffic carried by one-way (connection-less) flows —
+          streaming, DNS, one-way UDP. This component has no forward/reverse
+          coupling: it is rank-one (sources proportional to activity, sinks
+          drawn from a separate popularity vector), i.e. gravity-like. It
+          bounds how much the IC model can beat the gravity model, which is
+          how the synthetic data reproduces the paper's moderate (rather
+          than overwhelming) improvement percentages. In [0, 1). *)
+  oneway_sink_sigma : float;  (** lognormal sigma of the sink popularity *)
+  sampling_rate : int;  (** netflow packet-sampling denominator *)
+  mean_packet_bytes : float;
+  anomaly_rate : float;  (** per-bin probability of a volume anomaly *)
+  anomaly_boost : float;  (** multiplier applied to one OD pair *)
+}
+
+val generate : spec -> seed:int -> t
+(** Deterministic for a given spec and seed. *)
+
+val week : t -> int -> Ic_traffic.Series.t
+(** The measured series of one week (0-based). *)
+
+val week_count : t -> int
+
+val bins_per_week : t -> int

@@ -1,0 +1,33 @@
+let default_seed = 7
+
+let spec ?(weeks = 3) () : Dataset.spec =
+  {
+    name = "geant";
+    graph = Ic_topology.Topologies.geant_like ();
+    binning = Ic_timeseries.Timebin.five_min;
+    weeks;
+    f_base = 0.22;
+    f_spatial_sigma = 0.03;
+    f_weekly_sigma = 0.008;
+    pref_mu = -4.3;
+    pref_sigma = 1.7;
+    pref_weekly_jitter = 0.05;
+    pref_activity_coupling = 0.4;
+    mean_total_bytes = 2.5e9;
+    activity_spread = 1.3;
+    diurnal = Ic_timeseries.Diurnal.default;
+    weekend_damping = 0.6;
+    activity_noise_sigma = 0.15;
+    activity_noise_phi = 0.8;
+    od_noise_sigma = 0.30;
+    node_noise_sigma = 0.10;
+    oneway_share = 0.12;
+    oneway_sink_sigma = 0.7;
+    sampling_rate = 1000;
+    mean_packet_bytes = 700.;
+    anomaly_rate = 0.002;
+    anomaly_boost = 5.;
+  }
+
+let generate ?weeks ?(seed = default_seed) () =
+  Dataset.generate (spec ?weeks ()) ~seed

@@ -1,0 +1,9 @@
+(** Synthetic stand-in for dataset D1: Géant, 22 PoPs, 5-minute bins
+    (2016 per week), sampled netflow at 1/1000 (paper Section 4). *)
+
+val default_seed : int
+
+val spec : ?weeks:int -> unit -> Dataset.spec
+(** Default 3 weeks, matching the paper's November–December 2004 capture. *)
+
+val generate : ?weeks:int -> ?seed:int -> unit -> Dataset.t

@@ -1,0 +1,33 @@
+let default_seed = 10
+
+let spec ?(weeks = 7) () : Dataset.spec =
+  {
+    name = "totem";
+    graph = Ic_topology.Topologies.totem_like ();
+    binning = Ic_timeseries.Timebin.fifteen_min;
+    weeks;
+    f_base = 0.20;
+    f_spatial_sigma = 0.05;
+    f_weekly_sigma = 0.01;
+    pref_mu = -4.3;
+    pref_sigma = 1.7;
+    pref_weekly_jitter = 0.07;
+    pref_activity_coupling = 0.5;
+    mean_total_bytes = 6e9;
+    activity_spread = 1.4;
+    diurnal = Ic_timeseries.Diurnal.default;
+    weekend_damping = 0.55;
+    activity_noise_sigma = 0.2;
+    activity_noise_phi = 0.75;
+    od_noise_sigma = 0.35;
+    node_noise_sigma = 0.20;
+    oneway_share = 0.15;
+    oneway_sink_sigma = 0.7;
+    sampling_rate = 1000;
+    mean_packet_bytes = 700.;
+    anomaly_rate = 0.004;
+    anomaly_boost = 6.;
+  }
+
+let generate ?weeks ?(seed = default_seed) () =
+  Dataset.generate (spec ?weeks ()) ~seed

@@ -1,0 +1,12 @@
+(** Synthetic stand-in for dataset D2: the public Totem TMs from the same
+    Géant network — 23 PoPs ('de' split in two), 15-minute bins (672 per
+    week), up to 7 weeks, noisier measurement pipeline (paper Section 4
+    notes measurement anomalies in this dataset; the paper's improvements
+    over gravity are correspondingly smaller). *)
+
+val default_seed : int
+
+val spec : ?weeks:int -> unit -> Dataset.spec
+(** Default 7 weeks. *)
+
+val generate : ?weeks:int -> ?seed:int -> unit -> Dataset.t

@@ -1,0 +1,1 @@
+lib/estimation/entropy.ml: Array Float Ic_linalg Ic_topology Ic_traffic Tomogravity

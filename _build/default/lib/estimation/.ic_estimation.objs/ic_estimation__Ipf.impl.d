@@ -1,0 +1,1 @@
+lib/estimation/ipf.ml: Array Float Ic_linalg Ic_traffic

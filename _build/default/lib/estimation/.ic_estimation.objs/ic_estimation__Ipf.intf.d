@@ -1,0 +1,1 @@
+lib/estimation/ipf.mli: Ic_linalg Ic_traffic

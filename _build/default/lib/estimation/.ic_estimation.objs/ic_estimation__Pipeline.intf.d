@@ -1,0 +1,1 @@
+lib/estimation/pipeline.mli: Ic_linalg Ic_topology Ic_traffic Tomogravity

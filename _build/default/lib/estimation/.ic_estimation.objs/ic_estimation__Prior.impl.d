@@ -1,0 +1,1 @@
+lib/estimation/prior.ml: Array Float Ic_core Ic_gravity Ic_linalg Ic_traffic

@@ -1,0 +1,1 @@
+lib/estimation/prior.mli: Ic_core Ic_linalg Ic_timeseries Ic_traffic

@@ -1,0 +1,67 @@
+module Vec = Ic_linalg.Vec
+module Sparse = Ic_linalg.Sparse
+module Routing = Ic_topology.Routing
+
+type options = { max_newton : int; tol : float }
+
+let default_options = { max_newton = 30; tol = 1e-8 }
+
+(* x(lambda)_s = prior_s * exp((Rt lambda)_s), with the exponent clamped for
+   floating-point safety. *)
+let primal prior_vec exponent =
+  Array.mapi
+    (fun s p ->
+      if p <= 0. then 0.
+      else p *. exp (Ic_linalg.Proj.box ~lo:(-30.) ~hi:30. exponent.(s)))
+    prior_vec
+
+let estimate ?(options = default_options) routing ~link_loads ~prior =
+  let r = routing.Routing.matrix in
+  let m = Sparse.rows r in
+  if Array.length link_loads <> m then
+    invalid_arg "Entropy.estimate: link-load dimension mismatch";
+  let n = Ic_traffic.Tm.size prior in
+  if n * n <> Sparse.cols r then
+    invalid_arg "Entropy.estimate: prior does not match routing matrix";
+  let prior_vec = Vec.clamp_nonneg (Ic_traffic.Tm.to_vector prior) in
+  let ynorm = Float.max (Vec.nrm2 link_loads) 1e-12 in
+  let lambda = ref (Vec.create m) in
+  let x = ref (primal prior_vec (Sparse.mulv_t r !lambda)) in
+  let resid v = Vec.nrm2_diff (Sparse.mulv r v) link_loads /. ynorm in
+  let best = ref !x in
+  let best_resid = ref (resid !x) in
+  let iter = ref 0 in
+  let continue_ = ref (!best_resid > options.tol) in
+  while !continue_ && !iter < options.max_newton do
+    incr iter;
+    (* Newton system: (R diag(x) Rt) delta = Y - R x *)
+    let weights = !x in
+    let rhs = Vec.sub link_loads (Sparse.mulv r weights) in
+    let g = Tomogravity.weighted_gram routing weights in
+    let ch = Ic_linalg.Chol.factorize_ridge ~ridge:1e-9 g in
+    let delta = Ic_linalg.Chol.solve ch rhs in
+    (* damped line search on the link residual *)
+    let rec try_step step tries =
+      if tries = 0 then None
+      else begin
+        let candidate = Array.copy !lambda in
+        Vec.axpy step delta candidate;
+        let xc = primal prior_vec (Sparse.mulv_t r candidate) in
+        let rc = resid xc in
+        if rc < !best_resid then Some (candidate, xc, rc)
+        else try_step (step /. 2.) (tries - 1)
+      end
+    in
+    match try_step 1. 12 with
+    | Some (candidate, xc, rc) ->
+        lambda := candidate;
+        x := xc;
+        best := xc;
+        best_resid := rc;
+        if rc <= options.tol then continue_ := false
+    | None -> continue_ := false
+  done;
+  Ic_traffic.Tm.of_vector n !best
+
+let residual routing ~link_loads tm =
+  Tomogravity.residual routing ~link_loads tm

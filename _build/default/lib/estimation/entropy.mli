@@ -1,0 +1,42 @@
+(** Maximum-entropy TM refinement (Zhang, Roughan, Lund, Donoho — the
+    paper's reference [23]): among all traffic matrices satisfying the link
+    constraints, pick the one closest to the prior in Kullback–Leibler
+    divergence,
+
+    [min KL(x || prior)  s.t.  R x = Y,  x >= 0].
+
+    The solution has the exponential-family form
+    [x_s = prior_s * exp((Rᵀ lambda)_s)]; the dual is smooth and concave
+    and is maximized by damped Newton iterations whose inner systems
+    [R diag(x) Rᵀ] are exactly the tomogravity normal equations.
+
+    Implemented as the second Step-2 option of the estimation pipeline —
+    the paper frames the gravity model as the maximum-entropy prior under
+    packet-level independence, so replacing it with an IC prior inside the
+    same MaxEnt machinery is the natural comparison. *)
+
+type options = {
+  max_newton : int;  (** Newton iterations (default 30) *)
+  tol : float;  (** relative link-residual target (default 1e-8) *)
+}
+
+val default_options : options
+
+val estimate :
+  ?options:options ->
+  Ic_topology.Routing.t ->
+  link_loads:Ic_linalg.Vec.t ->
+  prior:Ic_traffic.Tm.t ->
+  Ic_traffic.Tm.t
+(** One bin. Entries with zero prior stay zero (KL support). Infeasible or
+    ill-scaled constraints degrade gracefully: the iteration stops at the
+    best damped step and the result is always non-negative. Raises
+    [Invalid_argument] on dimension mismatches. *)
+
+val residual :
+  Ic_topology.Routing.t ->
+  link_loads:Ic_linalg.Vec.t ->
+  Ic_traffic.Tm.t ->
+  float
+(** Relative link-constraint violation (same diagnostic as
+    {!Tomogravity.residual}). *)

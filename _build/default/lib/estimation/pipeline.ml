@@ -1,0 +1,84 @@
+module Routing = Ic_topology.Routing
+module Series = Ic_traffic.Series
+module Tm = Ic_traffic.Tm
+
+type refinement =
+  | Least_squares of Tomogravity.solver
+  | Max_entropy
+
+type config = {
+  routing : Ic_topology.Routing.t;
+  refinement : refinement;
+  apply_ipf : bool;
+}
+
+let default_config routing =
+  { routing; refinement = Least_squares Tomogravity.Cholesky; apply_ipf = true }
+
+type result = {
+  estimate : Ic_traffic.Series.t;
+  per_bin_error : float array;
+  mean_error : float;
+}
+
+let run ?link_loads config ~truth ~prior =
+  if not config.routing.Routing.with_marginals then
+    invalid_arg "Pipeline.run: routing must include marginal rows";
+  if Series.length truth <> Series.length prior then
+    invalid_arg "Pipeline.run: truth/prior length mismatch";
+  let n = Series.size truth in
+  if Series.size prior <> n then invalid_arg "Pipeline.run: size mismatch";
+  let g = config.routing.Routing.graph in
+  if Ic_topology.Graph.node_count g <> n then
+    invalid_arg "Pipeline.run: routing does not match series size";
+  (match link_loads with
+  | Some loads when Array.length loads <> Series.length truth ->
+      invalid_arg "Pipeline.run: link-load series length mismatch"
+  | _ -> ());
+  let estimates =
+    Array.init (Series.length truth) (fun k ->
+        let truth_tm = Series.tm truth k in
+        let link_loads =
+          match link_loads with
+          | Some loads -> loads.(k)
+          | None -> Routing.link_loads config.routing (Tm.to_vector truth_tm)
+        in
+        let refined =
+          match config.refinement with
+          | Least_squares solver ->
+              Tomogravity.estimate ~solver config.routing ~link_loads
+                ~prior:(Series.tm prior k)
+          | Max_entropy ->
+              Entropy.estimate config.routing ~link_loads
+                ~prior:(Series.tm prior k)
+        in
+        if not config.apply_ipf then refined
+        else begin
+          let row_targets =
+            Array.init n (fun i -> link_loads.(Routing.ingress_row config.routing i))
+          in
+          let col_targets =
+            Array.init n (fun j -> link_loads.(Routing.egress_row config.routing j))
+          in
+          if Ic_linalg.Vec.sum row_targets <= 0. then refined
+          else (Ipf.fit refined ~row_targets ~col_targets).Ipf.tm
+        end)
+  in
+  let estimate = Series.make truth.Series.binning estimates in
+  let per_bin_error =
+    Array.init (Series.length truth) (fun k ->
+        let t = Series.tm truth k in
+        if Tm.total t <= 0. then 0.
+        else Ic_traffic.Error.rel_l2_temporal t (Series.tm estimate k))
+  in
+  let mean_error =
+    if Array.length per_bin_error = 0 then 0.
+    else
+      Ic_linalg.Vec.sum per_bin_error
+      /. float_of_int (Array.length per_bin_error)
+  in
+  { estimate; per_bin_error; mean_error }
+
+let improvement_over ~baseline ~candidate =
+  Ic_traffic.Error.improvement_series ~baseline:baseline.per_bin_error
+    ~candidate:candidate.per_bin_error

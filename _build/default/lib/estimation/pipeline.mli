@@ -1,0 +1,47 @@
+(** End-to-end TM estimation (paper Section 6's three-step blueprint):
+
+    1. build a prior series,
+    2. refine each bin against the observed link loads with tomogravity,
+    3. project onto the measured marginals with IPF.
+
+    The observable inputs are derived from the ground-truth series exactly
+    as an operator would measure them: [Y(t) = R x_true(t)] including the
+    ingress/egress pseudo-links. *)
+
+type refinement =
+  | Least_squares of Tomogravity.solver
+      (** tomogravity: prior-weighted least squares (paper Section 6) *)
+  | Max_entropy  (** KL projection onto the constraints ({!Entropy}) *)
+
+type config = {
+  routing : Ic_topology.Routing.t;  (** must be built [~with_marginals:true] *)
+  refinement : refinement;
+  apply_ipf : bool;  (** step 3 on/off (ablation) *)
+}
+
+val default_config : Ic_topology.Routing.t -> config
+(** Least-squares refinement with the Cholesky solver, IPF enabled. *)
+
+type result = {
+  estimate : Ic_traffic.Series.t;
+  per_bin_error : float array;  (** RelL2(t) vs the truth *)
+  mean_error : float;
+}
+
+val run :
+  ?link_loads:Ic_linalg.Vec.t array ->
+  config ->
+  truth:Ic_traffic.Series.t ->
+  prior:Ic_traffic.Series.t ->
+  result
+(** Estimate every bin. By default the observable link loads are computed
+    exactly as [Y(t) = R x_true(t)]; pass [link_loads] (one vector per bin,
+    e.g. from {!Ic_topology.Snmp.measure_series}) to estimate from imperfect
+    measurements instead. Raises [Invalid_argument] if the routing was built
+    without marginal rows (the pipeline needs the marginal measurements for
+    IPF), or on dimension mismatches. *)
+
+val improvement_over :
+  baseline:result -> candidate:result -> float array
+(** Per-bin percentage improvement of the candidate's error over the
+    baseline's — the quantity plotted in the paper's Figures 11–13. *)

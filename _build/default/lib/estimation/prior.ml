@@ -1,0 +1,50 @@
+let gravity series = Ic_gravity.Gravity.of_series series
+
+let fanout ~calibration target =
+  let n = Ic_traffic.Series.size calibration in
+  if Ic_traffic.Series.size target <> n then
+    invalid_arg "Prior.fanout: size mismatch";
+  (* mean destination share per origin over the calibration week *)
+  let shares = Ic_linalg.Mat.create n n in
+  let counts = Array.make n 0 in
+  for t = 0 to Ic_traffic.Series.length calibration - 1 do
+    let tm = Ic_traffic.Series.tm calibration t in
+    let ingress = Ic_traffic.Marginals.ingress tm in
+    for i = 0 to n - 1 do
+      if ingress.(i) > 0. then begin
+        counts.(i) <- counts.(i) + 1;
+        for j = 0 to n - 1 do
+          Ic_linalg.Mat.update shares i j (fun v ->
+              v +. (Ic_traffic.Tm.get tm i j /. ingress.(i)))
+        done
+      end
+    done
+  done;
+  for i = 0 to n - 1 do
+    if counts.(i) > 0 then
+      for j = 0 to n - 1 do
+        Ic_linalg.Mat.update shares i j (fun v ->
+            v /. float_of_int counts.(i))
+      done
+    else
+      (* an origin never seen active: fall back to uniform fanout *)
+      for j = 0 to n - 1 do
+        Ic_linalg.Mat.set shares i j (1. /. float_of_int n)
+      done
+  done;
+  let tms =
+    Array.init (Ic_traffic.Series.length target) (fun t ->
+        let ingress =
+          Ic_traffic.Marginals.ingress (Ic_traffic.Series.tm target t)
+        in
+        Ic_traffic.Tm.init n (fun i j ->
+            Float.max 0. (ingress.(i) *. Ic_linalg.Mat.get shares i j)))
+  in
+  Ic_traffic.Series.make target.Ic_traffic.Series.binning tms
+
+let ic_measured params binning = Ic_core.Model.stable_fp params binning
+
+let ic_stable_fp ~f ~preference series =
+  Ic_core.Estimate_a.prior_series ~f ~preference series
+
+let ic_stable_f ~f series = Ic_core.Closed_form.prior_series ~f series

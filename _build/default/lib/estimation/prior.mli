@@ -1,0 +1,36 @@
+(** Prior construction — Step 1 of the estimation blueprint — for each of the
+    paper's Section 6 scenarios. Every builder consumes only measurements
+    that the scenario assumes available. *)
+
+val gravity : Ic_traffic.Series.t -> Ic_traffic.Series.t
+(** Baseline prior from per-bin ingress/egress counts only. *)
+
+val fanout :
+  calibration:Ic_traffic.Series.t ->
+  Ic_traffic.Series.t ->
+  Ic_traffic.Series.t
+(** The PoP-fanout prior of Medina et al. (the paper's reference [11]):
+    per-origin destination shares [F_ij = mean_t X_ij(t) / X_i.(t)] are
+    learned on a calibration week and applied to the target week's ingress
+    counts, [Xhat_ij(t) = X_i.(t) * F_ij]. Uses the target week only
+    through its ingress marginals. Raises [Invalid_argument] on size
+    mismatch. *)
+
+val ic_measured :
+  Ic_core.Params.stable_fp -> Ic_timeseries.Timebin.t -> Ic_traffic.Series.t
+(** Section 6.1: all IC parameters (f, P, per-bin A) measured directly —
+    the upper-bound scenario. The prior is the model evaluation itself. *)
+
+val ic_stable_fp :
+  f:float ->
+  preference:Ic_linalg.Vec.t ->
+  Ic_traffic.Series.t ->
+  Ic_traffic.Series.t
+(** Section 6.2: [f] and [P] calibrated on an earlier week; activities
+    estimated per bin from the current week's ingress/egress counts
+    (Equations 7–9). *)
+
+val ic_stable_f : f:float -> Ic_traffic.Series.t -> Ic_traffic.Series.t
+(** Section 6.3: only [f] known; both activities and preferences recovered
+    per bin from the marginals in closed form (Equations 11–12). Raises
+    [Invalid_argument] if [f] is within 1e-6 of 1/2. *)

@@ -1,0 +1,67 @@
+module Vec = Ic_linalg.Vec
+module Mat = Ic_linalg.Mat
+module Sparse = Ic_linalg.Sparse
+module Routing = Ic_topology.Routing
+
+type solver = Cholesky | Cg
+
+(* Dense G = R W Rt accumulated column-by-column of R: column c with entries
+   {(i, v)} contributes w_c * v_i * v_j to G[i][j]. Columns are sparse (a
+   few hops plus the two marginal rows), so this is cheap. *)
+let weighted_gram routing weights =
+  let r = routing.Routing.matrix in
+  let m = Sparse.rows r in
+  let rt = Sparse.transpose r in
+  let g = Mat.create m m in
+  for c = 0 to Sparse.rows rt - 1 do
+    let w = weights.(c) in
+    if w > 0. then begin
+      let entries = ref [] in
+      Sparse.row_iter rt c (fun i v -> entries := (i, v) :: !entries);
+      List.iter
+        (fun (i1, v1) ->
+          List.iter
+            (fun (i2, v2) -> Mat.update g i1 i2 (fun x -> x +. (w *. v1 *. v2)))
+            !entries)
+        !entries
+    end
+  done;
+  g
+
+let estimate ?(solver = Cholesky) routing ~link_loads ~prior =
+  let r = routing.Routing.matrix in
+  let m = Sparse.rows r in
+  if Array.length link_loads <> m then
+    invalid_arg "Tomogravity.estimate: link-load dimension mismatch";
+  let n = Ic_traffic.Tm.size prior in
+  if n * n <> Sparse.cols r then
+    invalid_arg "Tomogravity.estimate: prior does not match routing matrix";
+  let x0 = Ic_traffic.Tm.to_vector prior in
+  let weights = Vec.clamp_nonneg x0 in
+  let rhs = Vec.sub link_loads (Sparse.mulv r x0) in
+  let ynorm = Vec.nrm2 link_loads in
+  if Vec.nrm2 rhs <= 1e-12 *. Float.max ynorm 1. then prior
+  else begin
+    let u =
+      match solver with
+      | Cholesky ->
+          let g = weighted_gram routing weights in
+          let ch = Ic_linalg.Chol.factorize_ridge ~ridge:1e-10 g in
+          Ic_linalg.Chol.solve ch rhs
+      | Cg ->
+          let apply v =
+            Sparse.mulv r (Vec.mul weights (Sparse.mulv_t r v))
+          in
+          let u, _stats = Ic_linalg.Cg.solve ~tol:1e-10 apply rhs in
+          u
+    in
+    let correction = Vec.mul weights (Sparse.mulv_t r u) in
+    Ic_traffic.Tm.of_vector n (Vec.add x0 correction)
+  end
+
+let residual routing ~link_loads tm =
+  let r = routing.Routing.matrix in
+  let y = Sparse.mulv r (Ic_traffic.Tm.to_vector tm) in
+  let ynorm = Vec.nrm2 link_loads in
+  if ynorm <= 0. then invalid_arg "Tomogravity.residual: zero link loads";
+  Vec.nrm2_diff y link_loads /. ynorm

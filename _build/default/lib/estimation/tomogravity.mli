@@ -1,0 +1,38 @@
+(** The tomogravity least-squares refinement step (Zhang, Roughan, Duffield,
+    Greenberg, SIGMETRICS 2003) — Step 2 of the estimation blueprint.
+
+    Given link counts [Y = R x] and a prior [x0], find the TM closest to the
+    prior in prior-weighted least squares subject to the link constraints:
+
+    [min || W^(-1/2) (x - x0) ||  s.t.  R x = Y],   [W = diag x0]
+
+    whose solution is [x = x0 + W Rt u] with [(R W Rt) u = Y - R x0]. The
+    normal system is solved either by ridge-regularized Cholesky (dense,
+    default — exact for the network sizes at hand) or by conjugate gradient
+    on the sparse operator (for the ablation and larger networks). The
+    result is clamped to be non-negative. *)
+
+type solver = Cholesky | Cg
+
+val weighted_gram :
+  Ic_topology.Routing.t -> Ic_linalg.Vec.t -> Ic_linalg.Mat.t
+(** [weighted_gram routing w] is the dense [R diag(w) Rᵀ] — the normal
+    system of both this module's least-squares step and {!Entropy}'s Newton
+    iterations. *)
+
+val estimate :
+  ?solver:solver ->
+  Ic_topology.Routing.t ->
+  link_loads:Ic_linalg.Vec.t ->
+  prior:Ic_traffic.Tm.t ->
+  Ic_traffic.Tm.t
+(** One bin. [link_loads] must have one entry per routing-matrix row.
+    Raises [Invalid_argument] on dimension mismatches. *)
+
+val residual :
+  Ic_topology.Routing.t ->
+  link_loads:Ic_linalg.Vec.t ->
+  Ic_traffic.Tm.t ->
+  float
+(** Relative link-constraint violation [||R x - Y|| / ||Y||] of an estimate
+    (diagnostic; the non-negativity clamp can leave a small residual). *)

@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Array Context Est_common Float Ic_core Ic_datasets Ic_estimation Ic_linalg Ic_prng Ic_report Ic_stats Ic_topology Ic_traffic List Option Outcome Printf Stdlib

@@ -1,0 +1,1 @@
+lib/experiments/asymmetry.ml: Array Ic_core Ic_linalg Ic_prng Ic_report Ic_timeseries Ic_traffic List Outcome Printf

@@ -1,0 +1,1 @@
+lib/experiments/asymmetry.mli: Context Outcome

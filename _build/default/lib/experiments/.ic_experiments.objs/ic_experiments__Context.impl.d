@@ -1,0 +1,1 @@
+lib/experiments/context.ml: Array Hashtbl Ic_core Ic_datasets Ic_traffic Stdlib

@@ -1,0 +1,1 @@
+lib/experiments/context.mli: Ic_core Ic_datasets Ic_traffic

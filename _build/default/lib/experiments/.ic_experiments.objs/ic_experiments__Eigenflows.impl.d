@@ -1,0 +1,1 @@
+lib/experiments/eigenflows.ml: Array Context Float Ic_linalg Ic_report Ic_stats Ic_traffic Outcome Printf Stdlib

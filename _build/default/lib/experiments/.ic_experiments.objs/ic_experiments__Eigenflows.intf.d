@@ -1,0 +1,1 @@
+lib/experiments/eigenflows.mli: Context Outcome

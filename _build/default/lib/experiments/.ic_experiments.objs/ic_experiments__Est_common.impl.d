@@ -1,0 +1,1 @@
+lib/experiments/est_common.ml: Array Context Hashtbl Ic_datasets Ic_estimation Ic_prng Ic_stats Ic_topology Printf

@@ -1,0 +1,1 @@
+lib/experiments/est_common.mli: Context Ic_traffic

@@ -1,0 +1,1 @@
+lib/experiments/fig11.ml: Context Est_common Ic_estimation Ic_report Ic_traffic Outcome Printf

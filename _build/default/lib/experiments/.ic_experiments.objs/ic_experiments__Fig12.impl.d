@@ -1,0 +1,1 @@
+lib/experiments/fig12.ml: Context Est_common Ic_estimation Ic_report Outcome Printf

@@ -1,0 +1,1 @@
+lib/experiments/fig3.ml: Context Est_common Ic_core Ic_report Ic_stats Ic_traffic Outcome Printf

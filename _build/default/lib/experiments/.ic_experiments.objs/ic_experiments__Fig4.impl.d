@@ -1,0 +1,1 @@
+lib/experiments/fig4.ml: Array Context Ic_datasets Ic_netflow Ic_report Outcome Printf

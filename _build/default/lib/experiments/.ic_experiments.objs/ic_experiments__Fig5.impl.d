@@ -1,0 +1,1 @@
+lib/experiments/fig5.ml: Array Context Ic_datasets Ic_report Ic_stats Outcome Printf String

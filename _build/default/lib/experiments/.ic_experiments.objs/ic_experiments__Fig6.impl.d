@@ -1,0 +1,1 @@
+lib/experiments/fig6.ml: Context Float Ic_datasets Ic_report Ic_stats List Outcome Printf

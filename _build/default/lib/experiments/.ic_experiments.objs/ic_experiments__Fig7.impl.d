@@ -1,0 +1,1 @@
+lib/experiments/fig7.ml: Array Context Ic_report Ic_stats List Outcome Printf

@@ -1,0 +1,1 @@
+lib/experiments/fig8.ml: Array Context Ic_report Ic_stats Ic_traffic Outcome Printf

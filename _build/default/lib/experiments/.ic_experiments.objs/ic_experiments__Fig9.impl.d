@@ -1,0 +1,1 @@
+lib/experiments/fig9.ml: Array Context Float Ic_report Ic_stats Ic_timeseries Ic_traffic List Outcome Printf

@@ -1,0 +1,1 @@
+lib/experiments/microscale.ml: Array Est_common Float Ic_core Ic_linalg Ic_netflow Ic_prng Ic_report Ic_stats Ic_timeseries List Outcome Printf

@@ -1,0 +1,1 @@
+lib/experiments/microscale.mli: Context Outcome

@@ -1,0 +1,1 @@
+lib/experiments/outcome.ml: Array Buffer Filename Ic_report List Printf Sys

@@ -1,0 +1,1 @@
+lib/experiments/outcome.mli: Ic_report

@@ -1,0 +1,1 @@
+lib/experiments/priors_panel.ml: Context Ic_datasets Ic_estimation Ic_report Ic_topology Ic_traffic List Outcome Printf

@@ -1,0 +1,1 @@
+lib/experiments/priors_panel.mli: Context Outcome

@@ -1,0 +1,1 @@
+lib/experiments/registry.ml: Ablations Asymmetry Eigenflows Fig11 Fig12 Fig13 Fig3 Fig4 Fig5 Fig6 Fig7 Fig8 Fig9 List Microscale Priors_panel Section3

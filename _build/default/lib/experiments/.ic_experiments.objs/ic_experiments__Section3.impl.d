@@ -1,0 +1,1 @@
+lib/experiments/section3.ml: Ic_core Ic_gravity Outcome Printf

@@ -1,0 +1,1 @@
+lib/experiments/section3.mli: Context Outcome

@@ -1,0 +1,372 @@
+let mean = Est_common.mean
+
+let ipf ctx =
+  let truth = Context.week_series ctx Context.Geant 0 in
+  let fit = Context.weekly_fit ctx Context.Geant 0 in
+  let routing =
+    Ic_topology.Routing.build (Context.geant ctx).Ic_datasets.Dataset.graph
+  in
+  let prior =
+    Ic_estimation.Prior.ic_measured fit.params truth.Ic_traffic.Series.binning
+  in
+  let with_ipf =
+    Ic_estimation.Pipeline.run
+      (Ic_estimation.Pipeline.default_config routing)
+      ~truth ~prior
+  in
+  let without_ipf =
+    Ic_estimation.Pipeline.run
+      { (Ic_estimation.Pipeline.default_config routing) with apply_ipf = false }
+      ~truth ~prior
+  in
+  {
+    Outcome.id = "ablation-ipf";
+    title = "Estimation error with and without the IPF step";
+    paper_claim =
+      "step 3 (IPF) is shared by most estimation blueprints; it should \
+       help by enforcing the measured marginals";
+    series =
+      [
+        Ic_report.Series_out.make ~label:"with_ipf" with_ipf.per_bin_error;
+        Ic_report.Series_out.make ~label:"without_ipf"
+          without_ipf.per_bin_error;
+      ];
+    summary =
+      [
+        Printf.sprintf "mean RelL2 with IPF %.4f, without %.4f"
+          with_ipf.mean_error without_ipf.mean_error;
+      ];
+  }
+
+let solver ctx =
+  let truth = Context.week_series ctx Context.Geant 0 in
+  let routing =
+    Ic_topology.Routing.build (Context.geant ctx).Ic_datasets.Dataset.graph
+  in
+  let prior = Ic_estimation.Prior.gravity truth in
+  let run refinement =
+    Ic_estimation.Pipeline.run
+      { (Ic_estimation.Pipeline.default_config routing) with refinement }
+      ~truth ~prior
+  in
+  let chol =
+    run (Ic_estimation.Pipeline.Least_squares Ic_estimation.Tomogravity.Cholesky)
+  in
+  let cg =
+    run (Ic_estimation.Pipeline.Least_squares Ic_estimation.Tomogravity.Cg)
+  in
+  let max_diff =
+    Array.fold_left Float.max 0.
+      (Array.mapi
+         (fun k e -> Float.abs (e -. cg.per_bin_error.(k)))
+         chol.per_bin_error)
+  in
+  {
+    Outcome.id = "ablation-solver";
+    title = "Tomogravity solve: ridge-Cholesky vs conjugate gradient";
+    paper_claim = "implementation choice; the two must agree";
+    series =
+      [
+        Ic_report.Series_out.make ~label:"cholesky" chol.per_bin_error;
+        Ic_report.Series_out.make ~label:"cg" cg.per_bin_error;
+      ];
+    summary =
+      [
+        Printf.sprintf
+          "mean RelL2 cholesky %.5f vs cg %.5f; max per-bin |diff| %.2e"
+          chol.mean_error cg.mean_error max_diff;
+      ];
+  }
+
+let entropy ctx =
+  let truth = Context.week_series ctx Context.Geant 0 in
+  let fit = Context.weekly_fit ctx Context.Geant 0 in
+  let routing =
+    Ic_topology.Routing.build (Context.geant ctx).Ic_datasets.Dataset.graph
+  in
+  let run refinement prior =
+    Ic_estimation.Pipeline.run
+      { (Ic_estimation.Pipeline.default_config routing) with refinement }
+      ~truth ~prior
+  in
+  let ls = Ic_estimation.Pipeline.Least_squares Ic_estimation.Tomogravity.Cholesky in
+  let me = Ic_estimation.Pipeline.Max_entropy in
+  let gravity_prior = Ic_estimation.Prior.gravity truth in
+  let ic_prior =
+    Ic_estimation.Prior.ic_measured fit.params truth.Ic_traffic.Series.binning
+  in
+  let ls_gravity = run ls gravity_prior in
+  let me_gravity = run me gravity_prior in
+  let ls_ic = run ls ic_prior in
+  let me_ic = run me ic_prior in
+  {
+    Outcome.id = "ablation-entropy";
+    title = "Step-2 refinement: least squares (tomogravity) vs max-entropy";
+    paper_claim =
+      "the paper's ref [23] casts gravity as the MaxEnt prior; either \
+       refinement should benefit from the better IC prior";
+    series =
+      [
+        Ic_report.Series_out.make ~label:"ls_gravity" ls_gravity.per_bin_error;
+        Ic_report.Series_out.make ~label:"maxent_gravity"
+          me_gravity.per_bin_error;
+        Ic_report.Series_out.make ~label:"ls_ic" ls_ic.per_bin_error;
+        Ic_report.Series_out.make ~label:"maxent_ic" me_ic.per_bin_error;
+      ];
+    summary =
+      [
+        Printf.sprintf
+          "gravity prior: least-squares %.4f vs max-entropy %.4f"
+          ls_gravity.mean_error me_gravity.mean_error;
+        Printf.sprintf "IC prior:      least-squares %.4f vs max-entropy %.4f"
+          ls_ic.mean_error me_ic.mean_error;
+      ];
+  }
+
+let snmp ctx =
+  let truth = Context.week_series ctx Context.Geant 0 in
+  let fit = Context.weekly_fit ctx Context.Geant 0 in
+  let routing =
+    Ic_topology.Routing.build (Context.geant ctx).Ic_datasets.Dataset.graph
+  in
+  let config = Ic_estimation.Pipeline.default_config routing in
+  let true_loads =
+    Array.init (Ic_traffic.Series.length truth) (fun k ->
+        Ic_topology.Routing.link_loads routing
+          (Ic_traffic.Tm.to_vector (Ic_traffic.Series.tm truth k)))
+  in
+  let prior =
+    Ic_estimation.Prior.ic_measured fit.params truth.Ic_traffic.Series.binning
+  in
+  let levels = [ (0., 0.); (0.02, 0.01); (0.05, 0.02); (0.10, 0.05) ] in
+  let results =
+    List.map
+      (fun (noise_sigma, loss_rate) ->
+        let spec = { Ic_topology.Snmp.noise_sigma; loss_rate } in
+        let loads =
+          Ic_topology.Snmp.measure_series spec (Ic_prng.Rng.create 404)
+            true_loads
+        in
+        let r =
+          Ic_estimation.Pipeline.run ~link_loads:loads config ~truth ~prior
+        in
+        (noise_sigma, loss_rate, r.mean_error))
+      levels
+  in
+  let errs = Array.of_list (List.map (fun (_, _, e) -> e) results) in
+  {
+    Outcome.id = "ablation-snmp";
+    title = "Estimation robustness to SNMP measurement artifacts";
+    paper_claim =
+      "the paper assumes Y from standard SNMP; the pipeline should degrade \
+       smoothly under realistic counter noise and missing polls";
+    series = [ Ic_report.Series_out.make ~label:"mean_error" errs ];
+    summary =
+      List.map
+        (fun (noise, loss, e) ->
+          Printf.sprintf "noise %.0f%%, lost polls %.0f%%: mean RelL2 %.4f"
+            (100. *. noise) (100. *. loss) e)
+        results;
+  }
+
+(* Rebuild a topology without one physical link (both directions). *)
+let drop_link graph ~src ~dst =
+  let names =
+    Array.init (Ic_topology.Graph.node_count graph)
+      (Ic_topology.Graph.name graph)
+  in
+  List.fold_left
+    (fun g (e : Ic_topology.Graph.edge) ->
+      if (e.src = src && e.dst = dst) || (e.src = dst && e.dst = src) then g
+      else Ic_topology.Graph.add_edge ~weight:e.weight ~capacity:e.capacity g e.src e.dst)
+    (Ic_topology.Graph.create ~names)
+    (Ic_topology.Graph.edges graph)
+
+let stale_routing ctx =
+  let truth = Context.week_series ctx Context.Geant 0 in
+  let fit = Context.weekly_fit ctx Context.Geant 0 in
+  let graph = (Context.geant ctx).Ic_datasets.Dataset.graph in
+  let routing = Ic_topology.Routing.build graph in
+  let prior =
+    Ic_estimation.Prior.ic_measured fit.params truth.Ic_traffic.Series.binning
+  in
+  (* A link fails: traffic reroutes (loads follow the new routing), but the
+     estimator keeps using the stale pre-failure routing matrix. Drop a
+     well-connected core link so routes genuinely change. *)
+  let de = Option.get (Ic_topology.Graph.index_of_name graph "de") in
+  let fr = Option.get (Ic_topology.Graph.index_of_name graph "fr") in
+  let failed_graph = drop_link graph ~src:de ~dst:fr in
+  let routing_after = Ic_topology.Routing.build failed_graph in
+  let loads_after =
+    Array.init (Ic_traffic.Series.length truth) (fun k ->
+        Ic_topology.Routing.link_loads routing_after
+          (Ic_traffic.Tm.to_vector (Ic_traffic.Series.tm truth k)))
+  in
+  (* Map post-failure rows back onto the stale matrix's row indexing: the
+     failed link's counters read zero, every other row keeps its id. *)
+  let m_before = Ic_topology.Graph.edge_count graph in
+  let edge_map =
+    Array.init m_before (fun id ->
+        let e = Ic_topology.Graph.edge graph id in
+        Option.map
+          (fun (e' : Ic_topology.Graph.edge) -> e'.id)
+          (Ic_topology.Graph.find_edge failed_graph ~src:e.src ~dst:e.dst))
+  in
+  let n = Ic_traffic.Series.size truth in
+  let m_after = Ic_topology.Graph.edge_count failed_graph in
+  let stale_loads =
+    Array.map
+      (fun after ->
+        Array.init (m_before + (2 * n)) (fun r ->
+            if r < m_before then
+              match edge_map.(r) with Some id -> after.(id) | None -> 0.
+            else after.(m_after + (r - m_before))))
+      loads_after
+  in
+  let config = Ic_estimation.Pipeline.default_config routing in
+  let clean = Ic_estimation.Pipeline.run config ~truth ~prior in
+  let stale =
+    Ic_estimation.Pipeline.run ~link_loads:stale_loads config ~truth ~prior
+  in
+  let fresh_config = Ic_estimation.Pipeline.default_config routing_after in
+  let fresh = Ic_estimation.Pipeline.run fresh_config ~truth ~prior in
+  {
+    Outcome.id = "ablation-stale-routing";
+    title = "Estimation with a stale routing matrix after a link failure";
+    paper_claim =
+      "the estimation problem assumes R is known exactly; a failed de-fr \
+       link with an un-updated R shows how much that assumption carries";
+    series =
+      [
+        Ic_report.Series_out.make ~label:"no_failure" clean.per_bin_error;
+        Ic_report.Series_out.make ~label:"failure_stale_R" stale.per_bin_error;
+        Ic_report.Series_out.make ~label:"failure_fresh_R" fresh.per_bin_error;
+      ];
+    summary =
+      [
+        Printf.sprintf
+          "mean RelL2: no failure %.4f; failure with stale R %.4f; failure \
+           with updated R %.4f"
+          clean.mean_error stale.mean_error fresh.mean_error;
+      ];
+  }
+
+let general_f ctx =
+  let week = Context.week_series ctx Context.Geant 0 in
+  let fit = Context.weekly_fit ctx Context.Geant 0 in
+  let f_matrix = Ic_core.Fit.fit_general_f fit.params week in
+  let general_err =
+    Array.init (Ic_traffic.Series.length week) (fun t ->
+        let tm = Ic_traffic.Series.tm week t in
+        let model =
+          Ic_core.Model.general ~f_matrix
+            ~activity:fit.params.activity.(t)
+            ~preference:fit.params.preference
+        in
+        Ic_traffic.Error.rel_l2_temporal tm model)
+  in
+  let truth_fm = (Context.geant ctx).Ic_datasets.Dataset.truth.(0).f_matrix in
+  let n, _ = Ic_linalg.Mat.dims truth_fm in
+  let offdiag m =
+    let acc = ref [] in
+    for i = n - 1 downto 0 do
+      for j = n - 1 downto 0 do
+        if i <> j then acc := Ic_linalg.Mat.get m i j :: !acc
+      done
+    done;
+    Array.of_list !acc
+  in
+  let corr =
+    Ic_stats.Corr.pearson (offdiag truth_fm) (offdiag f_matrix)
+  in
+  {
+    Outcome.id = "ablation-general-f";
+    title = "Simplified (global f) vs general (per-OD f_ij) model fit";
+    paper_claim =
+      "section 5.6: routing asymmetry makes f_ij deviate; the simplified \
+       model still fits well on Geant-like data";
+    series =
+      [
+        Ic_report.Series_out.make ~label:"stable_fp_error" fit.per_bin_error;
+        Ic_report.Series_out.make ~label:"general_f_error" general_err;
+      ];
+    summary =
+      [
+        Printf.sprintf "mean RelL2: simplified %.4f, general-f %.4f"
+          fit.mean_error (mean general_err);
+        Printf.sprintf "corr(fitted f_ij, generator f_ij) off-diagonal: %.2f"
+          corr;
+      ];
+  }
+
+let optimizer ctx =
+  (* cap the bin count: projected gradient is first-order and pays per
+     iteration, and the cross-check doesn't need the full week *)
+  let week = Context.week_series ctx Context.Geant 0 in
+  let len = Stdlib.min 192 (Ic_traffic.Series.length week) in
+  let stride = Stdlib.max 1 (Ic_traffic.Series.length week / len) in
+  let sub =
+    Ic_traffic.Series.make week.Ic_traffic.Series.binning
+      (Array.init len (fun k ->
+           Ic_traffic.Series.tm week
+             (Stdlib.min (k * stride) (Ic_traffic.Series.length week - 1))))
+  in
+  let bcd = Ic_core.Fit.fit_stable_fp sub in
+  let pgd = Ic_core.Pgd.fit_stable_fp sub in
+  {
+    Outcome.id = "ablation-optimizer";
+    title = "Fitting optimizer cross-check: block-coordinate vs projected gradient";
+    paper_claim =
+      "the paper's fmincon runs cannot be reproduced; two independent \
+       optimizer families agreeing on the same minimum is the substitute \
+       evidence";
+    series =
+      [
+        Ic_report.Series_out.make ~label:"bcd_error" bcd.per_bin_error;
+        Ic_report.Series_out.make ~label:"pgd_error" pgd.per_bin_error;
+      ];
+    summary =
+      [
+        Printf.sprintf
+          "block-coordinate: f=%.4f mean RelL2 %.4f (%d sweeps)" bcd.params.f
+          bcd.mean_error bcd.sweeps;
+        Printf.sprintf
+          "projected gradient: f=%.4f mean RelL2 %.4f (%d iterations)"
+          pgd.params.f pgd.mean_error pgd.iterations;
+        Printf.sprintf "corr of fitted preferences: %.4f"
+          (Ic_stats.Corr.pearson bcd.params.preference pgd.params.preference);
+      ];
+  }
+
+let model_variants ctx =
+  let week = Context.week_series ctx Context.Geant 0 in
+  let fp = Context.weekly_fit ctx Context.Geant 0 in
+  let sf = Ic_core.Fit.fit_stable_f week in
+  let tv = Ic_core.Fit.fit_time_varying week in
+  let n = Ic_traffic.Series.size week in
+  let t = Ic_traffic.Series.length week in
+  {
+    Outcome.id = "ablation-variants";
+    title = "Fit error of the three temporal model variants";
+    paper_claim =
+      "section 5.1: time-varying <= stable-f <= stable-fP in error, but \
+       stable-fP needs only nt+n+1 inputs vs 3nt";
+    series =
+      [
+        Ic_report.Series_out.make ~label:"stable_fp" fp.per_bin_error;
+        Ic_report.Series_out.make ~label:"stable_f" sf.per_bin_error;
+        Ic_report.Series_out.make ~label:"time_varying" tv.per_bin_error;
+      ];
+    summary =
+      [
+        Printf.sprintf
+          "mean RelL2: stable-fP %.4f (dof %d), stable-f %.4f (dof %d), \
+           time-varying %.4f (dof %d)"
+          fp.mean_error
+          (Ic_core.Params.dof_stable_fp ~n ~t)
+          sf.mean_error
+          (Ic_core.Params.dof_stable_f ~n ~t)
+          tv.mean_error
+          (Ic_core.Params.dof_time_varying ~n ~t);
+      ];
+  }

@@ -1,0 +1,36 @@
+(** Ablations for the design choices called out in DESIGN.md. *)
+
+val ipf : Context.t -> Outcome.t
+(** Estimation pipeline with and without the final IPF step. *)
+
+val solver : Context.t -> Outcome.t
+(** Tomogravity normal equations solved by ridge-Cholesky vs conjugate
+    gradient: agreement of the resulting estimates and errors. *)
+
+val snmp : Context.t -> Outcome.t
+(** Estimation error as SNMP counter noise and missing polls grow. *)
+
+val entropy : Context.t -> Outcome.t
+(** Step-2 refinement comparison: prior-weighted least squares vs
+    maximum-entropy (KL) projection, each with the gravity and the IC
+    prior. *)
+
+val stale_routing : Context.t -> Outcome.t
+(** A core link fails mid-week: traffic reroutes but the estimator keeps
+    the pre-failure routing matrix. Quantifies the cost of the "R is known
+    exactly" assumption against a promptly-updated R. *)
+
+val general_f : Context.t -> Outcome.t
+(** Fit quality of the simplified (one global [f]) model vs the general
+    model's per-OD [f_ij] (Equation 1), and how well the fitted [f_ij]
+    recovers the generator's spatial jitter. *)
+
+val optimizer : Context.t -> Outcome.t
+(** Block-coordinate descent vs projected gradient on the same week: the
+    optimizer-robustness cross-check (the paper's fmincon runs cannot be
+    replayed). *)
+
+val model_variants : Context.t -> Outcome.t
+(** Fit error of the three temporal variants (time-varying / stable-f /
+    stable-fP) on the same week, demonstrating the paper's point that the
+    stable-fP model loses little accuracy despite far fewer inputs. *)

@@ -1,0 +1,17 @@
+(** Section 5.6 study: routing asymmetry and the general IC model.
+
+    The paper's Figure 10 describes hot-potato routing between peering
+    ASes: a connection initiated at node i exits toward the peer at node j,
+    but its reverse traffic re-enters at a different peering point k — so
+    forward and reverse bytes of the same connections land on different OD
+    pairs, violating the simplified model's single network-wide [f]. The
+    paper leaves quantifying this to future work.
+
+    This experiment generates traffic with a controllable hot-potato share
+    h (a fraction of every node's connections respond beyond a designated
+    peering pair): forward bytes land on OD (i, exit), reverse bytes on
+    (entry, i). For each h it fits the simplified stable-fP model and then
+    the general per-OD-f model on top of it, reporting both fit errors and
+    the induced f_ij vs f_ji asymmetry at the peering nodes. *)
+
+val run : Context.t -> Outcome.t

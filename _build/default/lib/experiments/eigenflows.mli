@@ -1,0 +1,9 @@
+(** Structural (eigenflow) analysis of the TM series — Lakhina et al.,
+    SIGMETRICS 2004, the paper's reference [8] and a realism check on the
+    synthetic datasets: real week-long OD-flow ensembles are effectively
+    low-dimensional, a handful of eigenflows carrying most of the variance.
+    The IC stable-fP model explains this directly: the week is driven by n
+    activity series (plus noise), so the OD ensemble's rank is ~n, with the
+    diurnal cycle concentrating variance in far fewer components. *)
+
+val run : Context.t -> Outcome.t

@@ -1,0 +1,38 @@
+let mean a =
+  if Array.length a = 0 then 0.
+  else Array.fold_left ( +. ) 0. a /. float_of_int (Array.length a)
+
+let mean_with_ci xs =
+  if Array.length xs = 0 then "n/a"
+  else begin
+    let rng = Ic_prng.Rng.create 9_1823 in
+    let ci = Ic_stats.Bootstrap.mean_ci rng xs in
+    Printf.sprintf "%.1f%% [%.1f, %.1f]" ci.estimate ci.lo ci.hi
+  end
+
+let routing_cache :
+    (Context.dataset_id, Ic_topology.Routing.t) Hashtbl.t =
+  Hashtbl.create 4
+
+let routing ctx id =
+  match Hashtbl.find_opt routing_cache id with
+  | Some r -> r
+  | None ->
+      let r =
+        Ic_topology.Routing.build (Context.dataset ctx id).Ic_datasets.Dataset.graph
+      in
+      Hashtbl.replace routing_cache id r;
+      r
+
+let improvements ctx id ~week ~ic_prior =
+  let truth = Context.week_series ctx id week in
+  let config = Ic_estimation.Pipeline.default_config (routing ctx id) in
+  let gravity =
+    Ic_estimation.Pipeline.run config ~truth
+      ~prior:(Ic_estimation.Prior.gravity truth)
+  in
+  let ic =
+    Ic_estimation.Pipeline.run config ~truth ~prior:(ic_prior truth)
+  in
+  let impr = Ic_estimation.Pipeline.improvement_over ~baseline:gravity ~candidate:ic in
+  (impr, gravity.mean_error, ic.mean_error)

@@ -1,0 +1,20 @@
+(** Shared machinery for the TM-estimation experiments (Figures 11–13):
+    build the routing matrix, run the three-step pipeline with a gravity
+    prior and with an IC prior, and report per-bin improvement. *)
+
+val improvements :
+  Context.t ->
+  Context.dataset_id ->
+  week:int ->
+  ic_prior:(Ic_traffic.Series.t -> Ic_traffic.Series.t) ->
+  float array * float * float
+(** [improvements ctx id ~week ~ic_prior] estimates the given week with the
+    gravity prior and with [ic_prior applied to the week's series], and
+    returns (per-bin % improvement, gravity mean error, IC mean error). *)
+
+val mean : float array -> float
+
+val mean_with_ci : float array -> string
+(** Render the mean percentage improvement with a bootstrap 95% confidence
+    interval, e.g. ["12.3% [10.9, 13.6]"]. Deterministic (fixed bootstrap
+    seed). *)

@@ -1,0 +1,30 @@
+let part ctx id =
+  let fit = Context.weekly_fit ctx id 0 in
+  let ic_prior week =
+    Ic_estimation.Prior.ic_measured fit.params
+      week.Ic_traffic.Series.binning
+  in
+  Est_common.improvements ctx id ~week:0 ~ic_prior
+
+let run ctx =
+  let gi, gge, gie = part ctx Context.Geant in
+  let ti, tge, tie = part ctx Context.Totem in
+  {
+    Outcome.id = "fig11";
+    title = "TM estimation improvement over gravity, all parameters measured";
+    paper_claim = "Geant 10-20% improvement; Totem 20-30%";
+    series =
+      [
+        Ic_report.Series_out.make ~label:"geant_improvement_pct" gi;
+        Ic_report.Series_out.make ~label:"totem_improvement_pct" ti;
+      ];
+    summary =
+      [
+        Printf.sprintf
+          "geant: mean improvement %s (gravity err %.3f, IC err %.3f)"
+          (Est_common.mean_with_ci gi) gge gie;
+        Printf.sprintf
+          "totem: mean improvement %s (gravity err %.3f, IC err %.3f)"
+          (Est_common.mean_with_ci ti) tge tie;
+      ];
+  }

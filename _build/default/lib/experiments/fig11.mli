@@ -1,0 +1,6 @@
+(** Figure 11: TM-estimation improvement over the gravity prior when all IC
+    parameters are measured on the estimated week itself (the Section 6.1
+    upper-bound scenario). The paper reports 10–20% (Géant) and 20–30%
+    (Totem). *)
+
+val run : Context.t -> Outcome.t

@@ -1,0 +1,34 @@
+let part ctx id ~calib_week ~target_week =
+  let fit = Context.weekly_fit ctx id calib_week in
+  let ic_prior week =
+    Ic_estimation.Prior.ic_stable_fp ~f:fit.params.f
+      ~preference:fit.params.preference week
+  in
+  Est_common.improvements ctx id ~week:target_week ~ic_prior
+
+let run ctx =
+  (* Geant: previous week's parameters; Totem: two weeks back (paper 6.2). *)
+  let gi, gge, gie = part ctx Context.Geant ~calib_week:0 ~target_week:1 in
+  let ti, tge, tie = part ctx Context.Totem ~calib_week:0 ~target_week:2 in
+  {
+    Outcome.id = "fig12";
+    title =
+      "TM estimation improvement over gravity, f and P from an earlier week";
+    paper_claim =
+      "10-20% improvement on both datasets (Geant: 1 week back, Totem: 2 \
+       weeks back)";
+    series =
+      [
+        Ic_report.Series_out.make ~label:"geant_improvement_pct" gi;
+        Ic_report.Series_out.make ~label:"totem_improvement_pct" ti;
+      ];
+    summary =
+      [
+        Printf.sprintf
+          "geant: mean improvement %s (gravity err %.3f, IC err %.3f)"
+          (Est_common.mean_with_ci gi) gge gie;
+        Printf.sprintf
+          "totem: mean improvement %s (gravity err %.3f, IC err %.3f)"
+          (Est_common.mean_with_ci ti) tge tie;
+      ];
+  }

@@ -1,0 +1,27 @@
+let part ctx id ~calib_week ~target_week =
+  let fit = Context.weekly_fit ctx id calib_week in
+  let ic_prior week = Ic_estimation.Prior.ic_stable_f ~f:fit.params.f week in
+  Est_common.improvements ctx id ~week:target_week ~ic_prior
+
+let run ctx =
+  let gi, gge, gie = part ctx Context.Geant ~calib_week:0 ~target_week:1 in
+  let ti, tge, tie = part ctx Context.Totem ~calib_week:0 ~target_week:2 in
+  {
+    Outcome.id = "fig13";
+    title = "TM estimation improvement over gravity, only f known";
+    paper_claim = "Geant ~8% improvement; Totem 1-2% — still above gravity";
+    series =
+      [
+        Ic_report.Series_out.make ~label:"geant_improvement_pct" gi;
+        Ic_report.Series_out.make ~label:"totem_improvement_pct" ti;
+      ];
+    summary =
+      [
+        Printf.sprintf
+          "geant: mean improvement %s (gravity err %.3f, IC err %.3f)"
+          (Est_common.mean_with_ci gi) gge gie;
+        Printf.sprintf
+          "totem: mean improvement %s (gravity err %.3f, IC err %.3f)"
+          (Est_common.mean_with_ci ti) tge tie;
+      ];
+  }

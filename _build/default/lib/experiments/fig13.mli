@@ -1,0 +1,7 @@
+(** Figure 13: TM-estimation improvement over gravity using the stable-f
+    prior — only [f] known (from an earlier week); activities and
+    preferences recovered per bin from marginal counts in closed form
+    (Equations 11–12). Paper: ~8% on Géant, 1–2% on Totem — the least
+    informed IC prior still beats gravity. *)
+
+val run : Context.t -> Outcome.t

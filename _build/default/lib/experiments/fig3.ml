@@ -1,0 +1,29 @@
+let improvement ctx id =
+  let week = Context.week_series ctx id 0 in
+  let fit = Context.weekly_fit ctx id 0 in
+  let gravity = Ic_core.Fit.gravity_fit week in
+  let gravity_err = Ic_core.Fit.per_bin_error week gravity in
+  Ic_traffic.Error.improvement_series ~baseline:gravity_err
+    ~candidate:fit.per_bin_error
+
+let run ctx =
+  let geant = improvement ctx Context.Geant in
+  let totem = improvement ctx Context.Totem in
+  {
+    Outcome.id = "fig3";
+    title = "Temporal % improvement of stable-fP IC fit over gravity fit";
+    paper_claim = "Geant ~20-25% improvement; Totem ~6-8%";
+    series =
+      [
+        Ic_report.Series_out.make ~label:"geant_improvement_pct" geant;
+        Ic_report.Series_out.make ~label:"totem_improvement_pct" totem;
+      ];
+    summary =
+      [
+        Printf.sprintf "geant mean improvement: %s"
+          (Est_common.mean_with_ci geant);
+        Printf.sprintf "totem mean improvement: %s (median %.1f%%)"
+          (Est_common.mean_with_ci totem)
+          (Ic_stats.Descriptive.median totem);
+      ];
+  }

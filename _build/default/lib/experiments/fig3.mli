@@ -1,0 +1,5 @@
+(** Figure 3: per-bin percentage improvement in RelL2 of the stable-fP IC
+    model fit over the gravity model fit, for one week of Géant and one week
+    of Totem. The paper reports ~20–25% (Géant) and ~6–8% (Totem). *)
+
+val run : Context.t -> Outcome.t

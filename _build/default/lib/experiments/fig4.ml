@@ -1,0 +1,38 @@
+let mean a =
+  if Array.length a = 0 then 0.
+  else Array.fold_left ( +. ) 0. a /. float_of_int (Array.length a)
+
+let run ctx =
+  let ab = Context.abilene ctx in
+  let measure trace =
+    Ic_netflow.Trace.measure_f trace ~bin_s:300.
+  in
+  let clev = measure ab.Ic_datasets.Abilene.trace_clev in
+  let kscy = measure ab.Ic_datasets.Abilene.trace_kscy in
+  let f_ij m = Array.map (fun b -> b.Ic_netflow.Trace.f_ij) m in
+  let f_ji m = Array.map (fun b -> b.Ic_netflow.Trace.f_ji) m in
+  let unknown = Ic_netflow.Trace.unknown_fraction clev in
+  let mix_f = Ic_netflow.App_mix.aggregate_f ab.Ic_datasets.Abilene.mix in
+  {
+    Outcome.id = "fig4";
+    title = "Measured f for IPLS<->CLEV per 5-minute trace bin";
+    paper_claim =
+      "f in 0.2-0.3 at all times, the two directions similar, unknown \
+       traffic < 20%";
+    series =
+      [
+        Ic_report.Series_out.make ~label:"f_IPLS_to_CLEV" (f_ij clev);
+        Ic_report.Series_out.make ~label:"f_CLEV_to_IPLS" (f_ji clev);
+        Ic_report.Series_out.make ~label:"f_IPLS_to_KSCY" (f_ij kscy);
+        Ic_report.Series_out.make ~label:"f_KSCY_to_IPLS" (f_ji kscy);
+      ];
+    summary =
+      [
+        Printf.sprintf "mean f IPLS->CLEV: %.3f, CLEV->IPLS: %.3f"
+          (mean (f_ij clev)) (mean (f_ji clev));
+        Printf.sprintf "mean f IPLS->KSCY: %.3f, KSCY->IPLS: %.3f"
+          (mean (f_ij kscy)) (mean (f_ji kscy));
+        Printf.sprintf "application-mix aggregate f: %.3f" mix_f;
+        Printf.sprintf "unknown traffic fraction: %.1f%%" (100. *. unknown);
+      ];
+  }

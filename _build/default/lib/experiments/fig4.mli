@@ -1,0 +1,7 @@
+(** Figure 4: forward-traffic fraction [f] measured per 5-minute bin from
+    bidirectional packet traces at IPLS (toward CLEV), following the paper's
+    Section 5.2 trace methodology (5-tuple matching, SYN-based initiator
+    identification). The paper finds f in 0.2–0.3, stable over the two
+    hours, the two directions similar, and < 20% unknown traffic. *)
+
+val run : Context.t -> Outcome.t

@@ -1,0 +1,27 @@
+let run ctx =
+  let ds = Context.totem ctx in
+  let weeks = Ic_datasets.Dataset.week_count ds in
+  let fs =
+    Array.init weeks (fun w -> (Context.weekly_fit ctx Context.Totem w).params.f)
+  in
+  let truth =
+    Array.init weeks (fun w -> ds.truth.(w).Ic_datasets.Dataset.f_aggregate)
+  in
+  {
+    Outcome.id = "fig5";
+    title = "Fitted f over consecutive Totem weeks";
+    paper_claim = "f close to 0.2, stable across all seven weeks";
+    series =
+      [
+        Ic_report.Series_out.make ~label:"fitted_f" fs;
+        Ic_report.Series_out.make ~label:"generator_truth_f" truth;
+      ];
+    summary =
+      [
+        Printf.sprintf "fitted f per week: %s"
+          (String.concat " "
+             (Array.to_list (Array.map (Printf.sprintf "%.3f") fs)));
+        Printf.sprintf "spread (max - min): %.3f"
+          (Ic_stats.Descriptive.max fs -. Ic_stats.Descriptive.min fs);
+      ];
+  }

@@ -1,0 +1,5 @@
+(** Figure 5: optimal (fitted) [f] over seven consecutive Totem weeks.
+    The paper finds values close to 0.2 that are stable from week to
+    week. *)
+
+val run : Context.t -> Outcome.t

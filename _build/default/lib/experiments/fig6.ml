@@ -1,0 +1,50 @@
+let weekly_preferences ctx id weeks =
+  List.init weeks (fun w -> (Context.weekly_fit ctx id w).params.preference)
+
+let mean_pairwise_corr prefs =
+  let rec pairs = function
+    | [] | [ _ ] -> []
+    | x :: rest -> List.map (fun y -> (x, y)) rest @ pairs rest
+  in
+  let cs =
+    List.map (fun (a, b) -> Ic_stats.Corr.pearson a b) (pairs prefs)
+  in
+  match cs with
+  | [] -> 1.
+  | _ -> List.fold_left ( +. ) 0. cs /. float_of_int (List.length cs)
+
+let node_series prefs label =
+  List.mapi
+    (fun w p ->
+      Ic_report.Series_out.make
+        ~label:(Printf.sprintf "%s_wk%d_P" label (w + 1))
+        p)
+    prefs
+
+let run ctx =
+  let g_weeks = Ic_datasets.Dataset.week_count (Context.geant ctx) in
+  let t_weeks = Ic_datasets.Dataset.week_count (Context.totem ctx) in
+  let g = weekly_preferences ctx Context.Geant g_weeks in
+  let t = weekly_preferences ctx Context.Totem t_weeks in
+  let spread p =
+    Ic_stats.Descriptive.max p /. Float.max (Ic_stats.Descriptive.median p) 1e-12
+  in
+  {
+    Outcome.id = "fig6";
+    title = "Fitted preference values per node across weeks";
+    paper_claim =
+      "P_i stable week to week (Geant 3 weeks, Totem 7 weeks); across nodes \
+       highly variable, largest ~10x the typical value";
+    series = node_series g "geant" @ node_series t "totem";
+    summary =
+      [
+        Printf.sprintf "geant mean week-to-week corr(P): %.3f"
+          (mean_pairwise_corr g);
+        Printf.sprintf "totem mean week-to-week corr(P): %.3f"
+          (mean_pairwise_corr t);
+        Printf.sprintf "geant max/median preference: %.1fx"
+          (spread (List.hd g));
+        Printf.sprintf "totem max/median preference: %.1fx"
+          (spread (List.hd t));
+      ];
+  }

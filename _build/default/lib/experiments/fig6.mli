@@ -1,0 +1,6 @@
+(** Figure 6: fitted preference vectors [{P_i}] per week, for 3 Géant weeks
+    and 7 Totem weeks. The paper finds per-node values remarkably stable
+    over time and highly variable across nodes (a few nodes up to ~10x the
+    typical value). *)
+
+val run : Context.t -> Outcome.t

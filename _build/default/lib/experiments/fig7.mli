@@ -1,0 +1,6 @@
+(** Figure 7: log-log CCDF of the fitted preference values against
+    exponential and lognormal MLE fits. The paper finds a long tail that the
+    lognormal captures far better than the exponential, with lognormal MLE
+    parameters mu ~ -4.3 and sigma ~ 1.7 on both datasets. *)
+
+val run : Context.t -> Outcome.t

@@ -1,0 +1,6 @@
+(** Figure 8: fitted preference values compared with normalized mean egress
+    counts per node. The paper observes that egress volume is a poor proxy
+    for preference: low-traffic nodes necessarily have low preference, but
+    above the median there is little correlation. *)
+
+val run : Context.t -> Outcome.t

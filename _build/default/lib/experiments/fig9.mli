@@ -1,0 +1,7 @@
+(** Figure 9: fitted activity time series [A_i(t)] for the largest, a
+    medium and the smallest node (by mean activity) in each dataset. The
+    paper observes strong daily periodicity, weekend dips, and cleaner
+    patterns at higher aggregation levels. Additionally reports the
+    preference/activity correlation, which Section 5.4 finds absent. *)
+
+val run : Context.t -> Outcome.t

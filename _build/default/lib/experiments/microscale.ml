@@ -1,0 +1,87 @@
+let n = 8
+
+let bins = 96 (* eight hours of 5-minute bins *)
+
+let binning = Ic_timeseries.Timebin.five_min
+
+(* The default mix's P2P tail (alpha = 1.3) has infinite variance: at any
+   connection count we can afford to simulate, single elephant transfers
+   dominate per-bin OD volumes and every model's per-bin fit is
+   noise-bound. For this validation the tail indices are raised to 1.8 —
+   still heavy-tailed, finite-variance — with the forward fractions (the
+   quantity under study) unchanged. *)
+let tamed_mix =
+  Ic_netflow.App_mix.make
+    (Array.to_list (Ic_netflow.App_mix.apps Ic_netflow.App_mix.default)
+    |> List.map (fun (app : Ic_netflow.App_mix.app) ->
+           ( { app with size_alpha = Float.max app.size_alpha 1.8 },
+             1.0 (* equal connection-count weights shift the aggregate f
+                    slightly; recomputed below *) )))
+
+let run _ctx =
+  let rng = Ic_prng.Rng.create 808 in
+  let preference =
+    Ic_linalg.Vec.normalize_sum
+      (Array.init n (fun _ -> Ic_prng.Sampler.lognormal rng ~mu:(-2.) ~sigma:1.))
+  in
+  (* per-node diurnal activity targets; tens of MB per bin so each OD pair
+     aggregates hundreds of connections (the paper's "high enough level of
+     aggregation") *)
+  let activity_bytes =
+    Array.init n (fun _ ->
+        let gen =
+          Ic_timeseries.Cyclo.make
+            ~noise_sigma:0.1
+            ~base_level:(Ic_prng.Rng.float_range rng 1e8 3e8)
+            ()
+        in
+        Ic_timeseries.Cyclo.generate gen binning (Ic_prng.Rng.split rng) ~bins)
+  in
+  let workload =
+    {
+      Ic_netflow.Connection.activity_bytes =
+        Array.init bins (fun t -> Array.init n (fun i -> activity_bytes.(i).(t)));
+      preference;
+      mix = tamed_mix;
+      bin_s = 300.;
+      mean_rate_bps = 1e6;
+    }
+  in
+  let connections = Ic_netflow.Connection.generate workload rng in
+  let series = Ic_netflow.Aggregate.to_series connections ~n ~binning ~bins in
+  let mix_f = Ic_netflow.App_mix.aggregate_f tamed_mix in
+  let conn_f = Ic_netflow.Connection.aggregate_forward_fraction connections in
+  let fit = Ic_core.Fit.fit_stable_fp series in
+  let gravity_err =
+    Ic_core.Fit.per_bin_error series (Ic_core.Fit.gravity_fit series)
+  in
+  let corr_p = Ic_stats.Corr.pearson preference fit.params.preference in
+  {
+    Outcome.id = "microscale";
+    title = "Connection-level process vs the formula-level IC model";
+    paper_claim =
+      "the model's microscopic story: independent connections with \
+       app-mix forward splits aggregate to Equation 2, with f set by the \
+       application mix";
+    series =
+      [
+        Ic_report.Series_out.make ~label:"ic_fit_error" fit.per_bin_error;
+        Ic_report.Series_out.make ~label:"gravity_fit_error" gravity_err;
+      ];
+    summary =
+      [
+        Printf.sprintf
+          "%d connections over eight hours; byte-weighted f %.3f (mix \
+           aggregate %.3f)"
+          (List.length connections) conn_f mix_f;
+        Printf.sprintf
+          "stable-fP fit: f=%.3f, corr(fitted P, true P)=%.3f, mean RelL2 \
+           %.3f"
+          fit.params.f corr_p fit.mean_error;
+        Printf.sprintf "gravity fit mean RelL2 %.3f (IC %+.1f%% better)"
+          (Est_common.mean gravity_err)
+          (100.
+          *. (Est_common.mean gravity_err -. fit.mean_error)
+          /. Est_common.mean gravity_err);
+      ];
+  }

@@ -1,0 +1,16 @@
+(** Micro-to-macro validation: generate one day of traffic at the
+    connection level (the process the IC model abstracts — initiators,
+    independent responders, per-application forward/reverse splits) and
+    check that the aggregate behaves exactly as the formula-level model and
+    datasets assume:
+
+    - the byte-weighted forward fraction converges to the application mix's
+      aggregate [f];
+    - the fitted stable-fP model recovers that [f] and the responder
+      preference vector;
+    - the IC model fits the aggregated TMs better than the gravity model.
+
+    This is the evidence behind DESIGN.md's substitution of formula-level
+    generation for the multi-week datasets. *)
+
+val run : Context.t -> Outcome.t

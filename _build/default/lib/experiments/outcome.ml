@@ -1,0 +1,64 @@
+type t = {
+  id : string;
+  title : string;
+  paper_claim : string;
+  series : Ic_report.Series_out.t list;
+  summary : string list;
+}
+
+let render t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "=== %s: %s ===\n" t.id t.title);
+  Buffer.add_string buf (Printf.sprintf "paper: %s\n" t.paper_claim);
+  List.iter (fun line -> Buffer.add_string buf ("  " ^ line ^ "\n")) t.summary;
+  List.iter
+    (fun s ->
+      Buffer.add_string buf ("  " ^ Ic_report.Series_out.summary s ^ "\n"))
+    t.series;
+  Buffer.contents buf
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let write_csv ~dir t =
+  mkdir_p dir;
+  let path = Filename.concat dir (t.id ^ ".csv") in
+  (match t.series with
+  | [] -> ()
+  | series ->
+      (* series may have different lengths; pad by writing per-series files
+         when they disagree, else one combined file *)
+      let len = Array.length (List.hd series).Ic_report.Series_out.ys in
+      let same_length =
+        List.for_all
+          (fun s -> Array.length s.Ic_report.Series_out.ys = len)
+          series
+      in
+      if same_length then Ic_report.Series_out.to_csv ~path series
+      else
+        List.iteri
+          (fun k s ->
+            let p =
+              Filename.concat dir (Printf.sprintf "%s_%d.csv" t.id k)
+            in
+            Ic_report.Series_out.to_csv ~path:p [ s ])
+          series);
+  path
+
+let write_svg ?spec ~dir t =
+  if t.series = [] then None
+  else begin
+    mkdir_p dir;
+    let spec =
+      match spec with
+      | Some s -> s
+      | None -> { Ic_report.Svg_plot.default_spec with title = t.title }
+    in
+    let path = Filename.concat dir (t.id ^ ".svg") in
+    match Ic_report.Svg_plot.write ~path spec t.series with
+    | () -> Some path
+    | exception Invalid_argument _ -> None
+  end

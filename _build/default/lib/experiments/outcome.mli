@@ -1,0 +1,22 @@
+(** Uniform result type for the per-figure experiments. *)
+
+type t = {
+  id : string;  (** e.g. "fig3" *)
+  title : string;
+  paper_claim : string;  (** what the paper's figure shows *)
+  series : Ic_report.Series_out.t list;  (** the regenerated data series *)
+  summary : string list;  (** measured headline numbers *)
+}
+
+val render : t -> string
+(** Multi-line textual report: title, paper claim, summaries, sparklines. *)
+
+val write_csv : dir:string -> t -> string
+(** Dump the series to [dir/<id>.csv]; returns the path. Creates the
+    directory if needed. *)
+
+val write_svg : ?spec:Ic_report.Svg_plot.spec -> dir:string -> t -> string option
+(** Render the series as an SVG chart at [dir/<id>.svg]; [None] when the
+    outcome has no drawable series. The default spec uses linear axes and
+    the outcome's title; pass a custom spec e.g. for Figure 7's log-log
+    CCDF. *)

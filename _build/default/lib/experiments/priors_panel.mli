@@ -1,0 +1,9 @@
+(** Cross-prior panel: all estimation priors — gravity, the fanout model of
+    Medina et al. (paper reference [11]), and the three IC scenarios — run
+    through the same pipeline on the same Géant-like week, extending the
+    paper's Figures 11–13 into a single comparison table. The fanout prior
+    calibrates n^2 parameters (a whole prior TM) against the IC model's
+    n+1, so the panel reports each prior's gain next to how much measured
+    structure it consumes. *)
+
+val run : Context.t -> Outcome.t

@@ -1,0 +1,30 @@
+let all =
+  [
+    ("section3", Section3.run);
+    ("fig3", Fig3.run);
+    ("fig4", Fig4.run);
+    ("fig5", Fig5.run);
+    ("fig6", Fig6.run);
+    ("fig7", Fig7.run);
+    ("fig8", Fig8.run);
+    ("fig9", Fig9.run);
+    ("fig11", Fig11.run);
+    ("fig12", Fig12.run);
+    ("fig13", Fig13.run);
+    ("asymmetry", Asymmetry.run);
+    ("priors-panel", Priors_panel.run);
+    ("eigenflows", Eigenflows.run);
+    ("microscale", Microscale.run);
+    ("ablation-ipf", Ablations.ipf);
+    ("ablation-solver", Ablations.solver);
+    ("ablation-entropy", Ablations.entropy);
+    ("ablation-snmp", Ablations.snmp);
+    ("ablation-stale-routing", Ablations.stale_routing);
+    ("ablation-general-f", Ablations.general_f);
+    ("ablation-optimizer", Ablations.optimizer);
+    ("ablation-variants", Ablations.model_variants);
+  ]
+
+let find id = List.assoc_opt id all
+
+let ids = List.map fst all

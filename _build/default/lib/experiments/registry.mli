@@ -1,0 +1,8 @@
+(** All experiments by id. *)
+
+val all : (string * (Context.t -> Outcome.t)) list
+(** In presentation order: section3, fig3–fig13, ablations. *)
+
+val find : string -> (Context.t -> Outcome.t) option
+
+val ids : string list

@@ -1,0 +1,29 @@
+let run _ctx =
+  let tm = Ic_core.Model.fig2_example () in
+  let cond i = Ic_core.Model.conditional_egress tm ~egress:0 ~ingress:i in
+  let marginal = Ic_core.Model.marginal_egress tm ~egress:0 in
+  let gap = Ic_gravity.Gravity.conditional_independence_gap tm in
+  let n = 22 and t = 2016 in
+  {
+    Outcome.id = "section3";
+    title = "Worked example: independence fails at the packet level";
+    paper_claim =
+      "P(E=A|I=A)~0.50, P(E=A|I=B)~0.93, P(E=A|I=C)~0.95, P(E=A)~0.65; \
+       DOF: gravity 2nt-1, time-varying 3nt, stable-f 2nt+1, stable-fP \
+       nt+n+1";
+    series = [];
+    summary =
+      [
+        Printf.sprintf "P(E=A|I=A)=%.3f P(E=A|I=B)=%.3f P(E=A|I=C)=%.3f"
+          (cond 0) (cond 1) (cond 2);
+        Printf.sprintf "P(E=A)=%.3f; max independence gap %.3f" marginal gap;
+        Printf.sprintf
+          "DOF at n=%d t=%d: gravity=%d time-varying=%d stable-f=%d \
+           stable-fP=%d"
+          n t
+          (Ic_core.Params.dof_gravity ~n ~t)
+          (Ic_core.Params.dof_time_varying ~n ~t)
+          (Ic_core.Params.dof_stable_f ~n ~t)
+          (Ic_core.Params.dof_stable_fp ~n ~t);
+      ];
+  }

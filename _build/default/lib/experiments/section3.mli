@@ -1,0 +1,8 @@
+(** The Section 3 worked example (Figure 2's three-node network): verify
+    that packet-level ingress/egress independence fails even though
+    connections are independent, reproducing the paper's conditional
+    probabilities P(E=A | I=A) ~ 0.50, P(E=A | I=B) ~ 0.93,
+    P(E=A | I=C) ~ 0.95 vs marginal P(E=A) ~ 0.65; plus the Section 5.1
+    degrees-of-freedom accounting. *)
+
+val run : Context.t -> Outcome.t

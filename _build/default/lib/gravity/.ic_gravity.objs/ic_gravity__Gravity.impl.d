@@ -1,0 +1,1 @@
+lib/gravity/gravity.ml: Array Float Ic_linalg Ic_traffic

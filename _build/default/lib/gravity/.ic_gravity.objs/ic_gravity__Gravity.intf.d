@@ -1,0 +1,1 @@
+lib/gravity/gravity.mli: Ic_linalg Ic_traffic

@@ -1,0 +1,1 @@
+lib/gravity/synth.ml: Array Ic_linalg Ic_prng Ic_timeseries Ic_traffic

@@ -1,0 +1,1 @@
+lib/gravity/synth.mli: Ic_prng Ic_timeseries Ic_traffic

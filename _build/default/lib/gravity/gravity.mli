@@ -1,0 +1,23 @@
+(** The gravity model — the baseline the paper argues against.
+
+    Under packet-level ingress/egress independence,
+    [X_ij = X_i. X_.j / X_..]. It is exact when the underlying TM is of
+    rank one and is the classic prior for tomogravity estimation. *)
+
+val from_marginals :
+  ingress:Ic_linalg.Vec.t -> egress:Ic_linalg.Vec.t -> Ic_traffic.Tm.t
+(** [X_ij = ingress_i * egress_j / total]. The two marginal vectors should
+    have (approximately) equal totals; the geometric mean of the two totals
+    is used as the denominator. Raises [Invalid_argument] on dimension
+    mismatch or non-positive totals. *)
+
+val of_tm : Ic_traffic.Tm.t -> Ic_traffic.Tm.t
+(** Gravity reconstruction of a TM from its own marginals. *)
+
+val of_series : Ic_traffic.Series.t -> Ic_traffic.Series.t
+(** Per-bin gravity reconstruction — the Figure 3 baseline. *)
+
+val conditional_independence_gap : Ic_traffic.Tm.t -> float
+(** Diagnostic for the paper's Section 3 argument: the maximum over (i,j) of
+    [|P(E=j | I=i) - P(E=j)|]. Zero iff the TM satisfies packet-level
+    independence exactly. Rows with no traffic are skipped. *)

@@ -1,0 +1,42 @@
+type spec = {
+  nodes : int;
+  binning : Ic_timeseries.Timebin.t;
+  bins : int;
+  mean_total_bytes : float;
+  diurnal : Ic_timeseries.Diurnal.t;
+  weekend_damping : float;
+}
+
+let default_spec =
+  {
+    nodes = 22;
+    binning = Ic_timeseries.Timebin.five_min;
+    bins = Ic_timeseries.Timebin.bins_per_week Ic_timeseries.Timebin.five_min;
+    mean_total_bytes = 2e9;
+    diurnal = Ic_timeseries.Diurnal.default;
+    weekend_damping = 0.6;
+  }
+
+let generate spec rng =
+  if spec.nodes < 2 then invalid_arg "Gravity synth: need at least 2 nodes";
+  if spec.bins <= 0 then invalid_arg "Gravity synth: bins must be positive";
+  (* Roughan: node fan-in/fan-out totals are approximately exponential. *)
+  let draw () =
+    Array.init spec.nodes (fun _ -> Ic_prng.Sampler.exponential rng ~rate:1.)
+  in
+  let in_weights = draw () and out_weights = draw () in
+  let in_norm = Ic_linalg.Vec.normalize_sum in_weights in
+  let out_norm = Ic_linalg.Vec.normalize_sum out_weights in
+  let tms =
+    Array.init spec.bins (fun k ->
+        let hour = Ic_timeseries.Timebin.hour_of_day spec.binning k in
+        let day = Ic_timeseries.Timebin.day_of_week spec.binning k in
+        let envelope =
+          spec.mean_total_bytes
+          *. Ic_timeseries.Diurnal.factor spec.diurnal ~hour
+          *. Ic_timeseries.Diurnal.weekend_damping spec.weekend_damping ~day
+        in
+        Ic_traffic.Tm.init spec.nodes (fun i j ->
+            envelope *. in_norm.(i) *. out_norm.(j)))
+  in
+  Ic_traffic.Series.make spec.binning tms

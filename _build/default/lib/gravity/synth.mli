@@ -1,0 +1,22 @@
+(** Gravity-based synthetic TM generation (Roughan, CCR 2005): draw
+    exponential ingress/egress totals and form the rank-one gravity TM.
+    Implemented as the comparison point for the IC recipe — the paper's
+    Section 5.5 argues the IC inputs are easier to generate because they are
+    causally unconstrained. *)
+
+type spec = {
+  nodes : int;
+  binning : Ic_timeseries.Timebin.t;
+  bins : int;
+  mean_total_bytes : float;
+  diurnal : Ic_timeseries.Diurnal.t;
+  weekend_damping : float;
+}
+
+val default_spec : spec
+(** 22 nodes, 5-minute bins, one week. *)
+
+val generate : spec -> Ic_prng.Rng.t -> Ic_traffic.Series.t
+(** Exponential node weights (Roughan's observation) modulated by a diurnal
+    envelope; the per-bin TM is the gravity product of the ingress and
+    egress vectors, rescaled to the envelope total. *)

@@ -1,0 +1,1 @@
+lib/linalg/lsq.ml: Chol Mat Qr Vec

@@ -1,0 +1,1 @@
+lib/linalg/nnls.ml: Array Chol Float Mat Vec

@@ -1,0 +1,1 @@
+lib/linalg/nnls.mli: Mat Vec

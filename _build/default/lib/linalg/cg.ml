@@ -1,0 +1,36 @@
+type stats = { iterations : int; residual : float }
+
+let solve ?max_iter ?(tol = 1e-10) apply b =
+  let n = Array.length b in
+  let max_iter = match max_iter with Some k -> k | None -> 10 * n in
+  let x = Array.make n 0. in
+  let r = Array.copy b in
+  let p = Array.copy b in
+  let bnorm = Vec.nrm2 b in
+  if bnorm = 0. then (x, { iterations = 0; residual = 0. })
+  else begin
+    let rs_old = ref (Vec.dot r r) in
+    let k = ref 0 in
+    let continue_ = ref (sqrt !rs_old > tol *. bnorm) in
+    while !continue_ && !k < max_iter do
+      incr k;
+      let ap = apply p in
+      let pap = Vec.dot p ap in
+      if pap <= 0. then continue_ := false
+      else begin
+        let alpha = !rs_old /. pap in
+        Vec.axpy alpha p x;
+        Vec.axpy (-.alpha) ap r;
+        let rs_new = Vec.dot r r in
+        if sqrt rs_new <= tol *. bnorm then continue_ := false
+        else begin
+          let beta = rs_new /. !rs_old in
+          for i = 0 to n - 1 do
+            p.(i) <- r.(i) +. (beta *. p.(i))
+          done
+        end;
+        rs_old := rs_new
+      end
+    done;
+    (x, { iterations = !k; residual = Vec.nrm2 r /. bnorm })
+  end

@@ -1,0 +1,17 @@
+(** Conjugate gradient for symmetric positive (semi-)definite systems given as
+    operators, used for the tomogravity normal equations on large networks
+    where forming and factoring the dense system would dominate. *)
+
+type stats = { iterations : int; residual : float }
+
+val solve :
+  ?max_iter:int ->
+  ?tol:float ->
+  (Vec.t -> Vec.t) ->
+  Vec.t ->
+  Vec.t * stats
+(** [solve apply b] approximately solves [A x = b] where [apply] computes
+    [A x]. Starts from zero. [tol] is the relative residual target (default
+    [1e-10]); [max_iter] defaults to [10 * dim b]. Semi-definite systems are
+    handled in the Krylov subspace sense, returning a least-squares-flavoured
+    solution for consistent systems. *)

@@ -1,0 +1,82 @@
+type t = { l : Mat.t }
+
+let factorize a =
+  let n, cols = Mat.dims a in
+  if n <> cols then invalid_arg "Chol.factorize: matrix not square";
+  let l = Mat.create n n in
+  let exception Bad of int in
+  try
+    for j = 0 to n - 1 do
+      let acc = ref (Mat.get a j j) in
+      for k = 0 to j - 1 do
+        let ljk = Mat.get l j k in
+        acc := !acc -. (ljk *. ljk)
+      done;
+      if !acc <= 0. then raise (Bad j);
+      let ljj = sqrt !acc in
+      Mat.set l j j ljj;
+      for i = j + 1 to n - 1 do
+        let acc = ref (Mat.get a i j) in
+        for k = 0 to j - 1 do
+          acc := !acc -. (Mat.get l i k *. Mat.get l j k)
+        done;
+        Mat.set l i j (!acc /. ljj)
+      done
+    done;
+    Ok { l }
+  with Bad j -> Error (`Not_positive_definite j)
+
+let factorize_ridge ?(ridge = 1e-12) a =
+  let n, _ = Mat.dims a in
+  let mean_diag =
+    if n = 0 then 1.
+    else begin
+      let s = ref 0. in
+      for i = 0 to n - 1 do
+        s := !s +. Float.abs (Mat.get a i i)
+      done;
+      let m = !s /. float_of_int n in
+      if m > 0. then m else 1.
+    end
+  in
+  let rec attempt lambda =
+    let shifted =
+      Mat.init n n (fun i j ->
+          if i = j then Mat.get a i j +. lambda else Mat.get a i j)
+    in
+    match factorize shifted with
+    | Ok ch -> ch
+    | Error (`Not_positive_definite _) ->
+        if lambda > 1e6 *. mean_diag then
+          invalid_arg "Chol.factorize_ridge: matrix is not positive definite"
+        else attempt (Float.max (lambda *. 10.) (1e-12 *. mean_diag))
+  in
+  attempt (ridge *. mean_diag)
+
+let solve { l } b =
+  let n, _ = Mat.dims l in
+  if Array.length b <> n then invalid_arg "Chol.solve: bad right-hand side";
+  let y = Array.copy b in
+  for i = 0 to n - 1 do
+    let acc = ref y.(i) in
+    for j = 0 to i - 1 do
+      acc := !acc -. (Mat.get l i j *. y.(j))
+    done;
+    y.(i) <- !acc /. Mat.get l i i
+  done;
+  for i = n - 1 downto 0 do
+    let acc = ref y.(i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (Mat.get l j i *. y.(j))
+    done;
+    y.(i) <- !acc /. Mat.get l i i
+  done;
+  y
+
+let log_det { l } =
+  let n, _ = Mat.dims l in
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    acc := !acc +. log (Mat.get l i i)
+  done;
+  2. *. !acc

@@ -1,0 +1,22 @@
+(** Cholesky factorization for symmetric positive-definite systems. *)
+
+type t
+(** A factorization [A = L Lᵀ] with [L] lower-triangular. *)
+
+val factorize : Mat.t -> (t, [ `Not_positive_definite of int ]) result
+(** [factorize a] factorizes the symmetric matrix [a] (only the lower triangle
+    is read). [`Not_positive_definite k] reports a non-positive pivot at step
+    [k]. Raises [Invalid_argument] if [a] is not square. *)
+
+val factorize_ridge : ?ridge:float -> Mat.t -> t
+(** [factorize_ridge ~ridge a] factorizes [a + lambda I] where [lambda] starts
+    at [ridge] times the mean diagonal (default [1e-12]) and is increased by
+    factors of 10 until the factorization succeeds. Intended for normal
+    equations that may be numerically rank deficient, such as the tomogravity
+    system [R W Rᵀ]. *)
+
+val solve : t -> Vec.t -> Vec.t
+(** [solve ch b] solves [A x = b]. *)
+
+val log_det : t -> float
+(** Log-determinant of [A]. *)

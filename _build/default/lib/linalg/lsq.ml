@@ -1,0 +1,26 @@
+let solve_normal ?(ridge = 1e-10) a b =
+  let g = Mat.gram a in
+  let ch = Chol.factorize_ridge ~ridge g in
+  Chol.solve ch (Mat.mulv_t a b)
+
+let solve a b =
+  let m, n = Mat.dims a in
+  if m >= n then begin
+    let qr = Qr.factorize a in
+    if Qr.rank qr = n then Qr.solve qr b else solve_normal a b
+  end
+  else solve_normal a b
+
+let residual_norm a x b = Vec.nrm2_diff (Mat.mulv a x) b
+
+let pseudo_solve a b =
+  let m, n = Mat.dims a in
+  if m >= n then solve a b
+  else begin
+    (* minimum-norm solution: x = aᵀ (a aᵀ + ridge)⁻¹ b *)
+    let at = Mat.transpose a in
+    let g = Mat.gram at in
+    let ch = Chol.factorize_ridge ~ridge:1e-10 g in
+    let y = Chol.solve ch b in
+    Mat.mulv at y
+  end

@@ -1,0 +1,18 @@
+(** Linear least-squares drivers. *)
+
+val solve : Mat.t -> Vec.t -> Vec.t
+(** [solve a b] minimizes [||a x - b||]. Uses Householder QR when [a] is tall
+    and well conditioned; falls back to ridge-regularized normal equations
+    when [a] is rank deficient or wide, which selects a small-norm solution. *)
+
+val solve_normal : ?ridge:float -> Mat.t -> Vec.t -> Vec.t
+(** [solve_normal a b] solves the normal equations [(aᵀa + lambda I) x = aᵀ b]
+    with relative ridge [ridge] (default [1e-10]). *)
+
+val residual_norm : Mat.t -> Vec.t -> Vec.t -> float
+(** [residual_norm a x b] is [||a x - b||]. *)
+
+val pseudo_solve : Mat.t -> Vec.t -> Vec.t
+(** Minimum-norm least-squares solution, valid for any shape: tall systems go
+    through QR, wide or rank-deficient systems through regularized normal
+    equations of the transposed problem. *)

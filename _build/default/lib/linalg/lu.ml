@@ -1,0 +1,96 @@
+type t = {
+  lu : Mat.t;  (* packed L (unit diagonal, below) and U (on/above diagonal) *)
+  perm : int array;  (* row permutation: solve uses b.(perm.(i)) *)
+  sign : float;  (* parity of the permutation, for determinants *)
+}
+
+let factorize a =
+  let n, cols = Mat.dims a in
+  if n <> cols then invalid_arg "Lu.factorize: matrix not square";
+  let lu = Mat.copy a in
+  let perm = Array.init n (fun i -> i) in
+  let sign = ref 1. in
+  let exception Singular of int in
+  try
+    for k = 0 to n - 1 do
+      (* partial pivoting: largest magnitude in column k at/below row k *)
+      let pivot_row = ref k in
+      for i = k + 1 to n - 1 do
+        if Float.abs (Mat.get lu i k) > Float.abs (Mat.get lu !pivot_row k)
+        then pivot_row := i
+      done;
+      if !pivot_row <> k then begin
+        for j = 0 to n - 1 do
+          let tmp = Mat.get lu k j in
+          Mat.set lu k j (Mat.get lu !pivot_row j);
+          Mat.set lu !pivot_row j tmp
+        done;
+        let tmp = perm.(k) in
+        perm.(k) <- perm.(!pivot_row);
+        perm.(!pivot_row) <- tmp;
+        sign := -. !sign
+      end;
+      let pivot = Mat.get lu k k in
+      if pivot = 0. then raise (Singular k);
+      for i = k + 1 to n - 1 do
+        let factor = Mat.get lu i k /. pivot in
+        Mat.set lu i k factor;
+        if factor <> 0. then
+          for j = k + 1 to n - 1 do
+            Mat.set lu i j (Mat.get lu i j -. (factor *. Mat.get lu k j))
+          done
+      done
+    done;
+    Ok { lu; perm; sign = !sign }
+  with Singular k -> Error (`Singular k)
+
+let solve { lu; perm; _ } b =
+  let n, _ = Mat.dims lu in
+  if Array.length b <> n then invalid_arg "Lu.solve: bad right-hand side";
+  let x = Array.init n (fun i -> b.(perm.(i))) in
+  (* forward substitution with unit-lower L *)
+  for i = 1 to n - 1 do
+    let acc = ref x.(i) in
+    for j = 0 to i - 1 do
+      acc := !acc -. (Mat.get lu i j *. x.(j))
+    done;
+    x.(i) <- !acc
+  done;
+  (* back substitution with U *)
+  for i = n - 1 downto 0 do
+    let acc = ref x.(i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (Mat.get lu i j *. x.(j))
+    done;
+    x.(i) <- !acc /. Mat.get lu i i
+  done;
+  x
+
+let solve_mat fact b =
+  let _, nrhs = Mat.dims b in
+  let n, _ = Mat.dims fact.lu in
+  let out = Mat.create n nrhs in
+  for j = 0 to nrhs - 1 do
+    let x = solve fact (Mat.col b j) in
+    for i = 0 to n - 1 do
+      Mat.set out i j x.(i)
+    done
+  done;
+  out
+
+let det { lu; sign; _ } =
+  let n, _ = Mat.dims lu in
+  let d = ref sign in
+  for i = 0 to n - 1 do
+    d := !d *. Mat.get lu i i
+  done;
+  !d
+
+let inverse fact =
+  let n, _ = Mat.dims fact.lu in
+  solve_mat fact (Mat.identity n)
+
+let solve_system a b =
+  match factorize a with
+  | Ok fact -> Ok (solve fact b)
+  | Error _ as e -> e

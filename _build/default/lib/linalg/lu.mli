@@ -1,0 +1,22 @@
+(** LU factorization with partial pivoting, for square systems. *)
+
+type t
+(** A factorization [P A = L U] of a square matrix [A]. *)
+
+val factorize : Mat.t -> (t, [ `Singular of int ]) result
+(** [factorize a] factorizes the square matrix [a]. [`Singular k] reports a
+    zero pivot at elimination step [k]. Raises [Invalid_argument] if [a] is
+    not square. *)
+
+val solve : t -> Vec.t -> Vec.t
+(** [solve lu b] solves [A x = b]. *)
+
+val solve_mat : t -> Mat.t -> Mat.t
+(** Solve for several right-hand sides given as columns. *)
+
+val det : t -> float
+
+val inverse : t -> Mat.t
+
+val solve_system : Mat.t -> Vec.t -> (Vec.t, [ `Singular of int ]) result
+(** One-shot [factorize] + [solve]. *)

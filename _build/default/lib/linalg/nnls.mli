@@ -1,0 +1,24 @@
+(** Non-negative least squares (Lawson–Hanson active-set method).
+
+    Solves [minimize ||a x - b||  subject to  x >= 0]. This is the inner
+    solver of the IC-model fitting procedure: activities and preferences are
+    physical byte rates and probabilities and must stay non-negative. *)
+
+val solve : ?max_iter:int -> ?tol:float -> Mat.t -> Vec.t -> Vec.t
+(** [solve a b] returns the NNLS solution. [max_iter] bounds the number of
+    active-set changes (default [3 * cols]); [tol] is the dual-feasibility
+    tolerance relative to the problem scale (default [1e-10]). The result
+    always satisfies [x >= 0] even if the iteration limit is reached. *)
+
+val solve_gram : ?max_iter:int -> ?tol:float -> Mat.t -> Vec.t -> Vec.t
+(** [solve_gram g c] solves the same problem given the normal-equation data
+    [g = aᵀa] and [c = aᵀb] directly. Useful when the design matrix is large
+    but its Gram matrix is cheap to accumulate, as in the per-bin activity
+    subproblem of the model fit. *)
+
+val kkt_violation : Mat.t -> Vec.t -> Vec.t -> float
+(** [kkt_violation a b x] measures how far [x] is from satisfying the NNLS
+    KKT conditions for [min ||a x - b||, x >= 0]: the maximum of (i) negative
+    entries of [x], (ii) positive dual residual on the active set and (iii)
+    absolute dual residual on the free set, scaled by the problem size.
+    Near-zero means optimal; used by property tests. *)

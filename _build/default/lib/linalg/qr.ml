@@ -1,0 +1,105 @@
+type t = {
+  qr : Mat.t;  (* R on/above the diagonal, reflector tails below *)
+  betas : float array;  (* reflector scalings; 0 marks an identity step *)
+  diag : float array;  (* diagonal of R (the qr diagonal holds reflectors) *)
+}
+
+let factorize a =
+  let m, n = Mat.dims a in
+  if m < n then invalid_arg "Qr.factorize: more columns than rows";
+  let qr = Mat.copy a in
+  let betas = Array.make n 0. in
+  let diag = Array.make n 0. in
+  for k = 0 to n - 1 do
+    (* Householder reflector annihilating column k below the diagonal. *)
+    let scale = ref 0. in
+    for i = k to m - 1 do
+      let a = Float.abs (Mat.get qr i k) in
+      if a > !scale then scale := a
+    done;
+    if !scale = 0. then begin
+      betas.(k) <- 0.;
+      diag.(k) <- 0.
+    end
+    else begin
+      let s = !scale in
+      let norm = ref 0. in
+      for i = k to m - 1 do
+        let r = Mat.get qr i k /. s in
+        norm := !norm +. (r *. r)
+      done;
+      let alpha = s *. sqrt !norm in
+      let akk = Mat.get qr k k in
+      let alpha = if akk > 0. then -.alpha else alpha in
+      (* v = x - alpha e1, stored in place; v_k in qr(k,k) *)
+      Mat.set qr k k (akk -. alpha);
+      let vtv = ref 0. in
+      for i = k to m - 1 do
+        let v = Mat.get qr i k in
+        vtv := !vtv +. (v *. v)
+      done;
+      let beta = if !vtv = 0. then 0. else 2. /. !vtv in
+      betas.(k) <- beta;
+      diag.(k) <- alpha;
+      (* apply reflector to remaining columns *)
+      for j = k + 1 to n - 1 do
+        let dot = ref 0. in
+        for i = k to m - 1 do
+          dot := !dot +. (Mat.get qr i k *. Mat.get qr i j)
+        done;
+        let c = beta *. !dot in
+        if c <> 0. then
+          for i = k to m - 1 do
+            Mat.set qr i j (Mat.get qr i j -. (c *. Mat.get qr i k))
+          done
+      done
+    end
+  done;
+  { qr; betas; diag }
+
+let r { qr; diag; _ } =
+  let _, n = Mat.dims qr in
+  Mat.init n n (fun i j ->
+      if i > j then 0. else if i = j then diag.(i) else Mat.get qr i j)
+
+let apply_qt { qr; betas; _ } b =
+  let m, n = Mat.dims qr in
+  if Array.length b <> m then invalid_arg "Qr.apply_qt: bad vector length";
+  let y = Array.copy b in
+  for k = 0 to n - 1 do
+    let beta = betas.(k) in
+    if beta <> 0. then begin
+      let dot = ref 0. in
+      for i = k to m - 1 do
+        dot := !dot +. (Mat.get qr i k *. y.(i))
+      done;
+      let c = beta *. !dot in
+      if c <> 0. then
+        for i = k to m - 1 do
+          y.(i) <- y.(i) -. (c *. Mat.get qr i k)
+        done
+    end
+  done;
+  y
+
+let rank ?(tol = 1e-12) { diag; _ } =
+  let dmax = Array.fold_left (fun acc d -> Float.max acc (Float.abs d)) 0. diag in
+  if dmax = 0. then 0
+  else
+    Array.fold_left
+      (fun acc d -> if Float.abs d > tol *. dmax then acc + 1 else acc)
+      0 diag
+
+let solve ({ qr; diag; _ } as fact) b =
+  let _, n = Mat.dims qr in
+  let y = apply_qt fact b in
+  let x = Array.sub y 0 n in
+  for i = n - 1 downto 0 do
+    let acc = ref x.(i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (Mat.get qr i j *. x.(j))
+    done;
+    if diag.(i) = 0. then invalid_arg "Qr.solve: rank-deficient system";
+    x.(i) <- !acc /. diag.(i)
+  done;
+  x

@@ -1,0 +1,25 @@
+(** Householder QR factorization for tall (or square) matrices. *)
+
+type t
+(** A factorization [A = Q R] of an [m] x [n] matrix with [m >= n], with [Q]
+    orthonormal (stored implicitly as Householder reflectors) and [R] upper
+    triangular. *)
+
+val factorize : Mat.t -> t
+(** Raises [Invalid_argument] if the matrix has more columns than rows. *)
+
+val r : t -> Mat.t
+(** The [n] x [n] upper-triangular factor. *)
+
+val apply_qt : t -> Vec.t -> Vec.t
+(** [apply_qt qr b] computes [Qᵀ b] (length [m]). *)
+
+val rank : ?tol:float -> t -> int
+(** Numerical rank estimated from the diagonal of [R]: entries whose magnitude
+    is at most [tol] times the largest diagonal magnitude are treated as zero.
+    Default [tol] is [1e-12]. *)
+
+val solve : t -> Vec.t -> Vec.t
+(** Least-squares solution of [A x = b] via back substitution on [R]. Raises
+    [Invalid_argument] if [R] is exactly singular; use {!Lsq.solve} for a
+    rank-deficiency-tolerant driver. *)

@@ -1,0 +1,38 @@
+(** Immutable sparse matrices in compressed-sparse-row form.
+
+    Routing matrices are extremely sparse (each OD pair crosses a handful of
+    links), so the estimation pipeline stores them in CSR and never
+    densifies. *)
+
+type t
+
+val rows : t -> int
+
+val cols : t -> int
+
+val nnz : t -> int
+
+val of_triplets : rows:int -> cols:int -> (int * int * float) list -> t
+(** Duplicate coordinates are summed; explicit zeros are dropped. Raises
+    [Invalid_argument] on out-of-range coordinates. *)
+
+val of_dense : Mat.t -> t
+
+val to_dense : t -> Mat.t
+
+val get : t -> int -> int -> float
+(** Logarithmic in the row's population. *)
+
+val mulv : t -> Vec.t -> Vec.t
+(** Sparse matrix-vector product. *)
+
+val mulv_t : t -> Vec.t -> Vec.t
+(** [mulv_t a x] is [aᵀ x]. *)
+
+val scale_cols : t -> Vec.t -> t
+(** [scale_cols a d] is [a * diag d]. *)
+
+val row_iter : t -> int -> (int -> float -> unit) -> unit
+(** Iterate over the stored entries of one row. *)
+
+val transpose : t -> t

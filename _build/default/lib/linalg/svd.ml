@@ -1,0 +1,113 @@
+type t = { u : Mat.t; singular_values : Vec.t; v : Mat.t }
+
+(* One-sided Jacobi (Hestenes): orthogonalize the columns of a working copy
+   by plane rotations, accumulating them into V; singular values are the
+   final column norms and U the normalized columns. Numerically robust and
+   simple — the matrices here are tiny (tens of columns). *)
+let decompose_tall ?(max_sweeps = 60) ?(tol = 1e-12) a =
+  let m, n = Mat.dims a in
+  let w = Mat.copy a in
+  let v = Mat.identity n in
+  let col_dot p q =
+    let acc = ref 0. in
+    for i = 0 to m - 1 do
+      acc := !acc +. (Mat.get w i p *. Mat.get w i q)
+    done;
+    !acc
+  in
+  let rotate mat rows c s p q =
+    for i = 0 to rows - 1 do
+      let xp = Mat.get mat i p and xq = Mat.get mat i q in
+      Mat.set mat i p ((c *. xp) -. (s *. xq));
+      Mat.set mat i q ((s *. xp) +. (c *. xq))
+    done
+  in
+  let sweeps = ref 0 in
+  let converged = ref false in
+  while (not !converged) && !sweeps < max_sweeps do
+    incr sweeps;
+    converged := true;
+    for p = 0 to n - 2 do
+      for q = p + 1 to n - 1 do
+        let alpha = col_dot p p and beta = col_dot q q in
+        let gamma = col_dot p q in
+        if Float.abs gamma > tol *. sqrt (alpha *. beta) && gamma <> 0. then begin
+          converged := false;
+          let zeta = (beta -. alpha) /. (2. *. gamma) in
+          let t =
+            let s = if zeta >= 0. then 1. else -1. in
+            s /. (Float.abs zeta +. sqrt (1. +. (zeta *. zeta)))
+          in
+          let c = 1. /. sqrt (1. +. (t *. t)) in
+          let s = c *. t in
+          rotate w m c s p q;
+          rotate v n c s p q
+        end
+      done
+    done
+  done;
+  (* singular values and left vectors *)
+  let sigma = Array.init n (fun j -> Vec.nrm2 (Mat.col w j)) in
+  let order = Array.init n (fun j -> j) in
+  Array.sort (fun a b -> compare sigma.(b) sigma.(a)) order;
+  let u = Mat.create m n in
+  let v_sorted = Mat.create n n in
+  let s_sorted = Array.make n 0. in
+  Array.iteri
+    (fun dst src ->
+      s_sorted.(dst) <- sigma.(src);
+      if sigma.(src) > 0. then
+        for i = 0 to m - 1 do
+          Mat.set u i dst (Mat.get w i src /. sigma.(src))
+        done;
+      for i = 0 to n - 1 do
+        Mat.set v_sorted i dst (Mat.get v i src)
+      done)
+    order;
+  { u; singular_values = s_sorted; v = v_sorted }
+
+let decompose ?max_sweeps ?tol a =
+  let m, n = Mat.dims a in
+  if m >= n then decompose_tall ?max_sweeps ?tol a
+  else begin
+    (* A = U S Vt  <=>  At = V S Ut *)
+    let { u; singular_values; v } =
+      decompose_tall ?max_sweeps ?tol (Mat.transpose a)
+    in
+    { u = v; singular_values; v = u }
+  end
+
+let reconstruct { u; singular_values; v } =
+  let _, n = Mat.dims u in
+  let scaled =
+    Mat.init (fst (Mat.dims u)) n (fun i j ->
+        Mat.get u i j *. singular_values.(j))
+  in
+  Mat.mul scaled (Mat.transpose v)
+
+let rank ?(tol = 1e-10) t =
+  let s = t.singular_values in
+  if Array.length s = 0 || s.(0) <= 0. then 0
+  else
+    Array.fold_left (fun acc x -> if x > tol *. s.(0) then acc + 1 else acc) 0 s
+
+let condition_number t =
+  let s = t.singular_values in
+  let n = Array.length s in
+  if n = 0 || s.(n - 1) <= 0. then infinity else s.(0) /. s.(n - 1)
+
+let pseudo_inverse ?(tol = 1e-10) t =
+  let m, n = Mat.dims t.u in
+  let cutoff = tol *. (if Array.length t.singular_values > 0 then t.singular_values.(0) else 0.) in
+  (* pinv = V S+ Ut *)
+  let v_scaled =
+    Mat.init n n (fun i j ->
+        if t.singular_values.(j) > cutoff then
+          Mat.get t.v i j /. t.singular_values.(j)
+        else 0.)
+  in
+  ignore m;
+  Mat.mul v_scaled (Mat.transpose t.u)
+
+let solve_min_norm ?tol t b =
+  Mat.mulv (pseudo_inverse ?tol t) b

@@ -1,0 +1,36 @@
+(** Singular value decomposition by one-sided Jacobi rotations.
+
+    For an [m] x [n] matrix with [m >= n], computes [A = U S Vᵀ] with
+    orthonormal [U] (m x n), non-negative singular values in decreasing
+    order, and orthonormal [V] (n x n). Used for numerically honest
+    pseudo-inverses, rank decisions and conditioning diagnostics of the
+    estimation systems ([Q Phi], routing matrices). *)
+
+type t = {
+  u : Mat.t;  (** m x n, orthonormal columns *)
+  singular_values : Vec.t;  (** length n, decreasing, >= 0 *)
+  v : Mat.t;  (** n x n, orthonormal columns *)
+}
+
+val decompose : ?max_sweeps:int -> ?tol:float -> Mat.t -> t
+(** [decompose a] factorizes [a] (wide inputs are transposed internally and
+    the roles of [u]/[v] swapped back). [max_sweeps] bounds the Jacobi
+    sweeps (default 60); [tol] is the off-diagonal orthogonality target
+    relative to the matrix scale (default 1e-12). *)
+
+val reconstruct : t -> Mat.t
+(** [U S Vᵀ] — for testing. *)
+
+val rank : ?tol:float -> t -> int
+(** Number of singular values above [tol] times the largest (default
+    [1e-10]). *)
+
+val condition_number : t -> float
+(** Ratio of the extreme singular values; [infinity] if singular. *)
+
+val pseudo_inverse : ?tol:float -> t -> Mat.t
+(** Moore–Penrose inverse with singular values below the relative [tol]
+    treated as zero. *)
+
+val solve_min_norm : ?tol:float -> t -> Vec.t -> Vec.t
+(** Minimum-norm least-squares solution of [A x = b]. *)

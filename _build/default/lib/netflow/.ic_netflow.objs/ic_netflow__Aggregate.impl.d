@@ -1,0 +1,1 @@
+lib/netflow/aggregate.ml: Array Connection Float Ic_linalg Ic_timeseries Ic_traffic List Stdlib

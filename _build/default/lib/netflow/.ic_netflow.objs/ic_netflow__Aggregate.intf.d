@@ -1,0 +1,1 @@
+lib/netflow/aggregate.mli: Connection Ic_linalg Ic_timeseries Ic_traffic

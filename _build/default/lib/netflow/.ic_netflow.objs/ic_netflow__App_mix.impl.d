@@ -1,0 +1,1 @@
+lib/netflow/app_mix.ml: Array Ic_prng List

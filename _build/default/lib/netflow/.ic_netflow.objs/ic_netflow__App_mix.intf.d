@@ -1,0 +1,1 @@
+lib/netflow/app_mix.mli: Ic_prng

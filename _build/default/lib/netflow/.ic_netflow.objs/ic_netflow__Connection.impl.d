@@ -1,0 +1,1 @@
+lib/netflow/connection.ml: App_mix Array Float Ic_prng List

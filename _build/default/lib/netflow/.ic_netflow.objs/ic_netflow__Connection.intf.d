@@ -1,0 +1,1 @@
+lib/netflow/connection.mli: App_mix Ic_prng

@@ -1,0 +1,1 @@
+lib/netflow/packet.ml: App_mix Connection Float List Stdlib

@@ -1,0 +1,1 @@
+lib/netflow/sampling.ml: Ic_prng Ic_traffic List

@@ -1,0 +1,1 @@
+lib/netflow/sampling.mli: Ic_prng Ic_traffic Packet

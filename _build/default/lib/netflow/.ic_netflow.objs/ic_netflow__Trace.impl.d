@@ -1,0 +1,1 @@
+lib/netflow/trace.ml: Array Connection Float Hashtbl List Option Packet Stdlib

@@ -1,0 +1,1 @@
+lib/netflow/trace.mli: Connection Packet

@@ -1,0 +1,69 @@
+type app = {
+  name : string;
+  forward_fraction : float;
+  mean_bytes : float;
+  size_alpha : float;
+  dst_port : int;
+}
+
+type t = { apps : app array; weights : float array; alias : Ic_prng.Alias.t }
+
+let check_app a =
+  if a.forward_fraction <= 0. || a.forward_fraction >= 1. then
+    invalid_arg "App_mix: forward_fraction must lie in (0,1)";
+  if a.mean_bytes <= 0. then invalid_arg "App_mix: mean_bytes must be positive";
+  if a.size_alpha <= 1. then
+    invalid_arg "App_mix: size_alpha must exceed 1 (finite mean)"
+
+let make entries =
+  if entries = [] then invalid_arg "App_mix.make: empty mix";
+  List.iter
+    (fun (a, w) ->
+      check_app a;
+      if w <= 0. then invalid_arg "App_mix.make: non-positive weight")
+    entries;
+  let apps = Array.of_list (List.map fst entries) in
+  let weights = Array.of_list (List.map snd entries) in
+  { apps; weights; alias = Ic_prng.Alias.create weights }
+
+let default =
+  make
+    [
+      ( { name = "web"; forward_fraction = 0.06; mean_bytes = 60_000.;
+          size_alpha = 1.5; dst_port = 80 },
+        0.55 );
+      ( { name = "p2p"; forward_fraction = 0.35; mean_bytes = 500_000.;
+          size_alpha = 1.3; dst_port = 6346 },
+        0.12 );
+      ( { name = "ftp"; forward_fraction = 0.05; mean_bytes = 300_000.;
+          size_alpha = 1.4; dst_port = 20 },
+        0.05 );
+      ( { name = "mail"; forward_fraction = 0.85; mean_bytes = 30_000.;
+          size_alpha = 1.6; dst_port = 25 },
+        0.08 );
+      ( { name = "interactive"; forward_fraction = 0.05; mean_bytes = 15_000.;
+          size_alpha = 1.7; dst_port = 22 },
+        0.20 );
+    ]
+
+let apps t = Array.copy t.apps
+
+let draw t rng = t.apps.(Ic_prng.Alias.draw t.alias rng)
+
+let aggregate_f t =
+  let num = ref 0. and den = ref 0. in
+  Array.iteri
+    (fun k a ->
+      let bytes = t.weights.(k) *. a.mean_bytes in
+      num := !num +. (bytes *. a.forward_fraction);
+      den := !den +. bytes)
+    t.apps;
+  !num /. !den
+
+let mean_connection_bytes t =
+  let total_w = Array.fold_left ( +. ) 0. t.weights in
+  let acc = ref 0. in
+  Array.iteri
+    (fun k a -> acc := !acc +. (t.weights.(k) *. a.mean_bytes))
+    t.apps;
+  !acc /. total_w

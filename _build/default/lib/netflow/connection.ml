@@ -1,0 +1,95 @@
+type t = {
+  id : int;
+  initiator : int;
+  responder : int;
+  app : App_mix.app;
+  start_s : float;
+  duration_s : float;
+  fwd_bytes : float;
+  rev_bytes : float;
+  initiator_port : int;
+}
+
+let forward_fraction c =
+  let total = c.fwd_bytes +. c.rev_bytes in
+  if total <= 0. then 0. else c.fwd_bytes /. total
+
+type workload = {
+  activity_bytes : float array array;
+  preference : float array;
+  mix : App_mix.t;
+  bin_s : float;
+  mean_rate_bps : float;
+}
+
+let connection_of_app rng ~id ~initiator ~responder ~(app : App_mix.app)
+    ~start_s ~mean_rate_bps =
+  (* Pareto volumes with the app's mean: mean = alpha x_min / (alpha - 1). *)
+  let x_min = app.mean_bytes *. (app.size_alpha -. 1.) /. app.size_alpha in
+  (* Truncate the Pareto tail: keeps volumes heavy-tailed while bounding the
+     packet count of any single simulated connection. *)
+  let total =
+    Float.min
+      (Ic_prng.Sampler.pareto rng ~alpha:app.size_alpha ~x_min)
+      (app.mean_bytes *. 500.)
+  in
+  (* Per-connection jitter of the forward split around the app's mean. *)
+  let jitter = Ic_prng.Sampler.lognormal rng ~mu:0. ~sigma:0.3 in
+  let f =
+    Float.min 0.95 (Float.max 0.01 (app.forward_fraction *. jitter))
+  in
+  let rate =
+    mean_rate_bps /. 8. *. Ic_prng.Sampler.lognormal rng ~mu:0. ~sigma:0.5
+  in
+  let duration_s = Float.max 0.05 (total /. Float.max rate 1.) in
+  {
+    id;
+    initiator;
+    responder;
+    app;
+    start_s;
+    duration_s;
+    fwd_bytes = f *. total;
+    rev_bytes = (1. -. f) *. total;
+    initiator_port = 1024 + Ic_prng.Rng.int rng 64511;
+  }
+
+let generate w rng =
+  if w.bin_s <= 0. then invalid_arg "Connection.generate: bad bin width";
+  if w.mean_rate_bps <= 0. then invalid_arg "Connection.generate: bad rate";
+  let responder_alias = Ic_prng.Alias.create w.preference in
+  let mean_conn = App_mix.mean_connection_bytes w.mix in
+  let next_id = ref 0 in
+  let out = ref [] in
+  Array.iteri
+    (fun t per_node ->
+      Array.iteri
+        (fun i bytes ->
+          if bytes > 0. then begin
+            let lambda = bytes /. mean_conn in
+            let count = Ic_prng.Sampler.poisson rng ~lambda in
+            for _ = 1 to count do
+              let app = App_mix.draw w.mix rng in
+              let responder = Ic_prng.Alias.draw responder_alias rng in
+              let start_s =
+                (float_of_int t +. Ic_prng.Rng.float rng) *. w.bin_s
+              in
+              let c =
+                connection_of_app rng ~id:!next_id ~initiator:i ~responder
+                  ~app ~start_s ~mean_rate_bps:w.mean_rate_bps
+              in
+              incr next_id;
+              out := c :: !out
+            done
+          end)
+        per_node)
+    w.activity_bytes;
+  List.sort (fun a b -> compare a.start_s b.start_s) !out
+
+let total_bytes cs =
+  List.fold_left (fun acc c -> acc +. c.fwd_bytes +. c.rev_bytes) 0. cs
+
+let aggregate_forward_fraction cs =
+  let fwd = List.fold_left (fun acc c -> acc +. c.fwd_bytes) 0. cs in
+  let total = total_bytes cs in
+  if total <= 0. then 0. else fwd /. total

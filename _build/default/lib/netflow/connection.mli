@@ -1,0 +1,44 @@
+(** Connection records and the connection-level workload generator.
+
+    This is the generative process the IC model abstracts: hosts at access
+    points initiate connections, responders are chosen independently of the
+    initiator, and each connection exchanges forward (initiator→responder)
+    and reverse traffic whose split depends on the application. *)
+
+type t = {
+  id : int;
+  initiator : int;  (** access-point (node) index *)
+  responder : int;
+  app : App_mix.app;
+  start_s : float;
+  duration_s : float;
+  fwd_bytes : float;  (** initiator → responder *)
+  rev_bytes : float;  (** responder → initiator *)
+  initiator_port : int;  (** ephemeral source port, part of the 5-tuple *)
+}
+
+val forward_fraction : t -> float
+(** [fwd / (fwd + rev)] of one connection. *)
+
+type workload = {
+  activity_bytes : float array array;
+      (** target initiated bytes per bin per node: [activity.(t).(i)] *)
+  preference : float array;  (** responder-choice weights, normalized inside *)
+  mix : App_mix.t;
+  bin_s : float;  (** bin width in seconds *)
+  mean_rate_bps : float;  (** mean transfer rate, sets durations *)
+}
+
+val generate : workload -> Ic_prng.Rng.t -> t list
+(** Sample connections: each node/bin initiates a Poisson number of
+    connections with mean [activity / mean_connection_bytes], responders
+    drawn from the preference distribution, volumes Pareto with the
+    application's mean and tail, forward split jittered around the
+    application's [f]. Start times are uniform within the bin; durations
+    follow volume / lognormal rate. Connections are returned sorted by
+    start time. *)
+
+val total_bytes : t list -> float
+
+val aggregate_forward_fraction : t list -> float
+(** Byte-weighted forward fraction of a set of connections. *)

@@ -1,0 +1,74 @@
+type t = {
+  src_node : int;
+  dst_node : int;
+  src_port : int;
+  dst_port : int;
+  bin : int;
+  packets : int;
+  bytes : float;
+  saw_syn : bool;
+}
+
+let of_packets packets ~bin_s =
+  if bin_s <= 0. then invalid_arg "Flow.of_packets: bad bin width";
+  let table = Hashtbl.create 1024 in
+  List.iter
+    (fun (p : Packet.t) ->
+      let bin = int_of_float (p.time_s /. bin_s) in
+      let key = (p.src_node, p.dst_node, p.src_port, p.dst_port, bin) in
+      match Hashtbl.find_opt table key with
+      | Some f ->
+          Hashtbl.replace table key
+            {
+              f with
+              packets = f.packets + 1;
+              bytes = f.bytes +. p.bytes;
+              saw_syn = f.saw_syn || p.syn;
+            }
+      | None ->
+          Hashtbl.replace table key
+            {
+              src_node = p.src_node;
+              dst_node = p.dst_node;
+              src_port = p.src_port;
+              dst_port = p.dst_port;
+              bin;
+              packets = 1;
+              bytes = p.bytes;
+              saw_syn = p.syn;
+            })
+    packets;
+  let flows = Hashtbl.fold (fun _ f acc -> f :: acc) table [] in
+  List.sort
+    (fun a b ->
+      compare
+        (a.bin, a.src_node, a.dst_node, a.src_port, a.dst_port)
+        (b.bin, b.src_node, b.dst_node, b.src_port, b.dst_port))
+    flows
+
+let od_volume flows =
+  let table = Hashtbl.create 64 in
+  List.iter
+    (fun f ->
+      let key = (f.bin, f.src_node, f.dst_node) in
+      let prev = Option.value ~default:0. (Hashtbl.find_opt table key) in
+      Hashtbl.replace table key (prev +. f.bytes))
+    flows;
+  table
+
+let match_bidirectional fwd rev =
+  let key f = (f.src_node, f.dst_node, f.src_port, f.dst_port) in
+  let rev_table = Hashtbl.create 256 in
+  List.iter
+    (fun f ->
+      let k = key f in
+      let existing = Option.value ~default:[] (Hashtbl.find_opt rev_table k) in
+      Hashtbl.replace rev_table k (f :: existing))
+    rev;
+  List.concat_map
+    (fun f ->
+      let wanted = Packet.reverse_key (key f) in
+      match Hashtbl.find_opt rev_table wanted with
+      | Some matches -> List.map (fun r -> (f, r)) matches
+      | None -> [])
+    fwd

@@ -1,0 +1,26 @@
+(** Netflow-style flow records: per-5-tuple, per-bin aggregation of packets,
+    the intermediate representation between raw traces and OD flows. *)
+
+type t = {
+  src_node : int;
+  dst_node : int;
+  src_port : int;
+  dst_port : int;
+  bin : int;
+  packets : int;
+  bytes : float;
+  saw_syn : bool;
+}
+
+val of_packets : Packet.t list -> bin_s:float -> t list
+(** Aggregate packets into flow records (one per 5-tuple per bin), sorted by
+    bin then 5-tuple. *)
+
+val od_volume : t list -> (int * int * int, float) Hashtbl.t
+(** Sum bytes by [(bin, src_node, dst_node)]. *)
+
+val match_bidirectional : t list -> t list -> (t * t) list
+(** Pair flows from two directional captures whose 5-tuples correspond
+    ([flow], [reverse flow]) regardless of bin; each forward 5-tuple is
+    paired with every matching reverse 5-tuple's aggregate. Used by tests to
+    cross-check {!Trace.measure_f}'s matching. *)

@@ -1,0 +1,55 @@
+type t = {
+  time_s : float;
+  src_node : int;
+  dst_node : int;
+  src_port : int;
+  dst_port : int;
+  bytes : float;
+  syn : bool;
+  syn_ack : bool;
+}
+
+let mss = 1460.
+
+(* Spread [count] packets of [total] bytes uniformly over the interval;
+   the first packet goes out at [start] carrying the flag. *)
+let direction ~src_node ~dst_node ~src_port ~dst_port ~start ~duration ~total
+    ~is_forward =
+  if total <= 0. then []
+  else begin
+    let count = Stdlib.max 1 (int_of_float (Float.ceil (total /. mss))) in
+    let per_packet = total /. float_of_int count in
+    let step = duration /. float_of_int count in
+    List.init count (fun k ->
+        {
+          time_s = start +. (float_of_int k *. step);
+          src_node;
+          dst_node;
+          src_port;
+          dst_port;
+          bytes = per_packet;
+          syn = is_forward && k = 0;
+          syn_ack = (not is_forward) && k = 0;
+        })
+  end
+
+let of_connection (c : Connection.t) =
+  let fwd =
+    direction ~src_node:c.initiator ~dst_node:c.responder
+      ~src_port:c.initiator_port ~dst_port:c.app.App_mix.dst_port
+      ~start:c.start_s ~duration:c.duration_s ~total:c.fwd_bytes
+      ~is_forward:true
+  in
+  (* the reverse direction starts one (small) RTT later *)
+  let rev =
+    direction ~src_node:c.responder ~dst_node:c.initiator
+      ~src_port:c.app.App_mix.dst_port ~dst_port:c.initiator_port
+      ~start:(c.start_s +. 0.01) ~duration:c.duration_s ~total:c.rev_bytes
+      ~is_forward:false
+  in
+  List.merge (fun a b -> compare a.time_s b.time_s) fwd rev
+
+let flow_key p = (p.src_node, p.dst_node, p.src_port, p.dst_port)
+
+let reverse_key (src_node, dst_node, src_port, dst_port) =
+  (dst_node, src_node, dst_port, src_port)

@@ -1,0 +1,155 @@
+type t = {
+  node_i : int;
+  node_j : int;
+  duration_s : float;
+  fwd : Packet.t list;
+  rev : Packet.t list;
+}
+
+let capture connections ~node_i ~node_j ~duration_s =
+  if duration_s <= 0. then invalid_arg "Trace.capture: bad duration";
+  let relevant c =
+    let open Connection in
+    (c.initiator = node_i && c.responder = node_j)
+    || (c.initiator = node_j && c.responder = node_i)
+  in
+  let in_window p = p.Packet.time_s >= 0. && p.Packet.time_s < duration_s in
+  let packets =
+    List.concat_map Packet.of_connection (List.filter relevant connections)
+  in
+  let fwd, rev =
+    List.partition (fun p -> p.Packet.src_node = node_i)
+      (List.filter in_window packets)
+  in
+  let by_time = List.sort (fun a b -> compare a.Packet.time_s b.Packet.time_s) in
+  { node_i; node_j; duration_s; fwd = by_time fwd; rev = by_time rev }
+
+type bin_measurement = {
+  f_ij : float;
+  f_ji : float;
+  known_bytes : float;
+  unknown_bytes : float;
+}
+
+(* Per-connection analysis state, keyed by the canonical 5-tuple. *)
+type conn_state = {
+  mutable syn_from_i : bool;
+  mutable syn_from_j : bool;
+  mutable fwd_seen : bool;  (* any i->j packet *)
+  mutable rev_seen : bool;  (* any j->i packet *)
+  mutable fwd_bytes_per_bin : (int, float) Hashtbl.t;
+  mutable rev_bytes_per_bin : (int, float) Hashtbl.t;
+}
+
+let canonical_key p =
+  let k = Packet.flow_key p in
+  let r = Packet.reverse_key k in
+  if k <= r then k else r
+
+let measure_f trace ~bin_s =
+  if bin_s <= 0. then invalid_arg "Trace.measure_f: bad bin width";
+  let bins = int_of_float (Float.ceil (trace.duration_s /. bin_s)) in
+  let bins = Stdlib.max bins 1 in
+  let table : (int * int * int * int, conn_state) Hashtbl.t =
+    Hashtbl.create 1024
+  in
+  let state_of p =
+    let key = canonical_key p in
+    match Hashtbl.find_opt table key with
+    | Some s -> s
+    | None ->
+        let s =
+          {
+            syn_from_i = false;
+            syn_from_j = false;
+            fwd_seen = false;
+            rev_seen = false;
+            fwd_bytes_per_bin = Hashtbl.create 4;
+            rev_bytes_per_bin = Hashtbl.create 4;
+          }
+        in
+        Hashtbl.replace table key s;
+        s
+  in
+  let add_bytes tbl bin bytes =
+    let prev = Option.value ~default:0. (Hashtbl.find_opt tbl bin) in
+    Hashtbl.replace tbl bin (prev +. bytes)
+  in
+  let ingest direction_is_fwd p =
+    let s = state_of p in
+    let bin = int_of_float (p.Packet.time_s /. bin_s) in
+    let bin = Stdlib.min (Stdlib.max bin 0) (bins - 1) in
+    if direction_is_fwd then begin
+      s.fwd_seen <- true;
+      add_bytes s.fwd_bytes_per_bin bin p.Packet.bytes;
+      if p.Packet.syn then s.syn_from_i <- true
+    end
+    else begin
+      s.rev_seen <- true;
+      add_bytes s.rev_bytes_per_bin bin p.Packet.bytes;
+      if p.Packet.syn then s.syn_from_j <- true
+    end
+  in
+  List.iter (ingest true) trace.fwd;
+  List.iter (ingest false) trace.rev;
+  (* Per-bin accumulators following the paper's notation. *)
+  let i_i = Array.make bins 0. (* i->j bytes of connections initiated at i *)
+  and r_i = Array.make bins 0. (* i->j bytes of connections initiated at j *)
+  and i_j = Array.make bins 0. (* j->i bytes of connections initiated at j *)
+  and r_j = Array.make bins 0. (* j->i bytes of connections initiated at i *)
+  and unknown = Array.make bins 0.
+  and known = Array.make bins 0. in
+  Hashtbl.iter
+    (fun _key s ->
+      let classified_i = s.syn_from_i && s.rev_seen in
+      let classified_j = s.syn_from_j && s.fwd_seen in
+      let spill_fwd target =
+        Hashtbl.iter
+          (fun bin bytes ->
+            target.(bin) <- target.(bin) +. bytes;
+            known.(bin) <- known.(bin) +. bytes)
+          s.fwd_bytes_per_bin
+      in
+      let spill_rev target =
+        Hashtbl.iter
+          (fun bin bytes ->
+            target.(bin) <- target.(bin) +. bytes;
+            known.(bin) <- known.(bin) +. bytes)
+          s.rev_bytes_per_bin
+      in
+      let spill_unknown () =
+        Hashtbl.iter
+          (fun bin bytes -> unknown.(bin) <- unknown.(bin) +. bytes)
+          s.fwd_bytes_per_bin;
+        Hashtbl.iter
+          (fun bin bytes -> unknown.(bin) <- unknown.(bin) +. bytes)
+          s.rev_bytes_per_bin
+      in
+      if classified_i && not classified_j then begin
+        spill_fwd i_i;
+        spill_rev r_j
+      end
+      else if classified_j && not classified_i then begin
+        spill_fwd r_i;
+        spill_rev i_j
+      end
+      else spill_unknown ())
+    table;
+  Array.init bins (fun b ->
+      let f_of num den = if num +. den > 0. then num /. (num +. den) else 0. in
+      {
+        f_ij = f_of i_i.(b) r_j.(b);
+        f_ji = f_of i_j.(b) r_i.(b);
+        known_bytes = known.(b);
+        unknown_bytes = unknown.(b);
+      })
+
+let unknown_fraction measurements =
+  let known = ref 0. and unknown = ref 0. in
+  Array.iter
+    (fun m ->
+      known := !known +. m.known_bytes;
+      unknown := !unknown +. m.unknown_bytes)
+    measurements;
+  let total = !known +. !unknown in
+  if total <= 0. then 0. else !unknown /. total

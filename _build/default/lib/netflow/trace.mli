@@ -1,0 +1,42 @@
+(** Bidirectional link packet traces and the paper's Section 5.2 procedure
+    for measuring the forward-traffic fraction [f] from them (Figure 4).
+
+    A trace pair captures both directions of one link (or node pair), as in
+    dataset D3's IPLS traces. The measurement procedure:
+
+    - match the two directions' flows by 5-tuple;
+    - the initiator is the sender of the pure TCP SYN; connections whose
+      handshake precedes the trace are classified unknown;
+    - per time bin, [I_i] is the traffic on the i→j direction belonging to
+      connections initiated at i (with a response seen), [R_i] the i→j
+      traffic of connections initiated at j; then
+      [f_ij = I_i / (I_i + R_j)]. *)
+
+type t = {
+  node_i : int;
+  node_j : int;
+  duration_s : float;
+  fwd : Packet.t list;  (** packets i → j, time-sorted, within the window *)
+  rev : Packet.t list;  (** packets j → i *)
+}
+
+val capture :
+  Connection.t list -> node_i:int -> node_j:int -> duration_s:float -> t
+(** Packetize the connections between the two nodes (either direction of
+    initiation) and keep the packets that fall inside the capture window.
+    Connections that start before time 0 contribute packets without their
+    handshake — exactly the paper's "unknown" class. *)
+
+type bin_measurement = {
+  f_ij : float;  (** measured forward fraction for OD pair (i, j) *)
+  f_ji : float;
+  known_bytes : float;
+  unknown_bytes : float;  (** traffic not attributable to an initiator *)
+}
+
+val measure_f : t -> bin_s:float -> bin_measurement array
+(** Per-bin measurements over the capture window. Bins with no classified
+    traffic report [f_ij = f_ji = 0]. *)
+
+val unknown_fraction : bin_measurement array -> float
+(** Overall fraction of unknown bytes — the paper reports < 20%. *)

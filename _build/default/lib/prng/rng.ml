@@ -1,0 +1,68 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+(* splitmix64: used only to expand the integer seed into generator state,
+   guaranteeing a well-mixed, never-all-zero initial state. *)
+let splitmix64 state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create seed =
+  let state = ref (Int64.of_int seed) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
+let rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+(* xoshiro256++ step *)
+let bits64 g =
+  let open Int64 in
+  let result = add (rotl (add g.s0 g.s3) 23) g.s0 in
+  let t = shift_left g.s1 17 in
+  g.s2 <- logxor g.s2 g.s0;
+  g.s3 <- logxor g.s3 g.s1;
+  g.s1 <- logxor g.s1 g.s2;
+  g.s0 <- logxor g.s0 g.s3;
+  g.s2 <- logxor g.s2 t;
+  g.s3 <- rotl g.s3 45;
+  result
+
+let split g =
+  (* Reseed a fresh stream from the parent's output; splitmix64 in between
+     decorrelates the child from subsequent parent output. *)
+  let state = ref (bits64 g) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
+let copy g = { s0 = g.s0; s1 = g.s1; s2 = g.s2; s3 = g.s3 }
+
+let float g =
+  (* top 53 bits -> [0,1) *)
+  let bits = Int64.shift_right_logical (bits64 g) 11 in
+  Int64.to_float bits *. 0x1.0p-53
+
+let float_range g lo hi = lo +. ((hi -. lo) *. float g)
+
+let int g n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* rejection sampling to avoid modulo bias *)
+  let bound = Int64.of_int n in
+  let rec draw () =
+    let r = Int64.shift_right_logical (bits64 g) 1 in
+    let v = Int64.rem r bound in
+    if Int64.sub r v > Int64.sub (Int64.sub Int64.max_int bound) 1L then draw ()
+    else Int64.to_int v
+  in
+  draw ()
+
+let bool g = Int64.logand (bits64 g) 1L = 1L

@@ -1,0 +1,34 @@
+(** Deterministic pseudo-random number generation.
+
+    The generator is xoshiro256++ seeded through splitmix64, giving
+    high-quality 64-bit streams with cheap, reproducible splitting. All
+    randomness in the library flows through explicit [Rng.t] values so that
+    every dataset and experiment is reproducible from a single integer seed. *)
+
+type t
+
+val create : int -> t
+(** [create seed] builds a generator from an integer seed (any value,
+    including 0, is fine: seeding goes through splitmix64). *)
+
+val split : t -> t
+(** [split rng] derives an independent generator stream and advances [rng].
+    Used to give each node / week / application its own stream so that
+    changing one component's draws does not perturb the others. *)
+
+val copy : t -> t
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val float : t -> float
+(** Uniform in [[0, 1)] with 53 bits of precision. *)
+
+val float_range : t -> float -> float -> float
+(** [float_range rng lo hi] is uniform in [[lo, hi)]. *)
+
+val int : t -> int -> int
+(** [int rng n] is uniform in [[0, n-1]]. Raises [Invalid_argument] if
+    [n <= 0]. *)
+
+val bool : t -> bool

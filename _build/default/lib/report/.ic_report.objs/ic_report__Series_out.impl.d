@@ -1,0 +1,1 @@
+lib/report/series_out.ml: Array Fun Ic_stats List Printf Sparkline String

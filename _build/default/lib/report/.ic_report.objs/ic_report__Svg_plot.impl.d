@@ -1,0 +1,1 @@
+lib/report/svg_plot.ml: Array Buffer Float Fun List Printf Series_out String

@@ -1,0 +1,1 @@
+lib/report/svg_plot.mli: Series_out

@@ -1,0 +1,42 @@
+type t = { label : string; xs : float array; ys : float array }
+
+let make ~label ys =
+  { label; xs = Array.init (Array.length ys) float_of_int; ys }
+
+let make_xy ~label ~xs ~ys =
+  if Array.length xs <> Array.length ys then
+    invalid_arg "Series_out.make_xy: length mismatch";
+  { label; xs; ys }
+
+let summary t =
+  if Array.length t.ys = 0 then Printf.sprintf "%-28s (empty)" t.label
+  else
+    Printf.sprintf "%-28s %s  %s" t.label
+      (Ic_stats.Descriptive.summary t.ys)
+      (Sparkline.render_resampled ~width:48 t.ys)
+
+let to_csv ~path series =
+  match series with
+  | [] -> invalid_arg "Series_out.to_csv: no series"
+  | first :: _ ->
+      List.iter
+        (fun s ->
+          if Array.length s.ys <> Array.length first.xs then
+            invalid_arg "Series_out.to_csv: length mismatch across series")
+        series;
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          output_string oc
+            (String.concat "," ("x" :: List.map (fun s -> s.label) series));
+          output_char oc '\n';
+          Array.iteri
+            (fun k x ->
+              let cells =
+                Printf.sprintf "%.17g" x
+                :: List.map (fun s -> Printf.sprintf "%.17g" s.ys.(k)) series
+              in
+              output_string oc (String.concat "," cells);
+              output_char oc '\n')
+            first.xs)

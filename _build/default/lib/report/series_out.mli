@@ -1,0 +1,17 @@
+(** Uniform packaging of experiment outputs: named series that can be
+    summarized to the terminal and dumped to CSV. *)
+
+type t = { label : string; xs : float array; ys : float array }
+
+val make : label:string -> float array -> t
+(** Series indexed by position (xs = 0,1,2,...). *)
+
+val make_xy : label:string -> xs:float array -> ys:float array -> t
+(** Raises [Invalid_argument] on length mismatch. *)
+
+val summary : t -> string
+(** Label, basic statistics and a sparkline. *)
+
+val to_csv : path:string -> t list -> unit
+(** All series share the x column of the first (they must be the same
+    length); columns are [x, label1, label2, ...]. *)

@@ -1,0 +1,37 @@
+let blocks = [| "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83"; "\xe2\x96\x84";
+                "\xe2\x96\x85"; "\xe2\x96\x86"; "\xe2\x96\x87"; "\xe2\x96\x88" |]
+
+let render xs =
+  if Array.length xs = 0 then ""
+  else begin
+    let lo = Array.fold_left Float.min xs.(0) xs in
+    let hi = Array.fold_left Float.max xs.(0) xs in
+    let buf = Buffer.create (Array.length xs * 3) in
+    Array.iter
+      (fun x ->
+        let level =
+          if hi > lo then
+            int_of_float ((x -. lo) /. (hi -. lo) *. 7.99)
+          else 3
+        in
+        Buffer.add_string buf blocks.(Stdlib.max 0 (Stdlib.min 7 level)))
+      xs;
+    Buffer.contents buf
+  end
+
+let render_resampled ~width xs =
+  if width <= 0 then invalid_arg "Sparkline.render_resampled: bad width";
+  let n = Array.length xs in
+  if n <= width then render xs
+  else begin
+    let out = Array.make width 0. in
+    for k = 0 to width - 1 do
+      let lo = k * n / width and hi = Stdlib.max ((k + 1) * n / width) ((k * n / width) + 1) in
+      let acc = ref 0. in
+      for i = lo to hi - 1 do
+        acc := !acc +. xs.(i)
+      done;
+      out.(k) <- !acc /. float_of_int (hi - lo)
+    done;
+    render out
+  end

@@ -1,0 +1,9 @@
+(** One-line unicode sparklines, used to render time series (improvement
+    curves, activity series) legibly in terminal reports. *)
+
+val render : float array -> string
+(** Scale the series into U+2581..U+2588 block characters. Empty input gives
+    the empty string; a constant series renders at mid height. *)
+
+val render_resampled : width:int -> float array -> string
+(** Average-downsample to at most [width] characters first. *)

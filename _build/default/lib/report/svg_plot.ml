@@ -1,0 +1,201 @@
+type axis = Linear | Log
+
+type spec = {
+  title : string;
+  x_label : string;
+  y_label : string;
+  x_axis : axis;
+  y_axis : axis;
+  width : int;
+  height : int;
+}
+
+let default_spec =
+  {
+    title = "";
+    x_label = "";
+    y_label = "";
+    x_axis = Linear;
+    y_axis = Linear;
+    width = 720;
+    height = 420;
+  }
+
+let palette =
+  [| "#1f77b4"; "#d62728"; "#2ca02c"; "#ff7f0e"; "#9467bd"; "#8c564b";
+     "#17becf"; "#7f7f7f"; "#bcbd22"; "#e377c2" |]
+
+let margin_left = 70
+
+let margin_right = 20
+
+let margin_top = 40
+
+let margin_bottom = 55
+
+(* points of one series that are drawable under the axis modes *)
+let drawable spec (s : Series_out.t) =
+  let ok axis v =
+    Float.is_finite v && match axis with Log -> v > 0. | Linear -> true
+  in
+  let acc = ref [] in
+  for k = Array.length s.xs - 1 downto 0 do
+    if ok spec.x_axis s.xs.(k) && ok spec.y_axis s.ys.(k) then
+      acc := (s.xs.(k), s.ys.(k)) :: !acc
+  done;
+  !acc
+
+let transform axis v = match axis with Linear -> v | Log -> log10 v
+
+(* "nice" tick positions over [lo, hi] in transformed space *)
+let ticks axis lo hi =
+  match axis with
+  | Log ->
+      let first = int_of_float (Float.ceil lo) in
+      let last = int_of_float (Float.floor hi) in
+      if last < first then [ lo; hi ]
+      else List.init (last - first + 1) (fun k -> float_of_int (first + k))
+  | Linear ->
+      if hi <= lo then [ lo ]
+      else begin
+        let span = hi -. lo in
+        let raw_step = span /. 5. in
+        let mag = 10. ** Float.floor (log10 raw_step) in
+        let norm = raw_step /. mag in
+        let step =
+          mag *. (if norm < 1.5 then 1. else if norm < 3.5 then 2. else if norm < 7.5 then 5. else 10.)
+        in
+        let first = Float.ceil (lo /. step) *. step in
+        let rec collect v acc =
+          if v > hi +. (step /. 2.) then List.rev acc
+          else collect (v +. step) (v :: acc)
+        in
+        collect first []
+      end
+
+let tick_label axis v =
+  match axis with
+  | Log -> Printf.sprintf "1e%g" v
+  | Linear ->
+      if Float.abs v >= 1e4 || (Float.abs v < 1e-3 && v <> 0.) then
+        Printf.sprintf "%.1e" v
+      else Printf.sprintf "%g" v
+
+let render spec series =
+  let all_points = List.map (fun s -> (s, drawable spec s)) series in
+  let points = List.concat_map snd all_points in
+  if points = [] then invalid_arg "Svg_plot.render: nothing to draw";
+  let tx = transform spec.x_axis and ty = transform spec.y_axis in
+  let xs = List.map (fun (x, _) -> tx x) points in
+  let ys = List.map (fun (_, y) -> ty y) points in
+  let min_l = List.fold_left Float.min infinity in
+  let max_l = List.fold_left Float.max neg_infinity in
+  let pad lo hi = if hi > lo then (lo, hi) else (lo -. 1., hi +. 1.) in
+  let x_lo, x_hi = pad (min_l xs) (max_l xs) in
+  let y_lo, y_hi = pad (min_l ys) (max_l ys) in
+  let plot_w = spec.width - margin_left - margin_right in
+  let plot_h = spec.height - margin_top - margin_bottom in
+  let px x =
+    float_of_int margin_left
+    +. ((tx x -. x_lo) /. (x_hi -. x_lo) *. float_of_int plot_w)
+  in
+  let py y =
+    float_of_int (margin_top + plot_h)
+    -. ((ty y -. y_lo) /. (y_hi -. y_lo) *. float_of_int plot_h)
+  in
+  let buf = Buffer.create 8192 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out
+    "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" \
+     viewBox=\"0 0 %d %d\" font-family=\"sans-serif\">\n"
+    spec.width spec.height spec.width spec.height;
+  out "<rect width=\"%d\" height=\"%d\" fill=\"white\"/>\n" spec.width
+    spec.height;
+  (* frame *)
+  out
+    "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" fill=\"none\" \
+     stroke=\"#333\" stroke-width=\"1\"/>\n"
+    margin_left margin_top plot_w plot_h;
+  (* title and axis labels *)
+  if spec.title <> "" then
+    out
+      "<text x=\"%d\" y=\"24\" text-anchor=\"middle\" font-size=\"15\">%s</text>\n"
+      (spec.width / 2) spec.title;
+  if spec.x_label <> "" then
+    out
+      "<text x=\"%d\" y=\"%d\" text-anchor=\"middle\" font-size=\"12\">%s</text>\n"
+      (margin_left + (plot_w / 2))
+      (spec.height - 12) spec.x_label;
+  if spec.y_label <> "" then
+    out
+      "<text x=\"16\" y=\"%d\" text-anchor=\"middle\" font-size=\"12\" \
+       transform=\"rotate(-90 16 %d)\">%s</text>\n"
+      (margin_top + (plot_h / 2))
+      (margin_top + (plot_h / 2))
+      spec.y_label;
+  (* ticks and gridlines (positions computed in transformed space) *)
+  List.iter
+    (fun tick ->
+      let x =
+        float_of_int margin_left
+        +. ((tick -. x_lo) /. (x_hi -. x_lo) *. float_of_int plot_w)
+      in
+      out
+        "<line x1=\"%.1f\" y1=\"%d\" x2=\"%.1f\" y2=\"%d\" stroke=\"#ddd\"/>\n"
+        x margin_top x (margin_top + plot_h);
+      out
+        "<text x=\"%.1f\" y=\"%d\" text-anchor=\"middle\" \
+         font-size=\"11\">%s</text>\n"
+        x
+        (margin_top + plot_h + 16)
+        (tick_label spec.x_axis tick))
+    (ticks spec.x_axis x_lo x_hi);
+  List.iter
+    (fun tick ->
+      let y =
+        float_of_int (margin_top + plot_h)
+        -. ((tick -. y_lo) /. (y_hi -. y_lo) *. float_of_int plot_h)
+      in
+      out
+        "<line x1=\"%d\" y1=\"%.1f\" x2=\"%d\" y2=\"%.1f\" stroke=\"#ddd\"/>\n"
+        margin_left y (margin_left + plot_w) y;
+      out
+        "<text x=\"%d\" y=\"%.1f\" text-anchor=\"end\" font-size=\"11\">%s</text>\n"
+        (margin_left - 6) (y +. 4.)
+        (tick_label spec.y_axis tick))
+    (ticks spec.y_axis y_lo y_hi);
+  (* series *)
+  List.iteri
+    (fun idx ((s : Series_out.t), pts) ->
+      let color = palette.(idx mod Array.length palette) in
+      if pts <> [] then begin
+        let path =
+          String.concat " "
+            (List.map (fun (x, y) -> Printf.sprintf "%.1f,%.1f" (px x) (py y)) pts)
+        in
+        out
+          "<polyline points=\"%s\" fill=\"none\" stroke=\"%s\" \
+           stroke-width=\"1.5\"/>\n"
+          path color
+      end;
+      (* legend entry *)
+      let ly = margin_top + 8 + (idx * 16) in
+      out
+        "<line x1=\"%d\" y1=\"%d\" x2=\"%d\" y2=\"%d\" stroke=\"%s\" \
+         stroke-width=\"2\"/>\n"
+        (margin_left + plot_w - 150)
+        ly
+        (margin_left + plot_w - 130)
+        ly color;
+      out "<text x=\"%d\" y=\"%d\" font-size=\"11\">%s</text>\n"
+        (margin_left + plot_w - 124)
+        (ly + 4) s.label)
+    all_points;
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf
+
+let write ~path spec series =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (render spec series))

@@ -1,0 +1,27 @@
+(** Dependency-free SVG line charts, so `ic-lab experiment --out DIR` can
+    regenerate the paper's figures as images next to the CSV series. *)
+
+type axis = Linear | Log
+(** Log axes drop non-positive points (used by the Figure 7 CCDFs). *)
+
+type spec = {
+  title : string;
+  x_label : string;
+  y_label : string;
+  x_axis : axis;
+  y_axis : axis;
+  width : int;  (** pixels; default 720 in {!default_spec} *)
+  height : int;
+}
+
+val default_spec : spec
+(** Linear axes, 720x420, empty labels. *)
+
+val render : spec -> Series_out.t list -> string
+(** Render the series as an SVG document: one polyline per series with a
+    color cycle, axes with tick labels, and a legend. Series may have
+    different lengths. Raises [Invalid_argument] when no series contains a
+    drawable point. *)
+
+val write : path:string -> spec -> Series_out.t list -> unit
+(** Write {!render}'s output to a file. *)

@@ -1,0 +1,23 @@
+let render ~header rows =
+  let cols = List.length header in
+  List.iter
+    (fun r ->
+      if List.length r <> cols then invalid_arg "Table.render: ragged row")
+    rows;
+  let all = header :: rows in
+  let widths = Array.make cols 0 in
+  List.iter
+    (List.iteri (fun c cell ->
+         widths.(c) <- Stdlib.max widths.(c) (String.length cell)))
+    all;
+  let pad c cell = cell ^ String.make (widths.(c) - String.length cell) ' ' in
+  let render_row r = String.concat "  " (List.mapi pad r) in
+  let sep =
+    String.concat "  "
+      (List.init cols (fun c -> String.make widths.(c) '-'))
+  in
+  String.concat "\n" (render_row header :: sep :: List.map render_row rows)
+
+let render_floats ?(precision = 4) ~header rows =
+  render ~header
+    (List.map (List.map (Printf.sprintf "%.*g" precision)) rows)

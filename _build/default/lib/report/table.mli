@@ -1,0 +1,9 @@
+(** Plain-text tables for experiment reports. *)
+
+val render : header:string list -> string list list -> string
+(** Column-aligned rendering with a separator row under the header. Raises
+    [Invalid_argument] on ragged rows. *)
+
+val render_floats :
+  ?precision:int -> header:string list -> float list list -> string
+(** Numeric rows formatted with [%.*g] (default precision 4). *)

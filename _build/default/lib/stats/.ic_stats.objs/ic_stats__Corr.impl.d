@@ -1,0 +1,1 @@
+lib/stats/corr.ml: Array Descriptive

@@ -1,0 +1,1 @@
+lib/stats/fit_dist.ml: Array Ccdf Descriptive Float Ks

@@ -1,0 +1,37 @@
+let pearson x y =
+  let n = Array.length x in
+  if n <> Array.length y then invalid_arg "Corr.pearson: length mismatch";
+  if n < 2 then invalid_arg "Corr.pearson: need at least two points";
+  let mx = Descriptive.mean x and my = Descriptive.mean y in
+  let sxy = ref 0. and sxx = ref 0. and syy = ref 0. in
+  for i = 0 to n - 1 do
+    let dx = x.(i) -. mx and dy = y.(i) -. my in
+    sxy := !sxy +. (dx *. dy);
+    sxx := !sxx +. (dx *. dx);
+    syy := !syy +. (dy *. dy)
+  done;
+  if !sxx = 0. || !syy = 0. then
+    invalid_arg "Corr.pearson: zero variance input";
+  !sxy /. sqrt (!sxx *. !syy)
+
+let ranks xs =
+  let n = Array.length xs in
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> compare xs.(a) xs.(b)) order;
+  let r = Array.make n 0. in
+  let i = ref 0 in
+  while !i < n do
+    (* find the extent of the tie group starting at !i *)
+    let j = ref !i in
+    while !j + 1 < n && xs.(order.(!j + 1)) = xs.(order.(!i)) do
+      incr j
+    done;
+    let avg_rank = float_of_int (!i + !j + 2) /. 2. in
+    for k = !i to !j do
+      r.(order.(k)) <- avg_rank
+    done;
+    i := !j + 1
+  done;
+  r
+
+let spearman x y = pearson (ranks x) (ranks y)

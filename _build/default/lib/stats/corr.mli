@@ -1,0 +1,13 @@
+(** Correlation measures. The paper checks (a) that preference values are
+    essentially uncorrelated with egress volume above the median (Fig 8) and
+    (b) that preference and mean activity are uncorrelated (Section 5.4). *)
+
+val pearson : float array -> float array -> float
+(** Linear correlation coefficient. Raises [Invalid_argument] on length
+    mismatch, input shorter than 2, or zero variance. *)
+
+val spearman : float array -> float array -> float
+(** Rank correlation (Pearson on average-tie ranks). *)
+
+val ranks : float array -> float array
+(** Average-tie ranks (1-based), exposed for testing. *)

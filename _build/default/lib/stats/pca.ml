@@ -1,0 +1,60 @@
+module Vec = Ic_linalg.Vec
+module Mat = Ic_linalg.Mat
+
+type t = { mean : Vec.t; components : Mat.t; variances : Vec.t }
+
+let fit data =
+  let rows, cols = Mat.dims data in
+  if rows < 2 then invalid_arg "Pca.fit: need at least two observations";
+  let mean =
+    Array.init cols (fun j ->
+        let acc = ref 0. in
+        for i = 0 to rows - 1 do
+          acc := !acc +. Mat.get data i j
+        done;
+        !acc /. float_of_int rows)
+  in
+  let centered = Mat.init rows cols (fun i j -> Mat.get data i j -. mean.(j)) in
+  let cov = Mat.scale (1. /. float_of_int (rows - 1)) (Mat.gram centered) in
+  let eig = Ic_linalg.Eig.decompose cov in
+  {
+    mean;
+    components = eig.eigenvectors;
+    variances = Vec.clamp_nonneg eig.eigenvalues;
+  }
+
+let explained_ratio t =
+  let total = Vec.sum t.variances in
+  if total <= 0. then Array.make (Array.length t.variances) 0.
+  else Vec.scale (1. /. total) t.variances
+
+let components_for t ~variance =
+  if variance <= 0. || variance > 1. then
+    invalid_arg "Pca.components_for: variance share out of (0,1]";
+  let ratios = explained_ratio t in
+  let rec scan k acc =
+    if k >= Array.length ratios then Array.length ratios
+    else begin
+      let acc = acc +. ratios.(k) in
+      if acc >= variance -. 1e-12 then k + 1 else scan (k + 1) acc
+    end
+  in
+  scan 0 0.
+
+let check_k t k =
+  let _, n = Mat.dims t.components in
+  if k < 0 || k > n then invalid_arg "Pca: component count out of range"
+
+let project t x ~k =
+  check_k t k;
+  let centered = Vec.sub x t.mean in
+  Array.init k (fun c -> Vec.dot centered (Mat.col t.components c))
+
+let reconstruct t x ~k =
+  check_k t k;
+  let scores = project t x ~k in
+  let out = Array.copy t.mean in
+  for c = 0 to k - 1 do
+    Vec.axpy scores.(c) (Mat.col t.components c) out
+  done;
+  out

@@ -1,0 +1,29 @@
+(** Principal component analysis, used for the "eigenflow" structural
+    analysis of TM series (Lakhina et al., SIGMETRICS 2004 — the paper's
+    reference [8]): a week of OD flows is effectively low-dimensional, with
+    a handful of eigenflows carrying most of the variance. *)
+
+type t = {
+  mean : Ic_linalg.Vec.t;  (** per-dimension mean of the input rows *)
+  components : Ic_linalg.Mat.t;
+      (** one principal axis per column, orthonormal, sorted by variance *)
+  variances : Ic_linalg.Vec.t;  (** eigenvalues of the covariance, >= 0 *)
+}
+
+val fit : Ic_linalg.Mat.t -> t
+(** [fit data] with one observation per row and one dimension per column.
+    Raises [Invalid_argument] with fewer than 2 rows. *)
+
+val explained_ratio : t -> Ic_linalg.Vec.t
+(** Per-component share of total variance (sums to 1 when the total
+    variance is positive). *)
+
+val components_for : t -> variance:float -> int
+(** Smallest number of leading components explaining at least the given
+    variance share (in (0, 1]). *)
+
+val project : t -> Ic_linalg.Vec.t -> k:int -> Ic_linalg.Vec.t
+(** Scores of one observation on the first [k] components. *)
+
+val reconstruct : t -> Ic_linalg.Vec.t -> k:int -> Ic_linalg.Vec.t
+(** Rank-[k] reconstruction of one observation. *)

@@ -1,0 +1,1 @@
+lib/timeseries/acf.ml: Array Ic_stats

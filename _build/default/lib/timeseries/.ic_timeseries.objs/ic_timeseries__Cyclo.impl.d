@@ -1,0 +1,1 @@
+lib/timeseries/cyclo.ml: Array Diurnal Ic_prng Timebin

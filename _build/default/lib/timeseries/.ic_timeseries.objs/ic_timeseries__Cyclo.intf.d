@@ -1,0 +1,1 @@
+lib/timeseries/cyclo.mli: Diurnal Ic_prng Timebin

@@ -1,0 +1,1 @@
+lib/timeseries/cyclo_fit.ml: Array Float Ic_linalg Ic_prng Timebin

@@ -1,0 +1,1 @@
+lib/timeseries/cyclo_fit.mli: Ic_prng Timebin

@@ -1,0 +1,1 @@
+lib/timeseries/diurnal.ml: Float Hashtbl

@@ -1,0 +1,20 @@
+(** Autocorrelation analysis, used to verify that generated and fitted
+    activity series carry the expected daily periodicity (Figure 9). *)
+
+val autocorrelation : float array -> int -> float
+(** [autocorrelation xs lag] is the sample autocorrelation at the given lag
+    (biased estimator, denominator n). Raises [Invalid_argument] if the lag
+    is out of range or the series is constant. *)
+
+val acf : float array -> max_lag:int -> float array
+(** Autocorrelations for lags [0 .. max_lag]. *)
+
+val dominant_period : float array -> max_lag:int -> int
+(** The first autocorrelation peak after the initial decay (the raw argmax
+    is always lag 1 for smooth series) — for a diurnal series binned at 5
+    minutes this should be ~288. Falls back to the raw argmax when the
+    autocorrelation decays monotonically (no periodic structure). *)
+
+val periodicity_strength : float array -> period:int -> float
+(** Autocorrelation at exactly the claimed period; near 1 means strongly
+    periodic. *)

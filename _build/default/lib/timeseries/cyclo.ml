@@ -1,0 +1,38 @@
+type t = {
+  base_level : float;
+  diurnal : Diurnal.t;
+  weekend : float;
+  noise_sigma : float;
+  noise_phi : float;
+}
+
+let make ?(diurnal = Diurnal.default) ?(weekend = 0.6) ?(noise_sigma = 0.15)
+    ?(noise_phi = 0.8) ~base_level () =
+  if base_level <= 0. then invalid_arg "Cyclo.make: base_level must be positive";
+  if weekend <= 0. || weekend > 1. then
+    invalid_arg "Cyclo.make: weekend damping must lie in (0,1]";
+  if noise_sigma < 0. then invalid_arg "Cyclo.make: negative noise sigma";
+  if noise_phi < 0. || noise_phi >= 1. then
+    invalid_arg "Cyclo.make: AR coefficient must lie in [0,1)";
+  { base_level; diurnal; weekend; noise_sigma; noise_phi }
+
+let envelope t binning k =
+  let hour = Timebin.hour_of_day binning k in
+  let day = Timebin.day_of_week binning k in
+  t.base_level
+  *. Diurnal.factor t.diurnal ~hour
+  *. Diurnal.weekend_damping t.weekend ~day
+
+let generate t binning rng ~bins =
+  if bins < 0 then invalid_arg "Cyclo.generate: negative length";
+  (* AR(1) in log space with stationary marginal N(0, noise_sigma^2):
+     innovations have sigma * sqrt(1 - phi^2). *)
+  let innov_sigma = t.noise_sigma *. sqrt (1. -. (t.noise_phi *. t.noise_phi)) in
+  let log_noise = ref (Ic_prng.Sampler.normal rng ~mu:0. ~sigma:t.noise_sigma) in
+  Array.init bins (fun k ->
+      let e = envelope t binning k in
+      let value = e *. exp (!log_noise -. (t.noise_sigma *. t.noise_sigma /. 2.)) in
+      log_noise :=
+        (t.noise_phi *. !log_noise)
+        +. Ic_prng.Sampler.normal rng ~mu:0. ~sigma:innov_sigma;
+      value)

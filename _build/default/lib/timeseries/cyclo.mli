@@ -1,0 +1,32 @@
+(** Cyclo-stationary activity generator (Soule et al., SIGMETRICS 2004 style):
+    a deterministic periodic envelope (diurnal profile x weekend damping)
+    modulated by lognormal AR(1) noise. This is the process used to generate
+    per-node activity series [A_i(t)] for the synthetic datasets and the
+    Section 5.5 TM-generation recipe. *)
+
+type t = {
+  base_level : float;  (** mean activity in bytes per bin *)
+  diurnal : Diurnal.t;
+  weekend : float;  (** weekend damping factor in (0, 1] *)
+  noise_sigma : float;  (** stddev of the lognormal modulation's log *)
+  noise_phi : float;  (** AR(1) coefficient of the log-noise, in [0, 1) *)
+}
+
+val make :
+  ?diurnal:Diurnal.t ->
+  ?weekend:float ->
+  ?noise_sigma:float ->
+  ?noise_phi:float ->
+  base_level:float ->
+  unit ->
+  t
+(** Defaults: [Diurnal.default], weekend damping 0.6, noise sigma 0.15,
+    AR coefficient 0.8. Raises [Invalid_argument] on non-positive
+    [base_level]. *)
+
+val envelope : t -> Timebin.t -> int -> float
+(** Deterministic part of the activity at a bin: base x diurnal x weekend. *)
+
+val generate : t -> Timebin.t -> Ic_prng.Rng.t -> bins:int -> float array
+(** Sample an activity series of the given length. All values are strictly
+    positive. *)

@@ -1,0 +1,35 @@
+type t = { trough : float; peak_hour : float; sharpness : float }
+
+let default = { trough = 0.25; peak_hour = 15.; sharpness = 1.6 }
+
+(* Von-Mises-style circular bump on the 24h clock, raised on a floor. *)
+let raw t hour =
+  let angle = 2. *. Float.pi *. (hour -. t.peak_hour) /. 24. in
+  t.trough +. ((1. -. t.trough) *. exp (t.sharpness *. (cos angle -. 1.)))
+
+(* Daily means are cached per profile: generators evaluate the same profile
+   hundreds of thousands of times. *)
+let mean_cache : (t, float) Hashtbl.t = Hashtbl.create 8
+
+let daily_mean t =
+  match Hashtbl.find_opt mean_cache t with
+  | Some m -> m
+  | None ->
+      let samples = 288 in
+      let acc = ref 0. in
+      for k = 0 to samples - 1 do
+        acc := !acc +. raw t (24. *. float_of_int k /. float_of_int samples)
+      done;
+      let m = !acc /. float_of_int samples in
+      Hashtbl.replace mean_cache t m;
+      m
+
+let factor t ~hour =
+  if t.trough <= 0. || t.trough > 1. then
+    invalid_arg "Diurnal.factor: trough must lie in (0,1]";
+  raw t hour /. daily_mean t
+
+let weekend_damping d ~day =
+  if d <= 0. || d > 1. then
+    invalid_arg "Diurnal.weekend_damping: damping must lie in (0,1]";
+  if day = 5 || day = 6 then d else 1.

@@ -1,0 +1,24 @@
+(** Parametric diurnal (daily) traffic profile.
+
+    Network activity follows a familiar day/night cycle with a working-hours
+    plateau; the paper observes exactly this pattern in the fitted activity
+    series (Figure 9). The profile is a smooth, strictly positive
+    multiplicative factor normalized to mean 1 over a day. *)
+
+type t = {
+  trough : float;  (** night-time floor as a fraction of the peak, in (0,1] *)
+  peak_hour : float;  (** hour of maximum activity, [0, 24) *)
+  sharpness : float;  (** larger values concentrate activity around the peak *)
+}
+
+val default : t
+(** Trough 0.25, peak at 15:00, moderate sharpness — a typical European
+    research-network weekday shape. *)
+
+val factor : t -> hour:float -> float
+(** Multiplicative activity factor at the given fractional hour; mean over a
+    uniform day is 1 (up to quadrature error < 1e-3). Strictly positive. *)
+
+val weekend_damping : float -> day:int -> float
+(** [weekend_damping d ~day] is [d] on Saturday/Sunday (day 5 or 6) and 1
+    otherwise; [d] in (0, 1]. *)

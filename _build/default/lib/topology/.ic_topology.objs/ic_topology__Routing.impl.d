@@ -1,0 +1,1 @@
+lib/topology/routing.ml: Array Dijkstra Graph Hashtbl Ic_linalg List Option Printf

@@ -1,0 +1,1 @@
+lib/topology/snmp.ml: Array Ic_prng

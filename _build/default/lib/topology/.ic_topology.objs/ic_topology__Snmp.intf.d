@@ -1,0 +1,1 @@
+lib/topology/snmp.mli: Ic_linalg Ic_prng

@@ -1,0 +1,1 @@
+lib/topology/topo_io.ml: Array Fun Graph List Printf String

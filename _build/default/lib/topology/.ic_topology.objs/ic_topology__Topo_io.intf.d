@@ -1,0 +1,1 @@
+lib/topology/topo_io.mli: Graph

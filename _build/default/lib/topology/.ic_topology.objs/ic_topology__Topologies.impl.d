@@ -1,0 +1,1 @@
+lib/topology/topologies.ml: Array Float Graph Ic_prng List Option Printf

@@ -1,0 +1,89 @@
+type result = { dist : float array; reachable : bool array }
+
+(* Minimal binary heap of (distance, node) pairs keyed by distance. *)
+module Heap = struct
+  type t = {
+    mutable data : (float * int) array;
+    mutable size : int;
+  }
+
+  let create capacity = { data = Array.make (Stdlib.max capacity 1) (0., 0); size = 0 }
+
+  let is_empty h = h.size = 0
+
+  let swap h i j =
+    let tmp = h.data.(i) in
+    h.data.(i) <- h.data.(j);
+    h.data.(j) <- tmp
+
+  let push h entry =
+    if h.size = Array.length h.data then begin
+      let grown = Array.make (2 * h.size) (0., 0) in
+      Array.blit h.data 0 grown 0 h.size;
+      h.data <- grown
+    end;
+    h.data.(h.size) <- entry;
+    let i = ref h.size in
+    h.size <- h.size + 1;
+    while !i > 0 && fst h.data.((!i - 1) / 2) > fst h.data.(!i) do
+      swap h !i ((!i - 1) / 2);
+      i := (!i - 1) / 2
+    done
+
+  let pop h =
+    if h.size = 0 then invalid_arg "Heap.pop: empty";
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    h.data.(0) <- h.data.(h.size);
+    let i = ref 0 in
+    let continue_ = ref true in
+    while !continue_ do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < h.size && fst h.data.(l) < fst h.data.(!smallest) then smallest := l;
+      if r < h.size && fst h.data.(r) < fst h.data.(!smallest) then smallest := r;
+      if !smallest = !i then continue_ := false
+      else begin
+        swap h !i !smallest;
+        i := !smallest
+      end
+    done;
+    top
+end
+
+let run g s =
+  let n = Graph.node_count g in
+  if s < 0 || s >= n then invalid_arg "Dijkstra.run: bad source";
+  let dist = Array.make n infinity in
+  let settled = Array.make n false in
+  dist.(s) <- 0.;
+  let heap = Heap.create n in
+  Heap.push heap (0., s);
+  while not (Heap.is_empty heap) do
+    let d, u = Heap.pop heap in
+    if not settled.(u) && d <= dist.(u) then begin
+      settled.(u) <- true;
+      List.iter
+        (fun (e : Graph.edge) ->
+          let nd = d +. e.weight in
+          if nd < dist.(e.dst) then begin
+            dist.(e.dst) <- nd;
+            Heap.push heap (nd, e.dst)
+          end)
+        (Graph.out_edges g u)
+    end
+  done;
+  { dist; reachable = Array.map (fun d -> d < infinity) dist }
+
+let all_pairs g =
+  Array.init (Graph.node_count g) (fun s -> (run g s).dist)
+
+let on_shortest_path dist ~src ~dst (e : Graph.edge) =
+  let total = dist.(src).(dst) in
+  total < infinity
+  && Float.abs (dist.(src).(e.src) +. e.weight +. dist.(e.dst).(dst) -. total)
+     <= 1e-9 *. Float.max 1. total
+
+let shortest_path_edges g dist ~src ~dst =
+  if src = dst then []
+  else List.filter (on_shortest_path dist ~src ~dst) (Graph.edges g)

@@ -1,0 +1,20 @@
+(** Single-source shortest paths over IGP weights. *)
+
+type result = {
+  dist : float array;  (** shortest distance from the source; [infinity] if
+                           unreachable *)
+  reachable : bool array;
+}
+
+val run : Graph.t -> int -> result
+(** [run g s] computes shortest distances from [s] using a binary-heap
+    Dijkstra. *)
+
+val all_pairs : Graph.t -> float array array
+(** [all_pairs g] has entry [(i).(j)] = shortest distance from [i] to [j]. *)
+
+val shortest_path_edges : Graph.t -> float array array -> src:int -> dst:int ->
+  Graph.edge list
+(** Edges lying on at least one shortest path from [src] to [dst], given the
+    all-pairs distance table. Empty if [dst] is unreachable or equals
+    [src]. *)

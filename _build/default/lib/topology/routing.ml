@@ -1,0 +1,104 @@
+type t = { graph : Graph.t; matrix : Ic_linalg.Sparse.t; with_marginals : bool }
+
+let od_index ~n i j = (i * n) + j
+
+(* Fraction of the OD pair (src,dst)'s traffic on each edge under per-hop
+   equal (ECMP) splitting: propagate node shares through the shortest-path
+   DAG in increasing distance-from-src order. *)
+let ecmp_fractions g dist ~src ~dst =
+  let dag = Dijkstra.shortest_path_edges g dist ~src ~dst in
+  let out_by_node = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Graph.edge) ->
+      let existing =
+        Option.value ~default:[] (Hashtbl.find_opt out_by_node e.src)
+      in
+      Hashtbl.replace out_by_node e.src (e :: existing))
+    dag;
+  let nodes =
+    List.sort_uniq compare
+      (List.concat_map (fun (e : Graph.edge) -> [ e.src; e.dst ]) dag)
+  in
+  let ordered =
+    List.sort (fun u v -> compare dist.(src).(u) dist.(src).(v)) nodes
+  in
+  let node_share = Hashtbl.create 16 in
+  Hashtbl.replace node_share src 1.;
+  let edge_share = Hashtbl.create 16 in
+  List.iter
+    (fun u ->
+      match Hashtbl.find_opt node_share u with
+      | None -> ()
+      | Some share when u <> dst ->
+          let outs = Option.value ~default:[] (Hashtbl.find_opt out_by_node u) in
+          let k = List.length outs in
+          if k > 0 then begin
+            let per_edge = share /. float_of_int k in
+            List.iter
+              (fun (e : Graph.edge) ->
+                Hashtbl.replace edge_share e.id per_edge;
+                let prev =
+                  Option.value ~default:0. (Hashtbl.find_opt node_share e.dst)
+                in
+                Hashtbl.replace node_share e.dst (prev +. per_edge))
+              outs
+          end
+      | Some _ -> ())
+    ordered;
+  edge_share
+
+let build ?(with_marginals = true) g =
+  let n = Graph.node_count g in
+  let m = Graph.edge_count g in
+  let dist = Dijkstra.all_pairs g in
+  let triplets = ref [] in
+  for src = 0 to n - 1 do
+    for dst = 0 to n - 1 do
+      if src <> dst then begin
+        if dist.(src).(dst) = infinity then
+          invalid_arg
+            (Printf.sprintf "Routing.build: no route from %s to %s"
+               (Graph.name g src) (Graph.name g dst));
+        let col = od_index ~n src dst in
+        let shares = ecmp_fractions g dist ~src ~dst in
+        Hashtbl.iter
+          (fun edge_id share -> triplets := (edge_id, col, share) :: !triplets)
+          shares
+      end
+    done
+  done;
+  if with_marginals then
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        (* ingress row for node i covers every OD pair originating at i *)
+        triplets := (m + i, od_index ~n i j, 1.) :: !triplets;
+        (* egress row for node i covers every OD pair terminating at i *)
+        triplets := (m + n + i, od_index ~n j i, 1.) :: !triplets
+      done
+    done;
+  let rows = if with_marginals then m + (2 * n) else m in
+  {
+    graph = g;
+    matrix = Ic_linalg.Sparse.of_triplets ~rows ~cols:(n * n) !triplets;
+    with_marginals;
+  }
+
+let link_loads t x = Ic_linalg.Sparse.mulv t.matrix x
+
+let row_count t = Ic_linalg.Sparse.rows t.matrix
+
+let od_count t = Ic_linalg.Sparse.cols t.matrix
+
+let edge_row _t id = id
+
+let require_marginals t name =
+  if not t.with_marginals then
+    invalid_arg (Printf.sprintf "Routing.%s: built without marginal rows" name)
+
+let ingress_row t i =
+  require_marginals t "ingress_row";
+  Graph.edge_count t.graph + i
+
+let egress_row t i =
+  require_marginals t "egress_row";
+  Graph.edge_count t.graph + Graph.node_count t.graph + i

@@ -1,0 +1,40 @@
+type spec = { noise_sigma : float; loss_rate : float }
+
+let default = { noise_sigma = 0.01; loss_rate = 0.01 }
+
+let ideal = { noise_sigma = 0.; loss_rate = 0. }
+
+let measure_series spec rng loads =
+  if spec.noise_sigma < 0. then invalid_arg "Snmp: negative noise";
+  if spec.loss_rate < 0. || spec.loss_rate >= 1. then
+    invalid_arg "Snmp: loss rate out of [0,1)";
+  let bins = Array.length loads in
+  if bins = 0 then [||]
+  else begin
+    let m = Array.length loads.(0) in
+    Array.iter
+      (fun v ->
+        if Array.length v <> m then
+          invalid_arg "Snmp.measure_series: ragged load series")
+      loads;
+    let correction = spec.noise_sigma *. spec.noise_sigma /. 2. in
+    let last = Array.copy loads.(0) in
+    Array.map
+      (fun true_loads ->
+        let measured =
+          Array.mapi
+            (fun e v ->
+              if spec.loss_rate > 0. && Ic_prng.Rng.float rng < spec.loss_rate
+              then last.(e) (* missing poll: carry the last value forward *)
+              else if spec.noise_sigma = 0. then v
+              else
+                v
+                *. exp
+                     (Ic_prng.Sampler.normal rng ~mu:(-.correction)
+                        ~sigma:spec.noise_sigma))
+            true_loads
+        in
+        Array.blit measured 0 last 0 m;
+        measured)
+      loads
+  end

@@ -1,0 +1,28 @@
+(** SNMP-style link-load measurement.
+
+    The estimation problem's inputs [Y] come from SNMP byte counters in
+    practice (paper Section 6: "the link counts Y can be obtained through
+    standard SNMP measurements"). Real counters add two artifacts that the
+    idealized [Y = R x] lacks: per-poll noise (polling-interval jitter,
+    counter timing) and missing polls. This module simulates both so the
+    pipeline's robustness can be measured. *)
+
+type spec = {
+  noise_sigma : float;  (** multiplicative lognormal per link per poll *)
+  loss_rate : float;  (** probability that a poll is missing *)
+}
+
+val default : spec
+(** 1% noise, 1% lost polls. *)
+
+val ideal : spec
+(** No artifacts — for tests and ablation baselines. *)
+
+val measure_series :
+  spec -> Ic_prng.Rng.t -> Ic_linalg.Vec.t array -> Ic_linalg.Vec.t array
+(** [measure_series spec rng loads] distorts a per-bin series of true link
+    loads: each entry gets independent mean-corrected lognormal noise, and
+    missing polls are imputed by carrying the last observed value forward
+    (first-bin losses fall back to the true value). Raises
+    [Invalid_argument] on inconsistent dimensions or parameters out of
+    range. *)

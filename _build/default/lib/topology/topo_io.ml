@@ -1,0 +1,97 @@
+let parse contents =
+  let lines = String.split_on_char '\n' contents in
+  let directives =
+    List.filteri (fun _ _ -> true) lines
+    |> List.mapi (fun k line -> (k + 1, String.trim line))
+    |> List.filter (fun (_, line) ->
+           line <> "" && not (String.length line > 0 && line.[0] = '#'))
+  in
+  let nodes = ref [] in
+  let links = ref [] in
+  let error = ref None in
+  List.iter
+    (fun (lineno, line) ->
+      if !error = None then begin
+        let fields =
+          List.filter (fun s -> s <> "") (String.split_on_char ' ' line)
+        in
+        match fields with
+        | [ "node"; name ] ->
+            if List.mem name !nodes then
+              error := Some (Printf.sprintf "line %d: duplicate node %s" lineno name)
+            else nodes := name :: !nodes
+        | "link" :: a :: b :: rest -> begin
+            let parse_float s =
+              match float_of_string_opt s with
+              | Some v when v > 0. -> Ok v
+              | _ -> Error (Printf.sprintf "line %d: bad number %s" lineno s)
+            in
+            let weight, capacity =
+              match rest with
+              | [] -> (Ok 1., Ok 1e9)
+              | [ w ] -> (parse_float w, Ok 1e9)
+              | [ w; c ] -> (parse_float w, parse_float c)
+              | _ -> (Error (Printf.sprintf "line %d: too many fields" lineno), Ok 1e9)
+            in
+            match (weight, capacity) with
+            | Ok w, Ok c ->
+                if not (List.mem a !nodes) then
+                  error := Some (Printf.sprintf "line %d: unknown node %s" lineno a)
+                else if not (List.mem b !nodes) then
+                  error := Some (Printf.sprintf "line %d: unknown node %s" lineno b)
+                else links := (a, b, w, c) :: !links
+            | Error e, _ | _, Error e -> error := Some e
+          end
+        | _ ->
+            error :=
+              Some (Printf.sprintf "line %d: expected 'node' or 'link'" lineno)
+      end)
+    directives;
+  match !error with
+  | Some e -> Error e
+  | None ->
+      let names = Array.of_list (List.rev !nodes) in
+      if Array.length names = 0 then Error "no nodes declared"
+      else begin
+        let graph = ref (Graph.create ~names) in
+        let index name =
+          match Graph.index_of_name !graph name with
+          | Some i -> i
+          | None -> assert false (* declared above *)
+        in
+        match
+          List.iter
+            (fun (a, b, w, c) ->
+              graph :=
+                Graph.add_link ~weight:w ~capacity:c !graph (index a) (index b))
+            (List.rev !links)
+        with
+        | () -> Ok !graph
+        | exception Invalid_argument msg -> Error msg
+      end
+
+let load path =
+  match
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | contents -> parse contents
+  | exception Sys_error e -> Error e
+
+let save path graph =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      for i = 0 to Graph.node_count graph - 1 do
+        Printf.fprintf oc "node %s\n" (Graph.name graph i)
+      done;
+      List.iter
+        (fun (e : Graph.edge) ->
+          (* write each physical link once: keep the src < dst direction *)
+          if e.src < e.dst then
+            Printf.fprintf oc "link %s %s %g %g\n" (Graph.name graph e.src)
+              (Graph.name graph e.dst) e.weight e.capacity)
+        (Graph.edges graph))

@@ -1,0 +1,22 @@
+(** Plain-text topology files, so the CLI can run on user-supplied networks.
+
+    Format (one directive per line, [#] comments and blank lines ignored):
+
+    {v
+    node <name>
+    link <name> <name> [weight] [capacity_bps]
+    v}
+
+    [link] adds both directions with the given IGP weight (default 1) and
+    capacity in bits per second (default 1e9). Nodes must be declared before
+    links reference them. *)
+
+val load : string -> (Graph.t, string) result
+(** Parse a topology file; the error describes the offending line. *)
+
+val save : string -> Graph.t -> unit
+(** Write a graph in the same format. Each physical link (edge pair) is
+    written once, using the lower-id direction's weight and capacity. *)
+
+val parse : string -> (Graph.t, string) result
+(** Same as {!load} from the contents instead of a path. *)

@@ -1,0 +1,1 @@
+lib/traffic/csv_io.ml: Array Fun List Printf Series String Tm

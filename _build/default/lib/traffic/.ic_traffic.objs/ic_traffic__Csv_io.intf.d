@@ -1,0 +1,1 @@
+lib/traffic/csv_io.mli: Ic_timeseries Series

@@ -1,0 +1,1 @@
+lib/traffic/error.ml: Array Ic_linalg Series Tm

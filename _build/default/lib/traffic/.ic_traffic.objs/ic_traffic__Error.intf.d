@@ -1,0 +1,1 @@
+lib/traffic/error.mli: Series Tm

@@ -1,0 +1,1 @@
+lib/traffic/marginals.ml: Array Ic_linalg Tm

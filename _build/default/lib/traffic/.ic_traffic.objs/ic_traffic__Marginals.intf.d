@@ -1,0 +1,1 @@
+lib/traffic/marginals.mli: Ic_linalg Tm

@@ -1,0 +1,1 @@
+lib/traffic/series.ml: Array Ic_timeseries List Marginals Tm

@@ -1,0 +1,1 @@
+lib/traffic/series.mli: Ic_timeseries Tm

@@ -1,0 +1,1 @@
+lib/traffic/tm.ml: Array Float Format Ic_linalg Printf

@@ -1,0 +1,1 @@
+lib/traffic/tm.mli: Format Ic_linalg

@@ -1,0 +1,36 @@
+let ingress tm =
+  let n = Tm.size tm in
+  Array.init n (fun i ->
+      let acc = ref 0. in
+      for j = 0 to n - 1 do
+        acc := !acc +. Tm.get tm i j
+      done;
+      !acc)
+
+let egress tm =
+  let n = Tm.size tm in
+  Array.init n (fun j ->
+      let acc = ref 0. in
+      for i = 0 to n - 1 do
+        acc := !acc +. Tm.get tm i j
+      done;
+      !acc)
+
+let total = Tm.total
+
+let egress_shares tm =
+  let tot = total tm in
+  if tot <= 0. then invalid_arg "Marginals.egress_shares: empty TM";
+  Ic_linalg.Vec.scale (1. /. tot) (egress tm)
+
+let mean_egress_shares tms =
+  if Array.length tms = 0 then
+    invalid_arg "Marginals.mean_egress_shares: empty series";
+  let n = Tm.size tms.(0) in
+  let acc = Array.make n 0. in
+  Array.iter
+    (fun tm ->
+      let s = egress_shares tm in
+      Ic_linalg.Vec.axpy 1. s acc)
+    tms;
+  Ic_linalg.Vec.scale (1. /. float_of_int (Array.length tms)) acc

@@ -1,0 +1,19 @@
+(** Ingress/egress marginals of a traffic matrix — the measurements that are
+    cheaply available from SNMP and that drive the gravity model and the
+    closed-form IC estimators. *)
+
+val ingress : Tm.t -> Ic_linalg.Vec.t
+(** [X_i*]: row sums; traffic entering the network at each node. *)
+
+val egress : Tm.t -> Ic_linalg.Vec.t
+(** [X_*j]: column sums; traffic exiting the network at each node. *)
+
+val total : Tm.t -> float
+(** [X_**]. *)
+
+val egress_shares : Tm.t -> Ic_linalg.Vec.t
+(** [X_*j / X_**] — normalized egress counts, the quantity Figure 8 compares
+    preferences against. Raises [Invalid_argument] on an all-zero TM. *)
+
+val mean_egress_shares : Tm.t array -> Ic_linalg.Vec.t
+(** Time-average of egress shares over a series. *)

@@ -1,0 +1,75 @@
+type t = { n : int; data : float array }
+
+let create n =
+  if n <= 0 then invalid_arg "Tm.create: size must be positive";
+  { n; data = Array.make (n * n) 0. }
+
+let size t = t.n
+
+let check_range t i j name =
+  if i < 0 || i >= t.n || j < 0 || j >= t.n then
+    invalid_arg (Printf.sprintf "Tm.%s: (%d,%d) out of range for n=%d" name i j t.n)
+
+let get t i j =
+  check_range t i j "get";
+  t.data.((i * t.n) + j)
+
+let set t i j v =
+  check_range t i j "set";
+  if v < 0. then invalid_arg "Tm.set: negative traffic volume";
+  t.data.((i * t.n) + j) <- v
+
+let add_to t i j v =
+  check_range t i j "add_to";
+  let k = (i * t.n) + j in
+  let updated = t.data.(k) +. v in
+  if updated < 0. then invalid_arg "Tm.add_to: entry would become negative";
+  t.data.(k) <- updated
+
+let init n f =
+  let t = create n in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      set t i j (f i j)
+    done
+  done;
+  t
+
+let copy t = { t with data = Array.copy t.data }
+
+let total t = Ic_linalg.Vec.sum t.data
+
+let to_vector t = Array.copy t.data
+
+let of_vector n v =
+  if Array.length v <> n * n then
+    invalid_arg "Tm.of_vector: length does not match size";
+  { n; data = Array.map (fun x -> if x < 0. then 0. else x) v }
+
+let map2 f a b =
+  if a.n <> b.n then invalid_arg "Tm.map2: size mismatch";
+  {
+    a with
+    data =
+      Array.mapi (fun k x -> Float.max 0. (f x b.data.(k))) a.data;
+  }
+
+let scale s t =
+  if s < 0. then invalid_arg "Tm.scale: negative factor";
+  { t with data = Array.map (fun x -> s *. x) t.data }
+
+let add a b = map2 ( +. ) a b
+
+let approx_equal ?tol a b =
+  a.n = b.n && Ic_linalg.Vec.approx_equal ?tol a.data b.data
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>TM %dx%d (total %.4g bytes)@," t.n t.n (total t);
+  for i = 0 to t.n - 1 do
+    Format.fprintf ppf " ";
+    for j = 0 to t.n - 1 do
+      Format.fprintf ppf " %9.3g" (get t i j)
+    done;
+    if i < t.n - 1 then Format.fprintf ppf "@,"
+  done;
+  Format.fprintf ppf "@]"

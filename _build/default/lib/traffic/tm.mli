@@ -1,0 +1,47 @@
+(** A traffic matrix: bytes flowing from each origin PoP to each destination
+    PoP during one time bin. Entry [(i,j)] is the OD flow [X_ij] of the
+    paper; the diagonal holds intra-PoP traffic. *)
+
+type t
+
+val create : int -> t
+(** [create n] is the all-zero [n] x [n] TM. *)
+
+val init : int -> (int -> int -> float) -> t
+(** Entries must be non-negative; raises [Invalid_argument] otherwise. *)
+
+val size : t -> int
+(** Number of PoPs. *)
+
+val get : t -> int -> int -> float
+
+val set : t -> int -> int -> float -> unit
+(** Raises [Invalid_argument] on negative values. *)
+
+val add_to : t -> int -> int -> float -> unit
+(** Accumulate bytes into an entry. *)
+
+val copy : t -> t
+
+val total : t -> float
+(** [X_**]: all traffic in the network. *)
+
+val to_vector : t -> Ic_linalg.Vec.t
+(** Row-major vectorization; entry [(i,j)] lands at [i*n + j], matching
+    {!Ic_topology.Routing.od_index}. *)
+
+val of_vector : int -> Ic_linalg.Vec.t -> t
+(** Negative entries are clamped to zero (estimators can produce tiny
+    negative values). *)
+
+val map2 : (float -> float -> float) -> t -> t -> t
+(** Elementwise combination; result entries are clamped at zero. *)
+
+val scale : float -> t -> t
+(** Raises on negative scale factors. *)
+
+val add : t -> t -> t
+
+val approx_equal : ?tol:float -> t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,6 @@
+  $ ../bin/ic_lab.exe topology --name abilene | head -3
+  $ ../bin/ic_lab.exe experiment section3 | head -5
+  $ ../bin/ic_lab.exe topology --name geant -o g.topo
+  $ head -2 g.topo
+  $ ../bin/ic_lab.exe experiment nosuchfig 2>&1 | head -1
+  $ ../examples/quickstart.exe | head -3

@@ -1,0 +1,1 @@
+test/test_anomaly.ml: Alcotest Array Ic_core Ic_datasets Ic_linalg Ic_prng Ic_timeseries Ic_traffic List

@@ -1,0 +1,1 @@
+test/test_core_estimators.ml: Alcotest Array Gen Ic_core Ic_linalg Ic_timeseries Ic_traffic QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_core_fit.ml: Alcotest Array Float Ic_core Ic_linalg Ic_prng Ic_stats Ic_timeseries Ic_traffic

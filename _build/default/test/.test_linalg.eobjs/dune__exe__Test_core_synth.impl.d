@@ -1,0 +1,1 @@
+test/test_core_synth.ml: Alcotest Array Ic_core Ic_linalg Ic_prng Ic_timeseries Ic_traffic

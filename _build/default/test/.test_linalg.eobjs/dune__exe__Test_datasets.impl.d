@@ -1,0 +1,1 @@
+test/test_datasets.ml: Alcotest Array Ic_core Ic_datasets Ic_linalg Ic_netflow Ic_timeseries Ic_topology Ic_traffic Lazy List Option

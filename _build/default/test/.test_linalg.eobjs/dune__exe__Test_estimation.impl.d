@@ -1,0 +1,1 @@
+test/test_estimation.ml: Alcotest Array Float Gen Ic_core Ic_estimation Ic_gravity Ic_linalg Ic_prng Ic_timeseries Ic_topology Ic_traffic QCheck QCheck_alcotest

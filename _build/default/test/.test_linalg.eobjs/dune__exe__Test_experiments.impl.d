@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Array Filename Float Ic_experiments Ic_report Ic_stats Lazy List Option String Sys

@@ -1,0 +1,1 @@
+test/test_gravity.ml: Alcotest Array Ic_core Ic_gravity Ic_linalg Ic_prng Ic_timeseries Ic_traffic

@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Float Format Gen Ic_linalg Ic_prng List QCheck QCheck_alcotest String

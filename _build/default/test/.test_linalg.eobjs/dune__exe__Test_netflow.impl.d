@@ -1,0 +1,1 @@
+test/test_netflow.ml: Alcotest Array Float Hashtbl Ic_netflow Ic_prng Ic_timeseries Ic_traffic List Option

@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Gen Ic_prng QCheck QCheck_alcotest

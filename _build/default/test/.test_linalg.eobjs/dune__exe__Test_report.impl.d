@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Array Filename Fun Ic_report Ic_traffic List String Sys

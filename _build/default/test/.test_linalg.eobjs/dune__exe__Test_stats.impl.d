@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Float Ic_linalg Ic_prng Ic_stats List

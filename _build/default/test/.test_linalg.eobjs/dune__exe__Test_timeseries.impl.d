@@ -1,0 +1,1 @@
+test/test_timeseries.ml: Alcotest Array Float Ic_prng Ic_timeseries

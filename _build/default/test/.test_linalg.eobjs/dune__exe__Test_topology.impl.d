@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Array Filename Float Fun Ic_linalg Ic_prng Ic_topology Ic_traffic List Option QCheck QCheck_alcotest String Sys

@@ -1,0 +1,1 @@
+test/test_traffic.ml: Alcotest Array Filename Fun Ic_linalg Ic_timeseries Ic_traffic List Sys

@@ -1,0 +1,161 @@
+module Anomaly = Ic_core.Anomaly
+module Model = Ic_core.Model
+module Tm = Ic_traffic.Tm
+module Series = Ic_traffic.Series
+
+let binning = Ic_timeseries.Timebin.five_min
+
+(* A clean IC world with mild multiplicative noise, plus injected spikes. *)
+let world ~spikes seed =
+  let n = 5 and bins = 96 in
+  let rng = Ic_prng.Rng.create seed in
+  let preference =
+    Ic_linalg.Vec.normalize_sum
+      (Array.init n (fun _ -> Ic_prng.Rng.float_range rng 0.5 2.))
+  in
+  let base = Array.init n (fun _ -> Ic_prng.Rng.float_range rng 1e7 5e7) in
+  let activity =
+    Array.init bins (fun t ->
+        Array.init n (fun i ->
+            base.(i) *. (1.3 +. sin (float_of_int t /. 7.))))
+  in
+  let params : Ic_core.Params.stable_fp = { f = 0.25; preference; activity } in
+  let clean = Model.stable_fp params binning in
+  let noisy =
+    Series.map
+      (fun tm ->
+        Tm.init n (fun i j ->
+            Tm.get tm i j
+            *. exp (Ic_prng.Sampler.normal rng ~mu:0. ~sigma:0.05)))
+      clean
+  in
+  List.iter
+    (fun (b, i, j, boost) ->
+      let tm = Series.tm noisy b in
+      Tm.set tm i j (Tm.get tm i j *. boost))
+    spikes;
+  (params, noisy)
+
+let test_detects_injected_spike () =
+  let spikes = [ (30, 1, 2, 6.); (70, 3, 0, 8.) ] in
+  let params, series = world ~spikes 1 in
+  let detections = Anomaly.detect ~threshold:5. params series in
+  let hits =
+    List.map (fun (d : Anomaly.detection) -> (d.bin, d.origin, d.destination))
+      detections
+  in
+  Alcotest.(check bool) "first spike found" true (List.mem (30, 1, 2) hits);
+  Alcotest.(check bool) "second spike found" true (List.mem (70, 3, 0) hits);
+  (* clean data around the spikes: few false detections *)
+  Alcotest.(check bool) "no flood" true (List.length detections < 6)
+
+let test_clean_data_no_detections () =
+  let params, series = world ~spikes:[] 2 in
+  let detections = Anomaly.detect ~threshold:6. params series in
+  Alcotest.(check int) "nothing detected" 0 (List.length detections)
+
+let test_scores_ordered () =
+  let spikes = [ (10, 0, 1, 4.); (50, 2, 3, 12.) ] in
+  let params, series = world ~spikes 3 in
+  match Anomaly.detect ~threshold:4. params series with
+  | first :: rest ->
+      Alcotest.(check bool) "biggest spike first" true
+        ((first.bin, first.origin, first.destination) = (50, 2, 3));
+      List.iter
+        (fun (d : Anomaly.detection) ->
+          Alcotest.(check bool) "descending" true (d.score <= first.score))
+        rest
+  | [] -> Alcotest.fail "expected detections"
+
+let test_min_bytes_floor () =
+  let spikes = [ (30, 1, 2, 6.) ] in
+  let params, series = world ~spikes 4 in
+  (* an absurdly high materiality floor suppresses everything *)
+  let detections =
+    Anomaly.detect ~threshold:4. ~min_bytes:1e12 params series
+  in
+  Alcotest.(check int) "floored out" 0 (List.length detections)
+
+let test_validation () =
+  let params, series = world ~spikes:[] 5 in
+  let bad = { params with preference = [| 0.5; 0.5 |] } in
+  Alcotest.check_raises "dimension mismatch"
+    (Invalid_argument "Anomaly.detect: parameter dimension mismatch")
+    (fun () -> ignore (Anomaly.detect bad series))
+
+let test_evaluate () =
+  let d bin origin destination : Anomaly.detection =
+    { bin; origin; destination; score = 9.; observed = 1.; expected = 0. }
+  in
+  let e =
+    Anomaly.evaluate
+      ~detections:[ d 1 0 0; d 2 1 1; d 3 2 2 ]
+      ~labels:[ (1, 0, 0); (2, 1, 1); (9, 9, 9) ]
+  in
+  Alcotest.(check int) "tp" 2 e.true_positives;
+  Alcotest.(check int) "fp" 1 e.false_positives;
+  Alcotest.(check int) "fn" 1 e.false_negatives;
+  Alcotest.(check (float 1e-9)) "precision" (2. /. 3.) e.precision;
+  Alcotest.(check (float 1e-9)) "recall" (2. /. 3.) e.recall;
+  let empty = Anomaly.evaluate ~detections:[] ~labels:[] in
+  Alcotest.(check (float 1e-9)) "vacuous precision" 1. empty.precision;
+  Alcotest.(check (float 1e-9)) "vacuous recall" 1. empty.recall
+
+let test_on_dataset_with_labels () =
+  (* end-to-end on realistic (noisy, sampled) data: spikes injected on a
+     large OD pair of a Geant-like week are found by the fitted model *)
+  let spec =
+    { (Ic_datasets.Geant.spec ~weeks:1 ()) with anomaly_rate = 0. }
+  in
+  let ds = Ic_datasets.Dataset.generate spec ~seed:77 in
+  let sub =
+    Series.make ds.series.Series.binning
+      (Array.init 252 (fun k -> Series.tm ds.series (k * 8)))
+  in
+  (* pick the largest OD pair of a mid-week bin and boost it 10x at three
+     known bins *)
+  let reference = Series.tm sub 120 in
+  let n = Tm.size reference in
+  let best = ref (0, 0) in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let bi, bj = !best in
+      if i <> j && Tm.get reference i j > Tm.get reference bi bj then
+        best := (i, j)
+    done
+  done;
+  let oi, oj = !best in
+  let labels =
+    List.map
+      (fun b ->
+        let tm = Series.tm sub b in
+        Tm.set tm oi oj (Tm.get tm oi oj *. 10.);
+        (b, oi, oj))
+      [ 40; 120; 200 ]
+  in
+  let fit = Ic_core.Fit.fit_stable_fp sub in
+  let detections = Anomaly.detect ~threshold:4. fit.params sub in
+  let e = Anomaly.evaluate ~detections ~labels in
+  Alcotest.(check int) "all three surges caught" 3 e.true_positives;
+  Alcotest.(check bool) "bounded detections" true
+    (List.length detections < 60)
+
+let () =
+  Alcotest.run "ic_anomaly"
+    [
+      ( "detector",
+        [
+          Alcotest.test_case "detects injected spikes" `Quick
+            test_detects_injected_spike;
+          Alcotest.test_case "clean data" `Quick test_clean_data_no_detections;
+          Alcotest.test_case "ordering" `Quick test_scores_ordered;
+          Alcotest.test_case "materiality floor" `Quick test_min_bytes_floor;
+          Alcotest.test_case "validation" `Quick test_validation;
+        ] );
+      ( "evaluation",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_evaluate;
+          Alcotest.test_case "dataset end-to-end" `Slow
+            test_on_dataset_with_labels;
+        ] );
+    ]

@@ -1,0 +1,174 @@
+module Model = Ic_core.Model
+module Estimate_a = Ic_core.Estimate_a
+module Closed_form = Ic_core.Closed_form
+module Tm = Ic_traffic.Tm
+module Series = Ic_traffic.Series
+module Vec = Ic_linalg.Vec
+
+let feq_tol tol = Alcotest.(check (float tol))
+
+let binning = Ic_timeseries.Timebin.five_min
+
+let test_design_matrix_matches_identities () =
+  let f = 0.2 in
+  let preference = [| 0.1; 0.3; 0.6 |] in
+  let activity = [| 100.; 50.; 25. |] in
+  let design = Estimate_a.design_matrix ~f ~preference in
+  let predicted = Ic_linalg.Mat.mulv design activity in
+  let expected_in = Model.predicted_ingress ~f ~activity ~preference in
+  let expected_out = Model.predicted_egress ~f ~activity ~preference in
+  for i = 0 to 2 do
+    feq_tol 1e-9 "ingress row" expected_in.(i) predicted.(i);
+    feq_tol 1e-9 "egress row" expected_out.(i) predicted.(i + 3)
+  done
+
+let test_activities_recovered_from_marginals () =
+  let f = 0.22 in
+  let preference = [| 0.45; 0.05; 0.2; 0.3 |] in
+  let activity = [| 8e6; 3e7; 1e6; 5e6 |] in
+  let tm = Model.simplified ~f ~activity ~preference in
+  let estimated =
+    Estimate_a.activities ~f ~preference
+      ~ingress:(Ic_traffic.Marginals.ingress tm)
+      ~egress:(Ic_traffic.Marginals.egress tm)
+  in
+  Alcotest.(check bool)
+    "recovered" true
+    (Vec.approx_equal ~tol:10. activity estimated)
+
+let estimate_a_property =
+  QCheck.Test.make ~count:60 ~name:"activities invert the model marginals"
+    QCheck.(
+      triple (float_range 0.05 0.45)
+        (list_of_size (Gen.return 4) (float_range 1e4 1e7))
+        (list_of_size (Gen.return 4) (float_range 0.05 1.)))
+    (fun (f, act, pref) ->
+      let activity = Array.of_list act in
+      let preference = Array.of_list pref in
+      let tm = Model.simplified ~f ~activity ~preference in
+      let estimated =
+        Estimate_a.activities ~f ~preference
+          ~ingress:(Ic_traffic.Marginals.ingress tm)
+          ~egress:(Ic_traffic.Marginals.egress tm)
+      in
+      let scale = Vec.nrm2 activity in
+      Vec.nrm2_diff activity estimated < 1e-5 *. scale)
+
+let test_prior_series_exact_on_model_data () =
+  let f = 0.25 in
+  let preference = [| 0.3; 0.3; 0.4 |] in
+  let activity = [| [| 1e6; 2e6; 3e6 |]; [| 3e6; 1e6; 2e6 |] |] in
+  let params : Ic_core.Params.stable_fp = { f; preference; activity } in
+  let series = Model.stable_fp params binning in
+  let prior = Estimate_a.prior_series ~f ~preference series in
+  let errs = Ic_traffic.Error.rel_l2_series series prior in
+  Array.iter (fun e -> feq_tol 1e-6 "exact reconstruction" 0. e) errs
+
+(* --- Closed_form --- *)
+
+let test_closed_form_inverts_model () =
+  let f = 0.2 in
+  let preference = [| 0.5; 0.2; 0.3 |] in
+  let activity = [| 9e6; 2e6; 4e6 |] in
+  let tm = Model.simplified ~f ~activity ~preference in
+  match
+    Closed_form.estimate ~f
+      ~ingress:(Ic_traffic.Marginals.ingress tm)
+      ~egress:(Ic_traffic.Marginals.egress tm)
+  with
+  | Error `F_near_half -> Alcotest.fail "not degenerate"
+  | Ok e ->
+      Alcotest.(check bool)
+        "activity recovered" true
+        (Vec.approx_equal ~tol:1. activity e.activity);
+      Alcotest.(check bool)
+        "preference recovered" true
+        (Vec.approx_equal ~tol:1e-6 preference e.preference)
+
+let closed_form_property =
+  QCheck.Test.make ~count:60 ~name:"closed form inverts model marginals"
+    QCheck.(
+      triple (float_range 0.05 0.4)
+        (list_of_size (Gen.return 5) (float_range 1e4 1e7))
+        (list_of_size (Gen.return 5) (float_range 0.05 1.)))
+    (fun (f, act, pref) ->
+      let activity = Array.of_list act in
+      let preference = Vec.normalize_sum (Array.of_list pref) in
+      let tm = Model.simplified ~f ~activity ~preference in
+      match
+        Closed_form.estimate ~f
+          ~ingress:(Ic_traffic.Marginals.ingress tm)
+          ~egress:(Ic_traffic.Marginals.egress tm)
+      with
+      | Error `F_near_half -> false
+      | Ok e ->
+          Vec.nrm2_diff activity e.activity < 1e-6 *. Vec.nrm2 activity
+          && Vec.nrm2_diff preference e.preference < 1e-8)
+
+let test_closed_form_degenerate () =
+  match Closed_form.estimate ~f:0.5 ~ingress:[| 1. |] ~egress:[| 1. |] with
+  | Error `F_near_half -> ()
+  | Ok _ -> Alcotest.fail "expected degeneracy at f = 1/2"
+
+let test_closed_form_clamps_noise () =
+  (* marginals inconsistent with any IC solution: estimates stay feasible *)
+  match Closed_form.estimate ~f:0.2 ~ingress:[| 0.; 10. |] ~egress:[| 100.; 0. |] with
+  | Error `F_near_half -> Alcotest.fail "not degenerate"
+  | Ok e ->
+      Alcotest.(check bool) "nonneg activity" true
+        (Array.for_all (fun x -> x >= 0.) e.activity);
+      feq_tol 1e-9 "normalized preference" 1. (Vec.sum e.preference)
+
+let test_closed_form_prior_series () =
+  let f = 0.3 in
+  let preference = [| 0.25; 0.25; 0.5 |] in
+  let activity = [| [| 1e6; 2e6; 3e6 |]; [| 2e6; 2e6; 2e6 |] |] in
+  let params : Ic_core.Params.stable_fp = { f; preference; activity } in
+  let series = Model.stable_fp params binning in
+  let prior = Closed_form.prior_series ~f series in
+  let errs = Ic_traffic.Error.rel_l2_series series prior in
+  Array.iter (fun e -> feq_tol 1e-6 "exact on model data" 0. e) errs;
+  Alcotest.check_raises "f near half rejected"
+    (Invalid_argument "Closed_form.prior_series: f too close to 1/2")
+    (fun () -> ignore (Closed_form.prior_series ~f:0.5 series))
+
+let test_wrong_f_biases_closed_form () =
+  (* using a wrong f yields a biased but still usable prior *)
+  let f_true = 0.2 in
+  let preference = [| 0.5; 0.3; 0.2 |] in
+  let activity = [| [| 5e6; 1e6; 3e6 |] |] in
+  let params : Ic_core.Params.stable_fp = { f = f_true; preference; activity } in
+  let series = Model.stable_fp params binning in
+  let good = Closed_form.prior_series ~f:f_true series in
+  let biased = Closed_form.prior_series ~f:0.35 series in
+  let err p = (Ic_traffic.Error.rel_l2_series series p).(0) in
+  Alcotest.(check bool) "wrong f is worse" true (err biased > err good);
+  Alcotest.(check bool) "but bounded" true (err biased < 1.)
+
+let () =
+  Alcotest.run "ic_core_estimators"
+    [
+      ( "estimate_a",
+        [
+          Alcotest.test_case "design matrix" `Quick
+            test_design_matrix_matches_identities;
+          Alcotest.test_case "recovers activities" `Quick
+            test_activities_recovered_from_marginals;
+          QCheck_alcotest.to_alcotest estimate_a_property;
+          Alcotest.test_case "prior series exact" `Quick
+            test_prior_series_exact_on_model_data;
+        ] );
+      ( "closed_form",
+        [
+          Alcotest.test_case "inverts model" `Quick
+            test_closed_form_inverts_model;
+          QCheck_alcotest.to_alcotest closed_form_property;
+          Alcotest.test_case "degenerate f" `Quick test_closed_form_degenerate;
+          Alcotest.test_case "clamps noise" `Quick
+            test_closed_form_clamps_noise;
+          Alcotest.test_case "prior series" `Quick
+            test_closed_form_prior_series;
+          Alcotest.test_case "wrong f bias" `Quick
+            test_wrong_f_biases_closed_form;
+        ] );
+    ]

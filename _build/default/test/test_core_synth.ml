@@ -1,0 +1,160 @@
+module Synth = Ic_core.Synth
+module Vec = Ic_linalg.Vec
+
+let feq_tol tol = Alcotest.(check (float tol))
+
+let small_spec =
+  {
+    Synth.default_spec with
+    nodes = 6;
+    bins = 288;
+    mean_total_bytes = 1e8;
+  }
+
+let test_generate_shapes () =
+  let rng = Ic_prng.Rng.create 1 in
+  let { Synth.series; truth } = Synth.generate small_spec rng in
+  Alcotest.(check int) "bins" 288 (Ic_traffic.Series.length series);
+  Alcotest.(check int) "nodes" 6 (Ic_traffic.Series.size series);
+  Alcotest.(check int) "truth bins" 288 (Array.length truth.activity);
+  feq_tol 1e-9 "preference normalized" 1. (Vec.sum truth.preference)
+
+let test_generate_deterministic () =
+  let a = Synth.generate small_spec (Ic_prng.Rng.create 5) in
+  let b = Synth.generate small_spec (Ic_prng.Rng.create 5) in
+  let ok = ref true in
+  for k = 0 to 287 do
+    if
+      not
+        (Ic_traffic.Tm.approx_equal
+           (Ic_traffic.Series.tm a.series k)
+           (Ic_traffic.Series.tm b.series k))
+    then ok := false
+  done;
+  Alcotest.(check bool) "same seed, same series" true !ok
+
+let test_generate_volume_scale () =
+  let rng = Ic_prng.Rng.create 7 in
+  let { Synth.series; _ } = Synth.generate small_spec rng in
+  let totals = Ic_traffic.Series.total_series series in
+  let mean = Array.fold_left ( +. ) 0. totals /. 288. in
+  (* one day of weekday traffic: mean should be near mean_total_bytes *)
+  Alcotest.(check bool)
+    "mean within 2x of target" true
+    (mean > 0.3 *. small_spec.mean_total_bytes
+    && mean < 3. *. small_spec.mean_total_bytes)
+
+let test_generated_series_fits_back () =
+  let rng = Ic_prng.Rng.create 9 in
+  let { Synth.series; truth } = Synth.generate small_spec rng in
+  let fit = Ic_core.Fit.fit_stable_fp series in
+  feq_tol 0.05 "f recovered from synthetic data" truth.f fit.params.f
+
+let test_preferences_long_tailed () =
+  let rng = Ic_prng.Rng.create 11 in
+  let spec = { small_spec with nodes = 200 } in
+  let p = Synth.preferences spec rng in
+  feq_tol 1e-9 "normalized" 1. (Vec.sum p);
+  let sorted = Array.copy p in
+  Array.sort (fun a b -> compare b a) sorted;
+  (* long tail: top node at least 5x the median *)
+  Alcotest.(check bool) "heavy tail" true (sorted.(0) > 5. *. sorted.(100))
+
+let test_activity_series_positive_diurnal () =
+  let rng = Ic_prng.Rng.create 13 in
+  let acts = Synth.activity_series small_spec rng in
+  Alcotest.(check bool)
+    "all positive" true
+    (Array.for_all (Array.for_all (fun x -> x > 0.)) acts);
+  (* aggregate signal has day structure: afternoon > deep night *)
+  let total t = Vec.sum acts.(t) in
+  let night = total 48 (* 04:00 *) and afternoon = total 180 (* 15:00 *) in
+  Alcotest.(check bool) "diurnal" true (afternoon > night)
+
+let test_flash_crowd () =
+  let rng = Ic_prng.Rng.create 15 in
+  let { Synth.truth; _ } = Synth.generate small_spec rng in
+  let boosted = Synth.with_flash_crowd ~node:2 ~boost:10. truth in
+  feq_tol 1e-9 "still normalized" 1. (Vec.sum boosted.preference);
+  Alcotest.(check bool)
+    "node boosted" true
+    (boosted.preference.(2) > truth.preference.(2));
+  Alcotest.(check bool)
+    "others shrink" true
+    (boosted.preference.(0) < truth.preference.(0));
+  Alcotest.check_raises "bad node"
+    (Invalid_argument "Synth.with_flash_crowd: node out of range") (fun () ->
+      ignore (Synth.with_flash_crowd ~node:99 ~boost:2. truth))
+
+let test_application_shift () =
+  let rng = Ic_prng.Rng.create 17 in
+  let { Synth.truth; _ } = Synth.generate small_spec rng in
+  let shifted = Synth.with_application_shift ~f:0.4 truth in
+  feq_tol 1e-12 "f changed" 0.4 shifted.f;
+  Alcotest.(check bool)
+    "preferences untouched" true
+    (Vec.approx_equal truth.preference shifted.preference);
+  Alcotest.check_raises "bad f"
+    (Invalid_argument "Synth.with_application_shift: f out of [0,1]")
+    (fun () -> ignore (Synth.with_application_shift ~f:2. truth))
+
+let test_from_measured () =
+  (* measure-then-generate keeps scale, f, preference and daily structure *)
+  let rng = Ic_prng.Rng.create 23 in
+  let spec =
+    { small_spec with bins = 7 * 288 (* one week to learn the profile *) }
+  in
+  let { Synth.truth; _ } = Synth.generate spec rng in
+  let regen =
+    Synth.from_measured truth Ic_timeseries.Timebin.five_min
+      (Ic_prng.Rng.create 24) ~weeks:2
+  in
+  Alcotest.(check int) "two weeks generated" (2 * 2016)
+    (Ic_traffic.Series.length regen.series);
+  feq_tol 1e-12 "f preserved" truth.f regen.truth.f;
+  Alcotest.(check bool)
+    "preference preserved" true
+    (Vec.approx_equal truth.preference regen.truth.preference);
+  let totals = Ic_traffic.Series.total_series regen.series in
+  Alcotest.(check bool)
+    "diurnal structure survives" true
+    (Ic_timeseries.Acf.periodicity_strength totals ~period:288 > 0.3);
+  let mean a = Array.fold_left ( +. ) 0. a /. float_of_int (Array.length a) in
+  let orig_mean =
+    mean (Array.map Vec.sum truth.activity)
+  in
+  feq_tol (0.3 *. orig_mean) "volume scale preserved" orig_mean (mean totals)
+
+let test_spec_validation () =
+  let rng = Ic_prng.Rng.create 19 in
+  Alcotest.check_raises "too few nodes"
+    (Invalid_argument "Synth: need at least 2 nodes") (fun () ->
+      ignore (Synth.generate { small_spec with nodes = 1 } rng));
+  Alcotest.check_raises "bad f" (Invalid_argument "Synth: f out of [0,1]")
+    (fun () -> ignore (Synth.generate { small_spec with f = -0.1 } rng))
+
+let () =
+  Alcotest.run "ic_core_synth"
+    [
+      ( "generation",
+        [
+          Alcotest.test_case "shapes" `Quick test_generate_shapes;
+          Alcotest.test_case "deterministic" `Quick test_generate_deterministic;
+          Alcotest.test_case "volume scale" `Quick test_generate_volume_scale;
+          Alcotest.test_case "fits back" `Quick test_generated_series_fits_back;
+        ] );
+      ( "components",
+        [
+          Alcotest.test_case "long-tailed preferences" `Quick
+            test_preferences_long_tailed;
+          Alcotest.test_case "diurnal activities" `Quick
+            test_activity_series_positive_diurnal;
+        ] );
+      ( "what-if",
+        [
+          Alcotest.test_case "flash crowd" `Quick test_flash_crowd;
+          Alcotest.test_case "application shift" `Quick test_application_shift;
+          Alcotest.test_case "from measured" `Quick test_from_measured;
+          Alcotest.test_case "validation" `Quick test_spec_validation;
+        ] );
+    ]

@@ -1,0 +1,128 @@
+module Dataset = Ic_datasets.Dataset
+module Series = Ic_traffic.Series
+
+let feq_tol tol = Alcotest.(check (float tol))
+
+(* one-week datasets are enough for structural checks and much faster *)
+let geant = lazy (Ic_datasets.Geant.generate ~weeks:1 ())
+
+let totem = lazy (Ic_datasets.Totem.generate ~weeks:1 ())
+
+let test_geant_shape () =
+  let ds = Lazy.force geant in
+  Alcotest.(check int) "nodes" 22 (Series.size ds.series);
+  Alcotest.(check int) "bins" 2016 (Series.length ds.series);
+  Alcotest.(check int) "weeks" 1 (Dataset.week_count ds);
+  Alcotest.(check int) "bins per week" 2016 (Dataset.bins_per_week ds)
+
+let test_totem_shape () =
+  let ds = Lazy.force totem in
+  Alcotest.(check int) "nodes" 23 (Series.size ds.series);
+  Alcotest.(check int) "bins" 672 (Series.length ds.series);
+  Alcotest.(check bool)
+    "de split" true
+    (Option.is_some (Ic_topology.Graph.index_of_name ds.graph "de1")
+    && Option.is_some (Ic_topology.Graph.index_of_name ds.graph "de2"))
+
+let test_truth_in_band () =
+  let ds = Lazy.force geant in
+  let t = ds.truth.(0) in
+  Alcotest.(check bool) "f in 0.15-0.3" true
+    (t.f_aggregate > 0.15 && t.f_aggregate < 0.3);
+  feq_tol 1e-9 "preference normalized" 1.
+    (Ic_linalg.Vec.sum t.preference);
+  Alcotest.(check int) "activity bins" 2016 (Array.length t.activity)
+
+let test_determinism () =
+  let a = Ic_datasets.Geant.generate ~weeks:1 ~seed:123 () in
+  let b = Ic_datasets.Geant.generate ~weeks:1 ~seed:123 () in
+  let ok = ref true in
+  for k = 0 to 50 do
+    if
+      not
+        (Ic_traffic.Tm.approx_equal (Series.tm a.series k) (Series.tm b.series k))
+    then ok := false
+  done;
+  Alcotest.(check bool) "same seed same data" true !ok;
+  let c = Ic_datasets.Geant.generate ~weeks:1 ~seed:124 () in
+  Alcotest.(check bool)
+    "different seed different data" false
+    (Ic_traffic.Tm.approx_equal (Series.tm a.series 0) (Series.tm c.series 0))
+
+let test_week_slicing () =
+  let ds = Ic_datasets.Totem.generate ~weeks:2 ~seed:55 () in
+  Alcotest.(check int) "two weeks" 2 (Dataset.week_count ds);
+  let w0 = Dataset.week ds 0 and w1 = Dataset.week ds 1 in
+  Alcotest.(check int) "week length" 672 (Series.length w0);
+  Alcotest.(check bool)
+    "weeks differ" false
+    (Ic_traffic.Tm.approx_equal (Series.tm w0 0) (Series.tm w1 0));
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Dataset.week: out of range") (fun () ->
+      ignore (Dataset.week ds 2))
+
+let test_diurnal_structure () =
+  let ds = Lazy.force geant in
+  let totals = Series.total_series ds.series in
+  let strength = Ic_timeseries.Acf.periodicity_strength totals ~period:288 in
+  Alcotest.(check bool) "daily periodicity in measured data" true
+    (strength > 0.4)
+
+let test_measured_vs_truth_noise_level () =
+  (* the measured series should be the truth model plus bounded noise *)
+  let ds = Lazy.force geant in
+  let t = ds.truth.(0) in
+  let model_tm =
+    Ic_core.Model.general ~f_matrix:t.f_matrix ~activity:t.activity.(500)
+      ~preference:t.preference
+  in
+  (* account for the one-way share in total volume *)
+  let measured = Series.tm ds.series 500 in
+  let ratio = Ic_traffic.Tm.total measured /. Ic_traffic.Tm.total model_tm in
+  Alcotest.(check bool) "volume ratio near 1/(1-oneway)" true
+    (ratio > 0.9 && ratio < 1.4)
+
+let test_abilene () =
+  let ab = Ic_datasets.Abilene.generate () in
+  Alcotest.(check bool)
+    "traces nonempty" true
+    (List.length ab.trace_clev.fwd > 1000
+    && List.length ab.trace_clev.rev > 1000);
+  let m = Ic_netflow.Trace.measure_f ab.trace_clev ~bin_s:300. in
+  Alcotest.(check int) "24 bins over two hours" 24 (Array.length m);
+  let unknown = Ic_netflow.Trace.unknown_fraction m in
+  Alcotest.(check bool) "unknown below the paper's 20%" true (unknown < 0.2);
+  Alcotest.(check bool) "unknown class exists" true (unknown > 0.005);
+  Array.iter
+    (fun b ->
+      Alcotest.(check bool) "f in a plausible band" true
+        (b.Ic_netflow.Trace.f_ij > 0.05 && b.Ic_netflow.Trace.f_ij < 0.5))
+    m
+
+let test_abilene_determinism () =
+  let a = Ic_datasets.Abilene.generate ~seed:9 ~duration_s:600. ~connections_per_bin:50. () in
+  let b = Ic_datasets.Abilene.generate ~seed:9 ~duration_s:600. ~connections_per_bin:50. () in
+  Alcotest.(check int) "same packet count"
+    (List.length a.trace_clev.fwd)
+    (List.length b.trace_clev.fwd)
+
+let () =
+  Alcotest.run "ic_datasets"
+    [
+      ( "tm datasets",
+        [
+          Alcotest.test_case "geant shape" `Quick test_geant_shape;
+          Alcotest.test_case "totem shape" `Quick test_totem_shape;
+          Alcotest.test_case "truth in band" `Quick test_truth_in_band;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "week slicing" `Quick test_week_slicing;
+          Alcotest.test_case "diurnal structure" `Quick test_diurnal_structure;
+          Alcotest.test_case "noise level" `Quick
+            test_measured_vs_truth_noise_level;
+        ] );
+      ( "abilene",
+        [
+          Alcotest.test_case "traces and f" `Slow test_abilene;
+          Alcotest.test_case "determinism" `Quick test_abilene_determinism;
+        ] );
+    ]

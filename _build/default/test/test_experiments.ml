@@ -1,0 +1,230 @@
+(* Integration tests: every experiment runs on a heavily subsampled context
+   and its headline claims hold in direction (exact magnitudes are checked
+   against the paper in EXPERIMENTS.md using the full-resolution run). *)
+
+let ctx = lazy (Ic_experiments.Context.create ~stride:32 ())
+
+let mean a =
+  if Array.length a = 0 then 0.
+  else Array.fold_left ( +. ) 0. a /. float_of_int (Array.length a)
+
+let series outcome label =
+  match
+    List.find_opt
+      (fun s -> s.Ic_report.Series_out.label = label)
+      outcome.Ic_experiments.Outcome.series
+  with
+  | Some s -> s.Ic_report.Series_out.ys
+  | None -> Alcotest.fail ("missing series " ^ label)
+
+let test_registry_complete () =
+  let ids = Ic_experiments.Registry.ids in
+  Alcotest.(check bool) "all paper figures present" true
+    (List.for_all
+       (fun id -> List.mem id ids)
+       [ "fig3"; "fig4"; "fig5"; "fig6"; "fig7"; "fig8"; "fig9"; "fig11";
+         "fig12"; "fig13" ]);
+  Alcotest.(check int) "unique ids" (List.length ids)
+    (List.length (List.sort_uniq compare ids))
+
+let test_all_render () =
+  (* every experiment runs and renders without raising *)
+  List.iter
+    (fun (id, run) ->
+      let outcome = run (Lazy.force ctx) in
+      Alcotest.(check string) "id matches" id outcome.Ic_experiments.Outcome.id;
+      Alcotest.(check bool)
+        (id ^ " renders") true
+        (String.length (Ic_experiments.Outcome.render outcome) > 40))
+    Ic_experiments.Registry.all
+
+let test_section3 () =
+  let o = Ic_experiments.Section3.run (Lazy.force ctx) in
+  let has_conditionals =
+    List.exists
+      (fun line -> String.length line > 10 && String.sub line 0 6 = "P(E=A|")
+      o.summary
+  in
+  Alcotest.(check bool) "has the paper's numbers" true has_conditionals
+
+let test_fig3_direction () =
+  let o = Ic_experiments.Fig3.run (Lazy.force ctx) in
+  Alcotest.(check bool) "geant IC beats gravity" true
+    (mean (series o "geant_improvement_pct") > 5.);
+  Alcotest.(check bool) "totem IC not worse" true
+    (mean (series o "totem_improvement_pct") > -5.)
+
+let test_fig4_band () =
+  let o = Ic_experiments.Fig4.run (Lazy.force ctx) in
+  let f1 = mean (series o "f_IPLS_to_CLEV") in
+  let f2 = mean (series o "f_CLEV_to_IPLS") in
+  Alcotest.(check bool) "f in 0.1-0.4" true
+    (f1 > 0.1 && f1 < 0.4 && f2 > 0.1 && f2 < 0.4);
+  Alcotest.(check bool) "directions similar" true (Float.abs (f1 -. f2) < 0.1)
+
+let test_fig5_stability () =
+  let o = Ic_experiments.Fig5.run (Lazy.force ctx) in
+  let fs = series o "fitted_f" in
+  Alcotest.(check int) "seven weeks" 7 (Array.length fs);
+  Array.iter
+    (fun f ->
+      Alcotest.(check bool) "f in 0.1-0.35" true (f > 0.1 && f < 0.35))
+    fs;
+  Alcotest.(check bool) "stable" true
+    (Ic_stats.Descriptive.max fs -. Ic_stats.Descriptive.min fs < 0.1)
+
+let test_fig6_preference_stability () =
+  let o = Ic_experiments.Fig6.run (Lazy.force ctx) in
+  (* mean week-to-week correlation printed in summary; re-derive from data *)
+  let wk1 = series o "totem_wk1_P" and wk7 = series o "totem_wk7_P" in
+  Alcotest.(check bool) "correlated across 7 weeks" true
+    (Ic_stats.Corr.pearson wk1 wk7 > 0.9)
+
+let test_fig7_lognormal () =
+  let o = Ic_experiments.Fig7.run (Lazy.force ctx) in
+  List.iter
+    (fun line ->
+      Alcotest.(check bool) "lognormal preferred" true
+        (not
+           (String.length line > 0
+           && Option.is_some
+                (String.index_opt line '!'))))
+    o.summary;
+  Alcotest.(check bool) "both summaries mention lognormal preferred" true
+    (List.for_all
+       (fun line ->
+         let has_pref =
+           let needle = "lognormal preferred" in
+           let rec search i =
+             if i + String.length needle > String.length line then false
+             else if String.sub line i (String.length needle) = needle then true
+             else search (i + 1)
+           in
+           search 0
+         in
+         has_pref)
+       o.summary)
+
+let test_fig8_weak_top_correlation () =
+  let o = Ic_experiments.Fig8.run (Lazy.force ctx) in
+  (* small nodes have small preference: the sorted series rise together *)
+  let p = series o "geant_preference_sorted" in
+  let bottom = Array.sub p 0 5 and top = Array.sub p 17 5 in
+  Alcotest.(check bool) "bottom preferences smaller on average" true
+    (mean bottom < mean top)
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let test_fig9_periodicity () =
+  let o = Ic_experiments.Fig9.run (Lazy.force ctx) in
+  let largest =
+    match
+      List.find_opt
+        (fun s -> starts_with "geant_A_largest" s.Ic_report.Series_out.label)
+        o.series
+    with
+    | Some s -> s.Ic_report.Series_out.ys
+    | None -> Alcotest.fail "missing largest-node series"
+  in
+  (* the largest node's activity must dominate the smallest node's *)
+  let smallest =
+    match
+      List.find_opt
+        (fun s -> starts_with "geant_A_smallest" s.Ic_report.Series_out.label)
+        o.series
+    with
+    | Some s -> s.Ic_report.Series_out.ys
+    | None -> Alcotest.fail "missing smallest-node series"
+  in
+  Alcotest.(check bool) "ordering by size" true
+    (mean largest > mean smallest);
+  Alcotest.(check bool) "positive activity" true
+    (Array.for_all (fun x -> x >= 0.) largest)
+
+let test_fig11_12_13_ordering () =
+  let ctx = Lazy.force ctx in
+  let f11 = Ic_experiments.Fig11.run ctx in
+  let f12 = Ic_experiments.Fig12.run ctx in
+  let f13 = Ic_experiments.Fig13.run ctx in
+  let g11 = mean (series f11 "geant_improvement_pct") in
+  let g12 = mean (series f12 "geant_improvement_pct") in
+  let g13 = mean (series f13 "geant_improvement_pct") in
+  Alcotest.(check bool) "all positive (IC beats gravity)" true
+    (g11 > 0. && g12 > 0. && g13 > 0.);
+  Alcotest.(check bool)
+    "less information, less improvement (within tolerance)" true
+    (g11 +. 5. > g12 && g12 +. 5. > g13)
+
+let test_asymmetry_monotone () =
+  let o = Ic_experiments.Asymmetry.run (Lazy.force ctx) in
+  let simplified = series o "simplified_fit_error" in
+  let general = series o "general_fit_error" in
+  (* simplified error grows with the hot-potato share *)
+  for k = 0 to Array.length simplified - 2 do
+    Alcotest.(check bool) "monotone degradation" true
+      (simplified.(k) <= simplified.(k + 1) +. 1e-9)
+  done;
+  (* the general model does at least as well everywhere *)
+  Array.iteri
+    (fun k s ->
+      Alcotest.(check bool) "general <= simplified" true
+        (general.(k) <= s +. 1e-9))
+    simplified
+
+let test_microscale_claims () =
+  let o = Ic_experiments.Microscale.run (Lazy.force ctx) in
+  let ic = mean (series o "ic_fit_error") in
+  let gravity = mean (series o "gravity_fit_error") in
+  Alcotest.(check bool) "IC fits the connection-level aggregate better" true
+    (ic < gravity)
+
+let test_priors_panel_ordering () =
+  let o = Ic_experiments.Priors_panel.run (Lazy.force ctx) in
+  let err label = mean (series o (label ^ "_error")) in
+  Alcotest.(check bool) "every informed prior beats gravity" true
+    (err "fanout[11]" < err "gravity"
+    && err "ic-measured" < err "gravity"
+    && err "ic-stable-fp" < err "gravity"
+    && err "ic-stable-f" < err "gravity")
+
+let test_csv_output () =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "ic_exp_test" in
+  let o = Ic_experiments.Section3.run (Lazy.force ctx) in
+  (* section3 has no series; csv of fig5 instead *)
+  ignore o;
+  let o5 = Ic_experiments.Fig5.run (Lazy.force ctx) in
+  let path = Ic_experiments.Outcome.write_csv ~dir o5 in
+  Alcotest.(check bool) "file written" true (Sys.file_exists path)
+
+let () =
+  Alcotest.run "ic_experiments"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "complete" `Quick test_registry_complete;
+          Alcotest.test_case "all run and render" `Slow test_all_render;
+        ] );
+      ( "claims",
+        [
+          Alcotest.test_case "section3" `Quick test_section3;
+          Alcotest.test_case "fig3 direction" `Slow test_fig3_direction;
+          Alcotest.test_case "fig4 band" `Slow test_fig4_band;
+          Alcotest.test_case "fig5 stability" `Slow test_fig5_stability;
+          Alcotest.test_case "fig6 stability" `Slow
+            test_fig6_preference_stability;
+          Alcotest.test_case "fig7 lognormal" `Slow test_fig7_lognormal;
+          Alcotest.test_case "fig8 structure" `Slow
+            test_fig8_weak_top_correlation;
+          Alcotest.test_case "fig9 runs" `Slow test_fig9_periodicity;
+          Alcotest.test_case "fig11-13 ordering" `Slow
+            test_fig11_12_13_ordering;
+          Alcotest.test_case "asymmetry monotone" `Slow
+            test_asymmetry_monotone;
+          Alcotest.test_case "microscale" `Slow test_microscale_claims;
+          Alcotest.test_case "priors panel ordering" `Slow
+            test_priors_panel_ordering;
+        ] );
+      ("output", [ Alcotest.test_case "csv" `Slow test_csv_output ]);
+    ]

@@ -1,0 +1,117 @@
+module Gravity = Ic_gravity.Gravity
+module Tm = Ic_traffic.Tm
+module Vec = Ic_linalg.Vec
+
+let feq = Alcotest.(check (float 1e-9))
+
+let feq_tol tol = Alcotest.(check (float tol))
+
+let test_from_marginals () =
+  let tm = Gravity.from_marginals ~ingress:[| 30.; 70. |] ~egress:[| 40.; 60. |] in
+  feq "X_00" 12. (Tm.get tm 0 0);
+  feq "X_01" 18. (Tm.get tm 0 1);
+  feq "X_10" 28. (Tm.get tm 1 0);
+  feq "X_11" 42. (Tm.get tm 1 1);
+  feq "total preserved" 100. (Tm.total tm)
+
+let test_from_marginals_errors () =
+  Alcotest.check_raises "dim"
+    (Invalid_argument "Gravity.from_marginals: dimension mismatch") (fun () ->
+      ignore (Gravity.from_marginals ~ingress:[| 1. |] ~egress:[| 1.; 2. |]));
+  Alcotest.check_raises "zero totals"
+    (Invalid_argument "Gravity.from_marginals: non-positive totals") (fun () ->
+      ignore (Gravity.from_marginals ~ingress:[| 0.; 0. |] ~egress:[| 1.; 1. |]))
+
+let test_of_tm_preserves_marginals () =
+  let tm = Tm.init 3 (fun i j -> float_of_int ((i * 3) + j + 1)) in
+  let g = Gravity.of_tm tm in
+  Alcotest.(check bool)
+    "ingress preserved" true
+    (Vec.approx_equal ~tol:1e-9
+       (Ic_traffic.Marginals.ingress tm)
+       (Ic_traffic.Marginals.ingress g));
+  Alcotest.(check bool)
+    "egress preserved" true
+    (Vec.approx_equal ~tol:1e-9
+       (Ic_traffic.Marginals.egress tm)
+       (Ic_traffic.Marginals.egress g))
+
+let test_gravity_fixed_point () =
+  (* gravity of a gravity TM is itself *)
+  let tm = Gravity.from_marginals ~ingress:[| 10.; 20.; 5. |] ~egress:[| 15.; 12.; 8. |] in
+  Alcotest.(check bool) "idempotent" true
+    (Tm.approx_equal ~tol:1e-9 tm (Gravity.of_tm tm))
+
+let test_independence_gap () =
+  let grav = Gravity.from_marginals ~ingress:[| 10.; 20. |] ~egress:[| 15.; 15. |] in
+  feq_tol 1e-12 "gravity has zero gap" 0.
+    (Gravity.conditional_independence_gap grav);
+  (* IC traffic with f far from 1/2 violates independence *)
+  let ic =
+    Ic_core.Model.simplified ~f:0.2 ~activity:[| 100.; 1. |]
+      ~preference:[| 0.5; 0.5 |]
+  in
+  Alcotest.(check bool) "IC gap positive" true
+    (Gravity.conditional_independence_gap ic > 0.05);
+  (* the paper's example: gap ~ 0.95 - 0.65 = 0.30 *)
+  feq_tol 0.01 "fig2 gap" 0.30
+    (Gravity.conditional_independence_gap (Ic_core.Model.fig2_example ()))
+
+let test_of_series () =
+  let binning = Ic_timeseries.Timebin.five_min in
+  let tms =
+    [|
+      Tm.init 2 (fun i j -> float_of_int (i + j + 1)); Tm.create 2;
+    |]
+  in
+  let s = Ic_traffic.Series.make binning tms in
+  let g = Gravity.of_series s in
+  Alcotest.(check int) "length preserved" 2 (Ic_traffic.Series.length g);
+  feq "zero bin stays zero" 0. (Tm.total (Ic_traffic.Series.tm g 1))
+
+(* --- gravity-based synthesis (Roughan) --- *)
+
+let test_gravity_synth () =
+  let spec = { Ic_gravity.Synth.default_spec with nodes = 5; bins = 288 } in
+  let series = Ic_gravity.Synth.generate spec (Ic_prng.Rng.create 3) in
+  Alcotest.(check int) "bins" 288 (Ic_traffic.Series.length series);
+  (* every bin is exactly rank-one: zero independence gap *)
+  let ok = ref true in
+  for k = 0 to 287 do
+    if
+      Gravity.conditional_independence_gap (Ic_traffic.Series.tm series k)
+      > 1e-9
+    then ok := false
+  done;
+  Alcotest.(check bool) "rank one" true !ok;
+  (* diurnal envelope: afternoon heavier than night *)
+  let totals = Ic_traffic.Series.total_series series in
+  Alcotest.(check bool) "diurnal" true (totals.(180) > totals.(48))
+
+let test_gravity_synth_validation () =
+  Alcotest.check_raises "nodes"
+    (Invalid_argument "Gravity synth: need at least 2 nodes") (fun () ->
+      ignore
+        (Ic_gravity.Synth.generate
+           { Ic_gravity.Synth.default_spec with nodes = 1 }
+           (Ic_prng.Rng.create 1)))
+
+let () =
+  Alcotest.run "ic_gravity"
+    [
+      ( "model",
+        [
+          Alcotest.test_case "from marginals" `Quick test_from_marginals;
+          Alcotest.test_case "errors" `Quick test_from_marginals_errors;
+          Alcotest.test_case "marginals preserved" `Quick
+            test_of_tm_preserves_marginals;
+          Alcotest.test_case "fixed point" `Quick test_gravity_fixed_point;
+          Alcotest.test_case "independence gap" `Quick test_independence_gap;
+          Alcotest.test_case "series" `Quick test_of_series;
+        ] );
+      ( "synthesis",
+        [
+          Alcotest.test_case "generation" `Quick test_gravity_synth;
+          Alcotest.test_case "validation" `Quick test_gravity_synth_validation;
+        ] );
+    ]

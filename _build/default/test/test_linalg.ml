@@ -1,0 +1,535 @@
+module Vec = Ic_linalg.Vec
+module Mat = Ic_linalg.Mat
+
+let feq = Alcotest.(check (float 1e-9))
+
+let feq_tol tol = Alcotest.(check (float tol))
+
+(* deterministic pseudo-random floats for test data *)
+let rng = Ic_prng.Rng.create 12345
+
+let random_vec n = Array.init n (fun _ -> Ic_prng.Rng.float_range rng (-5.) 5.)
+
+let random_mat m n = Mat.init m n (fun _ _ -> Ic_prng.Rng.float_range rng (-2.) 2.)
+
+let random_spd n =
+  (* A = B Bt + n I is symmetric positive definite *)
+  let b = random_mat n n in
+  let g = Mat.gram (Mat.transpose b) in
+  Mat.add g (Mat.scale (float_of_int n) (Mat.identity n))
+
+(* --- Vec --- *)
+
+let test_vec_dot () =
+  feq "dot" 32. (Vec.dot [| 1.; 2.; 3. |] [| 4.; 5.; 6. |]);
+  Alcotest.check_raises "dim mismatch"
+    (Invalid_argument "Vec.dot: dimension mismatch (2 vs 3)") (fun () ->
+      ignore (Vec.dot [| 1.; 2. |] [| 1.; 2.; 3. |]))
+
+let test_vec_nrm2 () =
+  feq "pythagoras" 5. (Vec.nrm2 [| 3.; 4. |]);
+  feq "zero" 0. (Vec.nrm2 [| 0.; 0. |]);
+  (* scaling safety: huge magnitudes must not overflow *)
+  let huge = Vec.nrm2 [| 3e200; 4e200 |] in
+  feq_tol 1e190 "huge" 5e200 huge;
+  feq "diff" 5. (Vec.nrm2_diff [| 4.; 6. |] [| 1.; 2. |])
+
+let test_vec_misc () =
+  feq "sum" 6. (Vec.sum [| 1.; 2.; 3. |]);
+  feq "asum" 6. (Vec.asum [| -1.; 2.; -3. |]);
+  feq "mean" 2. (Vec.mean [| 1.; 2.; 3. |]);
+  feq "amax" 3. (Vec.amax [| -3.; 2. |]);
+  Alcotest.(check int) "max_index" 1 (Vec.max_index [| 1.; 5.; 3. |]);
+  Alcotest.(check bool)
+    "clamp" true
+    (Vec.approx_equal (Vec.clamp_nonneg [| -1.; 2. |]) [| 0.; 2. |]);
+  let v = Vec.normalize_sum [| 1.; 3. |] in
+  feq "normalize" 0.25 v.(0);
+  let y = [| 1.; 1. |] in
+  Vec.axpy 2. [| 1.; 2. |] y;
+  feq "axpy" 3. y.(0);
+  feq "axpy" 5. y.(1)
+
+(* --- Mat --- *)
+
+let test_mat_mul () =
+  let a = Mat.of_arrays [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  let b = Mat.of_arrays [| [| 5.; 6. |]; [| 7.; 8. |] |] in
+  let c = Mat.mul a b in
+  feq "c00" 19. (Mat.get c 0 0);
+  feq "c11" 50. (Mat.get c 1 1);
+  let x = [| 1.; 1. |] in
+  let y = Mat.mulv a x in
+  feq "mulv" 3. y.(0);
+  let yt = Mat.mulv_t a x in
+  feq "mulv_t" 4. yt.(0)
+
+let test_mat_gram () =
+  let a = random_mat 7 4 in
+  let g = Mat.gram a in
+  let g' = Mat.mul (Mat.transpose a) a in
+  Alcotest.(check bool) "gram = AtA" true (Mat.approx_equal ~tol:1e-9 g g')
+
+let test_mat_transpose () =
+  let a = random_mat 3 5 in
+  Alcotest.(check bool)
+    "double transpose" true
+    (Mat.approx_equal a (Mat.transpose (Mat.transpose a)))
+
+(* --- Lu --- *)
+
+let test_lu_solve () =
+  let a = Mat.of_arrays [| [| 2.; 1. |]; [| 1.; 3. |] |] in
+  match Ic_linalg.Lu.solve_system a [| 5.; 10. |] with
+  | Ok x ->
+      feq "x0" 1. x.(0);
+      feq "x1" 3. x.(1)
+  | Error _ -> Alcotest.fail "unexpected singular"
+
+let test_lu_random_roundtrip () =
+  let n = 9 in
+  let a = Mat.add (random_mat n n) (Mat.scale 10. (Mat.identity n)) in
+  let x = random_vec n in
+  let b = Mat.mulv a x in
+  match Ic_linalg.Lu.solve_system a b with
+  | Ok x' ->
+      Alcotest.(check bool) "roundtrip" true (Vec.approx_equal ~tol:1e-8 x x')
+  | Error _ -> Alcotest.fail "unexpected singular"
+
+let test_lu_det_inverse () =
+  let a = Mat.of_arrays [| [| 4.; 7. |]; [| 2.; 6. |] |] in
+  match Ic_linalg.Lu.factorize a with
+  | Error _ -> Alcotest.fail "singular"
+  | Ok f ->
+      feq "det" 10. (Ic_linalg.Lu.det f);
+      let inv = Ic_linalg.Lu.inverse f in
+      Alcotest.(check bool)
+        "A inv(A) = I" true
+        (Mat.approx_equal ~tol:1e-9 (Mat.mul a inv) (Mat.identity 2))
+
+let test_lu_singular () =
+  let a = Mat.of_arrays [| [| 1.; 2. |]; [| 2.; 4. |] |] in
+  match Ic_linalg.Lu.factorize a with
+  | Error (`Singular _) -> ()
+  | Ok _ -> Alcotest.fail "expected singular"
+
+(* --- Chol --- *)
+
+let test_chol_solve () =
+  let a = random_spd 8 in
+  let x = random_vec 8 in
+  let b = Mat.mulv a x in
+  match Ic_linalg.Chol.factorize a with
+  | Error _ -> Alcotest.fail "not SPD"
+  | Ok ch ->
+      let x' = Ic_linalg.Chol.solve ch b in
+      Alcotest.(check bool) "roundtrip" true (Vec.approx_equal ~tol:1e-7 x x')
+
+let test_chol_not_pd () =
+  let a = Mat.of_arrays [| [| 1.; 2. |]; [| 2.; 1. |] |] in
+  match Ic_linalg.Chol.factorize a with
+  | Error (`Not_positive_definite _) -> ()
+  | Ok _ -> Alcotest.fail "expected not-PD"
+
+let test_chol_ridge () =
+  (* rank-deficient: ridge must still produce a usable factorization *)
+  let a = Mat.of_arrays [| [| 1.; 1. |]; [| 1.; 1. |] |] in
+  let ch = Ic_linalg.Chol.factorize_ridge ~ridge:1e-8 a in
+  let x = Ic_linalg.Chol.solve ch [| 2.; 2. |] in
+  feq_tol 1e-3 "consistent solve" 2. (x.(0) +. x.(1))
+
+let test_chol_log_det () =
+  let a = Mat.diag [| 2.; 3. |] in
+  match Ic_linalg.Chol.factorize a with
+  | Ok ch -> feq_tol 1e-9 "log det" (log 6.) (Ic_linalg.Chol.log_det ch)
+  | Error _ -> Alcotest.fail "diag is SPD"
+
+(* --- Qr / Lsq --- *)
+
+let test_qr_solve_square () =
+  let a = Mat.add (random_mat 6 6) (Mat.scale 8. (Mat.identity 6)) in
+  let x = random_vec 6 in
+  let b = Mat.mulv a x in
+  let qr = Ic_linalg.Qr.factorize a in
+  Alcotest.(check int) "full rank" 6 (Ic_linalg.Qr.rank qr);
+  let x' = Ic_linalg.Qr.solve qr b in
+  Alcotest.(check bool) "roundtrip" true (Vec.approx_equal ~tol:1e-8 x x')
+
+let test_qr_least_squares () =
+  (* overdetermined consistent system *)
+  let a = random_mat 12 5 in
+  let x = random_vec 5 in
+  let b = Mat.mulv a x in
+  let x' = Ic_linalg.Lsq.solve a b in
+  Alcotest.(check bool) "exact recovery" true (Vec.approx_equal ~tol:1e-7 x x')
+
+let test_qr_residual_orthogonal () =
+  (* least-squares residual is orthogonal to the column space *)
+  let a = random_mat 10 4 in
+  let b = random_vec 10 in
+  let x = Ic_linalg.Lsq.solve a b in
+  let r = Vec.sub b (Mat.mulv a x) in
+  let atr = Mat.mulv_t a r in
+  Alcotest.(check bool)
+    "At r = 0" true
+    (Vec.approx_equal ~tol:1e-7 atr (Vec.create 4))
+
+let test_qr_rank_deficient () =
+  (* two identical columns *)
+  let a = Mat.init 6 3 (fun i j -> if j = 2 then float_of_int i else float_of_int (i + j)) in
+  let a = Mat.init 6 3 (fun i j -> if j = 1 then Mat.get a i 0 else Mat.get a i j) in
+  let qr = Ic_linalg.Qr.factorize a in
+  Alcotest.(check bool) "rank < 3" true (Ic_linalg.Qr.rank qr < 3)
+
+let test_lsq_wide () =
+  (* underdetermined: pseudo_solve returns a consistent solution *)
+  let a = random_mat 3 7 in
+  let x = random_vec 7 in
+  let b = Mat.mulv a x in
+  let x' = Ic_linalg.Lsq.pseudo_solve a b in
+  let b' = Mat.mulv a x' in
+  Alcotest.(check bool) "consistent" true (Vec.approx_equal ~tol:1e-5 b b')
+
+let test_lu_solve_mat () =
+  let a = Mat.add (random_mat 5 5) (Mat.scale 8. (Mat.identity 5)) in
+  let b = random_mat 5 3 in
+  match Ic_linalg.Lu.factorize a with
+  | Error _ -> Alcotest.fail "singular"
+  | Ok f ->
+      let x = Ic_linalg.Lu.solve_mat f b in
+      Alcotest.(check bool) "multi-rhs" true
+        (Mat.approx_equal ~tol:1e-8 (Mat.mul a x) b)
+
+let test_lsq_residual_norm () =
+  let a = Mat.of_arrays [| [| 1.; 0. |]; [| 0.; 1. |]; [| 1.; 1. |] |] in
+  let x = [| 1.; 2. |] in
+  let b = [| 1.; 2.; 4. |] in
+  (* residual: |1+2-4| = 1 on the third row only *)
+  feq_tol 1e-12 "residual" 1. (Ic_linalg.Lsq.residual_norm a x b)
+
+let test_printers_smoke () =
+  (* pretty-printers must render something non-trivial without raising *)
+  let show pp v = Format.asprintf "%a" pp v in
+  Alcotest.(check bool) "vec" true (String.length (show Vec.pp [| 1.; 2. |]) > 3);
+  Alcotest.(check bool) "mat" true
+    (String.length (show Mat.pp (Mat.identity 2)) > 5)
+
+(* --- Nnls --- *)
+
+let test_nnls_interior () =
+  (* when the unconstrained solution is positive, NNLS matches it *)
+  let a = Mat.add (random_mat 5 5) (Mat.scale 10. (Mat.identity 5)) in
+  let x = Array.map Float.abs (random_vec 5) in
+  let b = Mat.mulv a x in
+  let x' = Ic_linalg.Nnls.solve a b in
+  Alcotest.(check bool) "matches truth" true (Vec.approx_equal ~tol:1e-6 x x')
+
+let test_nnls_active () =
+  (* classic example where the unconstrained solution is negative *)
+  let a = Mat.of_arrays [| [| 1.; 1. |]; [| 1.; 1.001 |]; [| 1.; 0.999 |] |] in
+  let b = [| 1.; -1.; 1. |] in
+  let x = Ic_linalg.Nnls.solve a b in
+  Alcotest.(check bool) "nonneg" true (Array.for_all (fun v -> v >= 0.) x);
+  Alcotest.(check bool)
+    "kkt" true
+    (Ic_linalg.Nnls.kkt_violation a b x < 1e-6)
+
+let nnls_property =
+  QCheck.Test.make ~count:60 ~name:"nnls satisfies KKT on random problems"
+    QCheck.(pair (list_of_size (Gen.return 12) (float_range (-3.) 3.))
+              (list_of_size (Gen.return 20) (float_range (-3.) 3.)))
+    (fun (xs, ys) ->
+      let m = 5 and n = 4 in
+      let vals = Array.of_list (xs @ ys) in
+      let a = Mat.init m n (fun i j -> vals.((i * n + j) mod Array.length vals)) in
+      let b = Array.init m (fun i -> vals.((i * 7 + 3) mod Array.length vals)) in
+      let x = Ic_linalg.Nnls.solve a b in
+      Array.for_all (fun v -> v >= 0.) x
+      && Ic_linalg.Nnls.kkt_violation a b x < 1e-5)
+
+(* --- Cg --- *)
+
+let test_cg_matches_chol () =
+  let a = random_spd 10 in
+  let b = random_vec 10 in
+  let x_cg, stats = Ic_linalg.Cg.solve (fun v -> Mat.mulv a v) b in
+  (match Ic_linalg.Chol.factorize a with
+  | Ok ch ->
+      let x_ch = Ic_linalg.Chol.solve ch b in
+      Alcotest.(check bool)
+        "cg = chol" true
+        (Vec.approx_equal ~tol:1e-6 x_cg x_ch)
+  | Error _ -> Alcotest.fail "SPD expected");
+  Alcotest.(check bool) "converged" true (stats.residual < 1e-8)
+
+let test_cg_zero_rhs () =
+  let x, stats = Ic_linalg.Cg.solve (fun v -> v) (Vec.create 4) in
+  Alcotest.(check bool) "zero" true (Vec.approx_equal x (Vec.create 4));
+  Alcotest.(check int) "no iterations" 0 stats.iterations
+
+(* --- Sparse --- *)
+
+let test_sparse_roundtrip () =
+  let d = random_mat 6 9 in
+  let s = Ic_linalg.Sparse.of_dense d in
+  Alcotest.(check bool)
+    "roundtrip" true
+    (Mat.approx_equal d (Ic_linalg.Sparse.to_dense s))
+
+let test_sparse_mulv () =
+  let d = random_mat 5 7 in
+  let s = Ic_linalg.Sparse.of_dense d in
+  let x = random_vec 7 in
+  Alcotest.(check bool)
+    "mulv" true
+    (Vec.approx_equal ~tol:1e-10 (Mat.mulv d x) (Ic_linalg.Sparse.mulv s x));
+  let y = random_vec 5 in
+  Alcotest.(check bool)
+    "mulv_t" true
+    (Vec.approx_equal ~tol:1e-10 (Mat.mulv_t d y)
+       (Ic_linalg.Sparse.mulv_t s y))
+
+let test_sparse_triplets () =
+  let s =
+    Ic_linalg.Sparse.of_triplets ~rows:2 ~cols:2
+      [ (0, 0, 1.); (0, 0, 2.); (1, 1, 0.); (1, 0, 4.) ]
+  in
+  Alcotest.(check int) "nnz (dup merged, zero dropped)" 2 (Ic_linalg.Sparse.nnz s);
+  feq "merged" 3. (Ic_linalg.Sparse.get s 0 0);
+  feq "zero entry" 0. (Ic_linalg.Sparse.get s 1 1);
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Sparse.of_triplets: entry (2,0) out of 2x2") (fun () ->
+      ignore (Ic_linalg.Sparse.of_triplets ~rows:2 ~cols:2 [ (2, 0, 1.) ]))
+
+let test_sparse_transpose_scale () =
+  let d = random_mat 4 6 in
+  let s = Ic_linalg.Sparse.of_dense d in
+  Alcotest.(check bool)
+    "transpose" true
+    (Mat.approx_equal (Mat.transpose d)
+       (Ic_linalg.Sparse.to_dense (Ic_linalg.Sparse.transpose s)));
+  let diag = Array.init 6 (fun i -> float_of_int (i + 1)) in
+  let scaled = Ic_linalg.Sparse.scale_cols s diag in
+  let expected = Mat.mul d (Mat.diag diag) in
+  Alcotest.(check bool)
+    "scale_cols" true
+    (Mat.approx_equal ~tol:1e-10 expected (Ic_linalg.Sparse.to_dense scaled))
+
+(* --- Svd --- *)
+
+let test_svd_reconstruct () =
+  let a = random_mat 8 5 in
+  let svd = Ic_linalg.Svd.decompose a in
+  Alcotest.(check bool)
+    "A = U S Vt" true
+    (Mat.approx_equal ~tol:1e-8 a (Ic_linalg.Svd.reconstruct svd));
+  (* singular values decreasing and non-negative *)
+  let s = svd.singular_values in
+  for k = 0 to Array.length s - 2 do
+    Alcotest.(check bool) "decreasing" true (s.(k) >= s.(k + 1))
+  done;
+  Alcotest.(check bool) "non-negative" true (Array.for_all (fun x -> x >= 0.) s)
+
+let test_svd_orthonormal () =
+  let a = random_mat 9 4 in
+  let svd = Ic_linalg.Svd.decompose a in
+  let utu = Mat.gram svd.u in
+  let vtv = Mat.gram svd.v in
+  Alcotest.(check bool) "UtU = I" true
+    (Mat.approx_equal ~tol:1e-8 utu (Mat.identity 4));
+  Alcotest.(check bool) "VtV = I" true
+    (Mat.approx_equal ~tol:1e-8 vtv (Mat.identity 4))
+
+let test_svd_known_values () =
+  (* diag(3, 2) has singular values 3, 2 *)
+  let a = Mat.diag [| 2.; 3. |] in
+  let svd = Ic_linalg.Svd.decompose a in
+  feq_tol 1e-10 "sigma1" 3. svd.singular_values.(0);
+  feq_tol 1e-10 "sigma2" 2. svd.singular_values.(1);
+  feq_tol 1e-10 "condition" 1.5 (Ic_linalg.Svd.condition_number svd)
+
+let test_svd_rank () =
+  (* rank-1 outer product *)
+  let u = [| 1.; 2.; 3. |] and v = [| 4.; 5. |] in
+  let a = Mat.init 3 2 (fun i j -> u.(i) *. v.(j)) in
+  let svd = Ic_linalg.Svd.decompose a in
+  Alcotest.(check int) "rank one" 1 (Ic_linalg.Svd.rank svd);
+  Alcotest.(check bool) "huge condition number" true
+    (Ic_linalg.Svd.condition_number svd > 1e10)
+
+let test_svd_wide () =
+  let a = random_mat 4 7 in
+  let svd = Ic_linalg.Svd.decompose a in
+  Alcotest.(check bool)
+    "wide reconstruct" true
+    (Mat.approx_equal ~tol:1e-8 a (Ic_linalg.Svd.reconstruct svd))
+
+let test_svd_pinv () =
+  let a = random_mat 8 4 in
+  let svd = Ic_linalg.Svd.decompose a in
+  let pinv = Ic_linalg.Svd.pseudo_inverse svd in
+  (* pinv a = I for full-column-rank a *)
+  Alcotest.(check bool) "left inverse" true
+    (Mat.approx_equal ~tol:1e-7 (Mat.mul pinv a) (Mat.identity 4));
+  (* min-norm solve matches Lsq on a consistent system *)
+  let x = random_vec 4 in
+  let b = Mat.mulv a x in
+  let x' = Ic_linalg.Svd.solve_min_norm svd b in
+  Alcotest.(check bool) "solve" true (Vec.approx_equal ~tol:1e-7 x x')
+
+(* --- Eig --- *)
+
+let test_eig_known () =
+  let a = Mat.of_arrays [| [| 2.; 1. |]; [| 1.; 2. |] |] in
+  let e = Ic_linalg.Eig.decompose a in
+  feq_tol 1e-10 "lambda1" 3. e.eigenvalues.(0);
+  feq_tol 1e-10 "lambda2" 1. e.eigenvalues.(1)
+
+let test_eig_reconstruct () =
+  let a = random_spd 9 in
+  let e = Ic_linalg.Eig.decompose a in
+  Alcotest.(check bool)
+    "V L Vt = A" true
+    (Mat.approx_equal ~tol:1e-7 a (Ic_linalg.Eig.reconstruct e));
+  Alcotest.(check bool)
+    "orthonormal eigenvectors" true
+    (Mat.approx_equal ~tol:1e-8 (Mat.gram e.eigenvectors) (Mat.identity 9));
+  (* SPD: all eigenvalues positive and sorted *)
+  let l = e.eigenvalues in
+  Alcotest.(check bool) "positive" true (Array.for_all (fun x -> x > 0.) l);
+  for k = 0 to 7 do
+    Alcotest.(check bool) "sorted" true (l.(k) >= l.(k + 1))
+  done
+
+let test_eig_eigenvector_property () =
+  let a = random_spd 6 in
+  let e = Ic_linalg.Eig.decompose a in
+  (* A v = lambda v for the leading pair *)
+  let v = Mat.col e.eigenvectors 0 in
+  let av = Mat.mulv a v in
+  let lv = Vec.scale e.eigenvalues.(0) v in
+  Alcotest.(check bool) "A v = lambda v" true (Vec.approx_equal ~tol:1e-7 av lv)
+
+let test_eig_not_square () =
+  Alcotest.check_raises "not square"
+    (Invalid_argument "Eig.decompose: matrix not square") (fun () ->
+      ignore (Ic_linalg.Eig.decompose (Mat.create 2 3)))
+
+(* --- Proj --- *)
+
+let test_simplex_basic () =
+  let p = Ic_linalg.Proj.simplex [| 0.5; 0.5 |] in
+  feq "already on simplex" 0.5 p.(0);
+  let p = Ic_linalg.Proj.simplex [| 2.; 0. |] in
+  feq "projects to vertex" 1. p.(0);
+  feq "projects to vertex" 0. p.(1)
+
+let simplex_property =
+  QCheck.Test.make ~count:100 ~name:"simplex projection is feasible and optimal"
+    QCheck.(list_of_size (Gen.int_range 1 8) (float_range (-4.) 4.))
+    (fun xs ->
+      let v = Array.of_list xs in
+      let p = Ic_linalg.Proj.simplex v in
+      let feasible =
+        Array.for_all (fun x -> x >= -1e-12) p
+        && Float.abs (Vec.sum p -. 1.) < 1e-9
+      in
+      (* optimality: no closer point among a few random feasible points *)
+      let dist a = Vec.nrm2_diff v a in
+      let uniform = Array.make (Array.length v) (1. /. float_of_int (Array.length v)) in
+      let vertex k =
+        Array.init (Array.length v) (fun i -> if i = k then 1. else 0.)
+      in
+      let candidates = uniform :: List.init (Array.length v) vertex in
+      feasible
+      && List.for_all (fun c -> dist p <= dist c +. 1e-9) candidates)
+
+let test_box () =
+  feq "clamps low" 0. (Ic_linalg.Proj.box ~lo:0. ~hi:1. (-3.));
+  feq "clamps high" 1. (Ic_linalg.Proj.box ~lo:0. ~hi:1. 3.);
+  feq "interior" 0.4 (Ic_linalg.Proj.box ~lo:0. ~hi:1. 0.4)
+
+let () =
+  Alcotest.run "ic_linalg"
+    [
+      ( "vec",
+        [
+          Alcotest.test_case "dot" `Quick test_vec_dot;
+          Alcotest.test_case "nrm2" `Quick test_vec_nrm2;
+          Alcotest.test_case "misc" `Quick test_vec_misc;
+        ] );
+      ( "mat",
+        [
+          Alcotest.test_case "mul" `Quick test_mat_mul;
+          Alcotest.test_case "gram" `Quick test_mat_gram;
+          Alcotest.test_case "transpose" `Quick test_mat_transpose;
+        ] );
+      ( "lu",
+        [
+          Alcotest.test_case "solve 2x2" `Quick test_lu_solve;
+          Alcotest.test_case "random roundtrip" `Quick test_lu_random_roundtrip;
+          Alcotest.test_case "det and inverse" `Quick test_lu_det_inverse;
+          Alcotest.test_case "singular detection" `Quick test_lu_singular;
+        ] );
+      ( "chol",
+        [
+          Alcotest.test_case "solve" `Quick test_chol_solve;
+          Alcotest.test_case "not PD" `Quick test_chol_not_pd;
+          Alcotest.test_case "ridge" `Quick test_chol_ridge;
+          Alcotest.test_case "log det" `Quick test_chol_log_det;
+        ] );
+      ( "qr-lsq",
+        [
+          Alcotest.test_case "square solve" `Quick test_qr_solve_square;
+          Alcotest.test_case "least squares" `Quick test_qr_least_squares;
+          Alcotest.test_case "residual orthogonality" `Quick
+            test_qr_residual_orthogonal;
+          Alcotest.test_case "rank deficiency" `Quick test_qr_rank_deficient;
+          Alcotest.test_case "wide pseudo-solve" `Quick test_lsq_wide;
+          Alcotest.test_case "multi-rhs LU" `Quick test_lu_solve_mat;
+          Alcotest.test_case "residual norm" `Quick test_lsq_residual_norm;
+          Alcotest.test_case "printers" `Quick test_printers_smoke;
+        ] );
+      ( "nnls",
+        [
+          Alcotest.test_case "interior" `Quick test_nnls_interior;
+          Alcotest.test_case "active constraints" `Quick test_nnls_active;
+          QCheck_alcotest.to_alcotest nnls_property;
+        ] );
+      ( "cg",
+        [
+          Alcotest.test_case "matches cholesky" `Quick test_cg_matches_chol;
+          Alcotest.test_case "zero rhs" `Quick test_cg_zero_rhs;
+        ] );
+      ( "sparse",
+        [
+          Alcotest.test_case "dense roundtrip" `Quick test_sparse_roundtrip;
+          Alcotest.test_case "mulv" `Quick test_sparse_mulv;
+          Alcotest.test_case "triplets" `Quick test_sparse_triplets;
+          Alcotest.test_case "transpose/scale" `Quick
+            test_sparse_transpose_scale;
+        ] );
+      ( "svd",
+        [
+          Alcotest.test_case "reconstruction" `Quick test_svd_reconstruct;
+          Alcotest.test_case "orthonormality" `Quick test_svd_orthonormal;
+          Alcotest.test_case "known values" `Quick test_svd_known_values;
+          Alcotest.test_case "rank deficiency" `Quick test_svd_rank;
+          Alcotest.test_case "wide input" `Quick test_svd_wide;
+          Alcotest.test_case "pseudo-inverse" `Quick test_svd_pinv;
+        ] );
+      ( "eig",
+        [
+          Alcotest.test_case "known values" `Quick test_eig_known;
+          Alcotest.test_case "reconstruction" `Quick test_eig_reconstruct;
+          Alcotest.test_case "eigenvector property" `Quick
+            test_eig_eigenvector_property;
+          Alcotest.test_case "not square" `Quick test_eig_not_square;
+        ] );
+      ( "proj",
+        [
+          Alcotest.test_case "simplex basic" `Quick test_simplex_basic;
+          QCheck_alcotest.to_alcotest simplex_property;
+          Alcotest.test_case "box" `Quick test_box;
+        ] );
+    ]
