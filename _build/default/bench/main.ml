@@ -2,7 +2,11 @@
    comparisons called out in DESIGN.md, and substrate micro-benchmarks.
 
    All inputs are precomputed so the staged closures measure only the kernel
-   under study. Run with: dune exec bench/main.exe *)
+   under study. Run with: dune exec bench/main.exe
+
+   Pass [--json <path>] to also write the results as a machine-readable
+   BENCH_<label>.json (test name -> ns/run) so the performance trajectory can
+   be tracked across PRs; see "Performance architecture" in DESIGN.md. *)
 
 open Bechamel
 module Instance = Toolkit.Instance
@@ -87,6 +91,19 @@ let qr_tall =
 
 let preference_sample = fitted.params.preference
 
+(* Whole-series fixtures for the batched estimation entry points. *)
+let series_link_loads =
+  Array.init
+    (Ic_traffic.Series.length fit_series)
+    (fun k ->
+      Ic_topology.Routing.link_loads routing
+        (Ic_traffic.Tm.to_vector (Ic_traffic.Series.tm fit_series k)))
+
+let series_priors =
+  Array.init
+    (Ic_traffic.Series.length fit_series)
+    (fun k -> Ic_gravity.Gravity.of_tm (Ic_traffic.Series.tm fit_series k))
+
 (* ------------------------------------------------------------------ *)
 (* Benchmarks                                                          *)
 (* ------------------------------------------------------------------ *)
@@ -141,11 +158,34 @@ let ablation_tests =
       (Staged.stage (fun () -> Ic_linalg.Nnls.solve_gram nnls_g nnls_c));
     Test.make ~name:"ablation/ls-then-clamp"
       (Staged.stage (fun () ->
-           let ch = Ic_linalg.Chol.factorize_ridge ~ridge:1e-10 nnls_g in
+           let ch =
+             Ic_linalg.Chol.factorize_ridge ~ridge:Ic_linalg.Chol.default_ridge
+               nnls_g
+           in
            Ic_linalg.Vec.clamp_nonneg (Ic_linalg.Chol.solve ch nnls_c)));
     Test.make ~name:"ablation/general-f-fit"
       (Staged.stage (fun () ->
            Ic_core.Fit.fit_general_f fitted.params fit_series));
+    Test.make ~name:"ablation/fit-kernel-naive"
+      (Staged.stage (fun () ->
+           Ic_core.Fit.fit_stable_fp ~kernel:Ic_core.Fit.Naive fit_series));
+  ]
+
+(* Batched vs bin-at-a-time estimation: same inputs, same results, the
+   batch path hoists the tomogravity plan and scratch buffers across bins. *)
+let batch_tests =
+  [
+    Test.make ~name:"batch/tomogravity-series-64bins"
+      (Staged.stage (fun () ->
+           Ic_estimation.Tomogravity.estimate_series routing
+             ~link_loads:series_link_loads ~priors:series_priors));
+    Test.make ~name:"batch/tomogravity-64-independent"
+      (Staged.stage (fun () ->
+           Array.map2
+             (fun y p ->
+               Ic_estimation.Tomogravity.estimate routing ~link_loads:y
+                 ~prior:p)
+             series_link_loads series_priors));
   ]
 
 let extension_tests =
@@ -179,6 +219,10 @@ let substrate_tests =
   [
     Test.make ~name:"linalg/cholesky-122"
       (Staged.stage (fun () -> Ic_linalg.Chol.factorize spd_122));
+    Test.make ~name:"linalg/cholesky-into-122"
+      (Staged.stage
+         (let l = Ic_linalg.Mat.create 122 122 in
+          fun () -> Ic_linalg.Chol.factorize_into ~l spd_122));
     Test.make ~name:"linalg/svd-44x22"
       (Staged.stage (fun () -> Ic_linalg.Svd.decompose qr_tall));
     Test.make ~name:"linalg/eig-60"
@@ -236,31 +280,83 @@ let run_group label tests =
     Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.4) ~kde:None ()
   in
   Printf.printf "== %s ==\n%!" label;
+  let results =
+    List.concat_map
+      (fun test ->
+        let raw = Benchmark.all cfg instances test in
+        let analyzed = Analyze.all ols Instance.monotonic_clock raw in
+        Hashtbl.fold
+          (fun name ols_result acc ->
+            let ns =
+              match Analyze.OLS.estimates ols_result with
+              | Some (t :: _) -> t
+              | _ -> Float.nan
+            in
+            (name, ns) :: acc)
+          analyzed [])
+      tests
+  in
+  (* Hashtbl order is nondeterministic: sort by test name so the report is
+     stable run-to-run (and diffs of BENCH_*.json files stay readable). *)
+  let results = List.sort (fun (a, _) (b, _) -> compare a b) results in
   List.iter
-    (fun test ->
-      let raw = Benchmark.all cfg instances test in
-      let results = Analyze.all ols Instance.monotonic_clock raw in
-      Hashtbl.iter
-        (fun name ols_result ->
-          let ns =
-            match Analyze.OLS.estimates ols_result with
-            | Some (t :: _) -> t
-            | _ -> Float.nan
-          in
-          let pretty =
-            if ns > 1e9 then Printf.sprintf "%8.3f s " (ns /. 1e9)
-            else if ns > 1e6 then Printf.sprintf "%8.3f ms" (ns /. 1e6)
-            else if ns > 1e3 then Printf.sprintf "%8.3f us" (ns /. 1e3)
-            else Printf.sprintf "%8.0f ns" ns
-          in
-          Printf.printf "  %-36s %s/run\n%!" name pretty)
-        results)
-    tests
+    (fun (name, ns) ->
+      let pretty =
+        if ns > 1e9 then Printf.sprintf "%8.3f s " (ns /. 1e9)
+        else if ns > 1e6 then Printf.sprintf "%8.3f ms" (ns /. 1e6)
+        else if ns > 1e3 then Printf.sprintf "%8.3f us" (ns /. 1e3)
+        else Printf.sprintf "%8.0f ns" ns
+      in
+      Printf.printf "  %-36s %s/run\n%!" name pretty)
+    results;
+  results
+
+let write_json path results =
+  let label =
+    let base = Filename.remove_extension (Filename.basename path) in
+    if String.length base > 6 && String.sub base 0 6 = "BENCH_" then
+      String.sub base 6 (String.length base - 6)
+    else base
+  in
+  let results = List.sort (fun (a, _) (b, _) -> compare a b) results in
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"label\": %S,\n  \"unit\": \"ns/run\",\n" label;
+  Printf.fprintf oc "  \"results\": {\n";
+  let n = List.length results in
+  List.iteri
+    (fun k (name, ns) ->
+      let value =
+        if Float.is_finite ns then Printf.sprintf "%.3f" ns else "null"
+      in
+      Printf.fprintf oc "    %S: %s%s\n" name value
+        (if k = n - 1 then "" else ","))
+    results;
+  Printf.fprintf oc "  }\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s (%d results)\n%!" path n
 
 let () =
+  let json_path = ref None in
+  let argv = Sys.argv in
+  let i = ref 1 in
+  while !i < Array.length argv do
+    (match argv.(!i) with
+    | "--json" when !i + 1 < Array.length argv ->
+        incr i;
+        json_path := Some argv.(!i)
+    | arg ->
+        Printf.eprintf "usage: %s [--json <path>] (unknown argument %s)\n"
+          argv.(0) arg;
+        exit 2);
+    incr i
+  done;
   print_endline "IC traffic-matrix benchmarks (bechamel)";
-  run_group "figure kernels" figure_tests;
-  run_group "ablations" ablation_tests;
-  run_group "extensions" extension_tests;
-  run_group "substrates" substrate_tests;
+  let all =
+    run_group "figure kernels" figure_tests
+    @ run_group "ablations" ablation_tests
+    @ run_group "batched estimation" batch_tests
+    @ run_group "extensions" extension_tests
+    @ run_group "substrates" substrate_tests
+  in
+  Option.iter (fun path -> write_json path all) !json_path;
   print_endline "done."

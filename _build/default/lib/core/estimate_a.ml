@@ -29,12 +29,19 @@ let prior_series ~f ~preference series =
   let n = Ic_traffic.Series.size series in
   if Array.length preference <> n then
     invalid_arg "Estimate_a.prior_series: dimension mismatch";
+  (* The design depends only on (f, preference), so its Gram matrix is
+     shared by every bin; per bin only the right-hand side changes.
+     [Nnls.solve design b] is exactly [solve_gram (gram design)
+     (design^T b)], so this matches per-bin [activities] bit for bit. *)
+  let design = design_matrix ~f ~preference in
+  let gram = Mat.gram design in
   let tms =
     Array.init (Ic_traffic.Series.length series) (fun k ->
         let tm = Ic_traffic.Series.tm series k in
         let ingress = Ic_traffic.Marginals.ingress tm in
         let egress = Ic_traffic.Marginals.egress tm in
-        let activity = activities ~f ~preference ~ingress ~egress in
+        let b = Array.append ingress egress in
+        let activity = Ic_linalg.Nnls.solve_gram gram (Mat.mulv_t design b) in
         Model.simplified ~f ~activity ~preference)
   in
   Ic_traffic.Series.make series.Ic_traffic.Series.binning tms

@@ -1,7 +1,10 @@
 module Vec = Ic_linalg.Vec
 module Mat = Ic_linalg.Mat
+module Ws = Ic_linalg.Workspace
 module Tm = Ic_traffic.Tm
 module Series = Ic_traffic.Series
+
+type kernel = Naive | Workspace
 
 type options = {
   max_sweeps : int;
@@ -100,6 +103,106 @@ let solve_preference ~f ~activities ~weights tms =
     tms;
   solve_nonneg g c
 
+(* Workspace kernels: the same subproblems with the Gram matrix,
+   right-hand side and Cholesky factor living in a workspace hoisted
+   outside the sweep loop, and flat-indexed accumulation instead of
+   [Mat.update] closures. Accumulation and solve order match the naive
+   kernels operation for operation, so both produce bit-identical
+   results — the naive kernels stay as the golden reference. *)
+
+let solve_nonneg_ws ws g c =
+  let feasible x = Array.for_all (fun v -> v >= -1e-9 *. (1. +. Float.abs v)) x in
+  let n, _ = Mat.dims g in
+  let l = Ws.mat ws "fit.chol" n n in
+  match Ic_linalg.Chol.factorize_into ~l g with
+  | Ok ch ->
+      let x = Array.copy c in
+      Ic_linalg.Chol.solve_into ch x;
+      if feasible x then Vec.clamp_nonneg x
+      else Ic_linalg.Nnls.solve_gram g c
+  | Error (`Not_positive_definite _) -> Ic_linalg.Nnls.solve_gram g c
+
+let solve_activity_ws ws ~f ~p tm =
+  let n = Array.length p in
+  let g = Ws.zero_mat ws "fit.g" n n in
+  let c = Ws.zero_vec ws "fit.c" n in
+  let gd = g.Mat.data in
+  let xd = Tm.unsafe_data tm in
+  for i = 0 to n - 1 do
+    let base = i * n in
+    for j = 0 to n - 1 do
+      let x = Array.unsafe_get xd (base + j) in
+      if i = j then begin
+        gd.(base + i) <- gd.(base + i) +. (p.(i) *. p.(i));
+        c.(i) <- c.(i) +. (p.(i) *. x)
+      end
+      else begin
+        let a = f *. p.(j) and b = (1. -. f) *. p.(i) in
+        gd.(base + i) <- gd.(base + i) +. (a *. a);
+        gd.((j * n) + j) <- gd.((j * n) + j) +. (b *. b);
+        gd.(base + j) <- gd.(base + j) +. (a *. b);
+        gd.((j * n) + i) <- gd.((j * n) + i) +. (a *. b);
+        c.(i) <- c.(i) +. (a *. x);
+        c.(j) <- c.(j) +. (b *. x)
+      end
+    done
+  done;
+  solve_nonneg_ws ws g c
+
+let solve_preference_ws ws ~f ~activities ~weights tms =
+  let n = Array.length activities.(0) in
+  let g = Ws.zero_mat ws "fit.g" n n in
+  let c = Ws.zero_vec ws "fit.c" n in
+  let gd = g.Mat.data in
+  Array.iteri
+    (fun t tm ->
+      let w = weights.(t) in
+      if w > 0. then begin
+        let a_t = activities.(t) in
+        let xd = Tm.unsafe_data tm in
+        for i = 0 to n - 1 do
+          let base = i * n in
+          for j = 0 to n - 1 do
+            let x = Array.unsafe_get xd (base + j) in
+            if i = j then begin
+              gd.(base + i) <- gd.(base + i) +. (w *. a_t.(i) *. a_t.(i));
+              c.(i) <- c.(i) +. (w *. a_t.(i) *. x)
+            end
+            else begin
+              let a = f *. a_t.(i) and b = (1. -. f) *. a_t.(j) in
+              gd.((j * n) + j) <- gd.((j * n) + j) +. (w *. a *. a);
+              gd.(base + i) <- gd.(base + i) +. (w *. b *. b);
+              gd.(base + j) <- gd.(base + j) +. (w *. a *. b);
+              gd.((j * n) + i) <- gd.((j * n) + i) +. (w *. a *. b);
+              c.(j) <- c.(j) +. (w *. a *. x);
+              c.(i) <- c.(i) +. (w *. b *. x)
+            end
+          done
+        done
+      end)
+    tms;
+  solve_nonneg_ws ws g c
+
+(* One fit run binds its kernel pair once; the workspace pair shares one
+   buffer pool across all bins and sweeps of that run. *)
+type kernels = {
+  k_activity : f:float -> p:Vec.t -> Tm.t -> Vec.t;
+  k_preference :
+    f:float -> activities:Vec.t array -> weights:Vec.t -> Tm.t array -> Vec.t;
+}
+
+let make_kernels = function
+  | Naive ->
+      { k_activity = solve_activity; k_preference = solve_preference }
+  | Workspace ->
+      let ws = Ws.create () in
+      {
+        k_activity = (fun ~f ~p tm -> solve_activity_ws ws ~f ~p tm);
+        k_preference =
+          (fun ~f ~activities ~weights tms ->
+            solve_preference_ws ws ~f ~activities ~weights tms);
+      }
+
 (* Forward-fraction subproblem: X_ij = f (A_i p_j - A_j p_i) + A_j p_i is
    linear in f; weighted scalar least squares, clamped into [0,1]. *)
 let solve_f ~bounds:(f_lo, f_hi) ~activities ~preferences ~weights tms =
@@ -110,13 +213,15 @@ let solve_f ~bounds:(f_lo, f_hi) ~activities ~preferences ~weights tms =
       if w > 0. then begin
         let a_t = activities.(t) and p = preferences t in
         let n = Array.length a_t in
+        let xd = Tm.unsafe_data tm in
         for i = 0 to n - 1 do
+          let base = i * n in
           for j = 0 to n - 1 do
             if i <> j then begin
               let slope = (a_t.(i) *. p.(j)) -. (a_t.(j) *. p.(i)) in
-              let base = a_t.(j) *. p.(i) in
-              let x = Tm.get tm i j in
-              num := !num +. (w *. slope *. (x -. base));
+              let base_flow = a_t.(j) *. p.(i) in
+              let x = Array.unsafe_get xd (base + j) in
+              num := !num +. (w *. slope *. (x -. base_flow));
               den := !den +. (w *. slope *. slope)
             end
           done
@@ -126,7 +231,7 @@ let solve_f ~bounds:(f_lo, f_hi) ~activities ~preferences ~weights tms =
   if !den <= 0. then None
   else Some (Ic_linalg.Proj.box ~lo:f_lo ~hi:f_hi (!num /. !den))
 
-let bin_norms tms = Array.map (fun tm -> Vec.nrm2 (Tm.to_vector tm)) tms
+let bin_norms tms = Array.map (fun tm -> Vec.nrm2 (Tm.unsafe_data tm)) tms
 
 let weights_of_norms norms =
   Array.map (fun nrm -> if nrm > 0. then 1. /. (nrm *. nrm) else 0.) norms
@@ -138,7 +243,7 @@ let model_tm ~f ~activity ~p =
 
 let rel_l2 tm model norm =
   if norm <= 0. then 0.
-  else Vec.nrm2_diff (Tm.to_vector tm) (Tm.to_vector model) /. norm
+  else Vec.nrm2_diff (Tm.unsafe_data tm) (Tm.unsafe_data model) /. norm
 
 (* Surrogate objective: sum of squared relative errors. *)
 let surrogate ~f ~activities ~preferences norms tms =
@@ -192,22 +297,22 @@ let initial_preference ~f_init tms =
   | Error `F_near_half -> fallback ()
   | exception Invalid_argument _ -> fallback ()
 
-let fit_stable_fp_single ~options series =
+let fit_stable_fp_single ~kernels ~options series =
   let tms = Array.init (Series.length series) (Series.tm series) in
   let norms = bin_norms tms in
   let weights = weights_of_norms norms in
   let f = ref options.f_init in
   let p = ref (initial_preference ~f_init:options.f_init tms) in
   let activities =
-    ref (Array.map (fun tm -> solve_activity ~f:!f ~p:!p tm) tms)
+    ref (Array.map (fun tm -> kernels.k_activity ~f:!f ~p:!p tm) tms)
   in
   let prev = ref infinity in
   let sweeps = ref 0 in
   let continue_ = ref true in
   while !continue_ && !sweeps < options.max_sweeps do
     incr sweeps;
-    activities := Array.map (fun tm -> solve_activity ~f:!f ~p:!p tm) tms;
-    let p_raw = solve_preference ~f:!f ~activities:!activities ~weights tms in
+    activities := Array.map (fun tm -> kernels.k_activity ~f:!f ~p:!p tm) tms;
+    let p_raw = kernels.k_preference ~f:!f ~activities:!activities ~weights tms in
     let p', acts' = normalize_preference_and_rescale p_raw !activities in
     p := p';
     activities := acts';
@@ -235,7 +340,7 @@ let fit_stable_fp_single ~options series =
   in
   { params; per_bin_error; mean_error = mean_of per_bin_error; sweeps = !sweeps }
 
-let fit_stable_f_single ~options series =
+let fit_stable_f_single ~kernels ~options series =
   let tms = Array.init (Series.length series) (Series.tm series) in
   let norms = bin_norms tms in
   let weights = weights_of_norms norms in
@@ -247,7 +352,7 @@ let fit_stable_f_single ~options series =
       (Array.mapi
          (fun t tm ->
            let p = (!prefs).(t) in
-           solve_activity ~f:!f ~p tm)
+           kernels.k_activity ~f:!f ~p tm)
          tms)
   in
   let prev = ref infinity in
@@ -258,15 +363,15 @@ let fit_stable_f_single ~options series =
     (* per-bin activity and preference given the shared f *)
     let old_prefs = !prefs in
     let acts =
-      Array.mapi (fun t tm -> solve_activity ~f:!f ~p:old_prefs.(t) tm) tms
+      Array.mapi (fun t tm -> kernels.k_activity ~f:!f ~p:old_prefs.(t) tm) tms
     in
     let new_prefs = Array.make t_count old_prefs.(0) in
     Array.iteri
       (fun t tm ->
         if weights.(t) > 0. then begin
           let p_raw =
-            solve_preference ~f:!f ~activities:[| acts.(t) |] ~weights:[| 1. |]
-              [| tm |]
+            kernels.k_preference ~f:!f ~activities:[| acts.(t) |]
+              ~weights:[| 1. |] [| tm |]
           in
           let p', acts' = normalize_preference_and_rescale p_raw [| acts.(t) |] in
           new_prefs.(t) <- p';
@@ -300,7 +405,7 @@ let fit_stable_f_single ~options series =
   in
   { params; per_bin_error; mean_error = mean_of per_bin_error; sweeps = !sweeps }
 
-let fit_time_varying_single ~options series =
+let fit_time_varying_single ~kernels ~options series =
   let tms = Array.init (Series.length series) (Series.tm series) in
   let norms = bin_norms tms in
   let t_count = Array.length tms in
@@ -314,15 +419,15 @@ let fit_time_varying_single ~options series =
       let w = weights_of_norms [| norms.(t) |] in
       let f = ref options.f_init in
       let p = ref (initial_preference ~f_init:options.f_init [| tm |]) in
-      let act = ref (solve_activity ~f:!f ~p:!p tm) in
+      let act = ref (kernels.k_activity ~f:!f ~p:!p tm) in
       let prev = ref infinity in
       let sweeps = ref 0 in
       let continue_ = ref true in
       while !continue_ && !sweeps < options.max_sweeps do
         incr sweeps;
-        act := solve_activity ~f:!f ~p:!p tm;
+        act := kernels.k_activity ~f:!f ~p:!p tm;
         let p_raw =
-          solve_preference ~f:!f ~activities:[| !act |] ~weights:w [| tm |]
+          kernels.k_preference ~f:!f ~activities:[| !act |] ~weights:w [| tm |]
         in
         let p', acts' = normalize_preference_and_rescale p_raw [| !act |] in
         p := p';
@@ -397,26 +502,31 @@ let dual_start ~options fit f_of series =
     pick_basin f_of a b
   end
 
-let fit_stable_fp ?(options = default_options) series =
-  dual_start ~options fit_stable_fp_single
+let fit_stable_fp ?(options = default_options) ?(kernel = Workspace) series =
+  let kernels = make_kernels kernel in
+  dual_start ~options
+    (fun ~options series -> fit_stable_fp_single ~kernels ~options series)
     (fun (p : Params.stable_fp) -> p.f)
     series
 
-let fit_stable_f ?(options = default_options) series =
-  dual_start ~options fit_stable_f_single
+let fit_stable_f ?(options = default_options) ?(kernel = Workspace) series =
+  let kernels = make_kernels kernel in
+  dual_start ~options
+    (fun ~options series -> fit_stable_f_single ~kernels ~options series)
     (fun (p : Params.stable_f) -> p.f)
     series
 
-let fit_time_varying ?(options = default_options) series =
+let fit_time_varying ?(options = default_options) ?(kernel = Workspace) series =
+  let kernels = make_kernels kernel in
   (* Bins are independent; select the better basin bin by bin. *)
   let lo_init = Float.min options.f_init (1. -. options.f_init) in
   let a =
-    fit_time_varying_single
+    fit_time_varying_single ~kernels
       ~options:{ options with f_init = lo_init; f_bounds = (0., 0.5) }
       series
   in
   let b =
-    fit_time_varying_single
+    fit_time_varying_single ~kernels
       ~options:{ options with f_init = 1. -. lo_init; f_bounds = (0.5, 1.) }
       series
   in
@@ -506,5 +616,5 @@ let per_bin_error data model =
     invalid_arg "Fit.per_bin_error: length mismatch";
   Array.init (Series.length data) (fun k ->
       let tm = Series.tm data k in
-      let norm = Vec.nrm2 (Tm.to_vector tm) in
+      let norm = Vec.nrm2 (Tm.unsafe_data tm) in
       rel_l2 tm (Series.tm model k) norm)

@@ -27,6 +27,14 @@
     toward [f < 1/2] (the response-dominated branch the paper observes and
     validates directly from packet traces in its Section 5.2). *)
 
+type kernel =
+  | Naive  (** allocating reference kernels (one Gram matrix per solve) *)
+  | Workspace
+      (** preallocated scratch buffers shared across all bins and sweeps of
+          one fit run; bit-identical results to [Naive] (the subproblem
+          accumulation and solve order are the same operation for
+          operation), with no per-bin allocation. The default. *)
+
 type options = {
   max_sweeps : int;  (** block-coordinate sweeps (default 40) *)
   tol : float;  (** relative surrogate-improvement stop (default 1e-6) *)
@@ -50,17 +58,26 @@ type 'p fitted = {
 }
 
 val fit_stable_fp :
-  ?options:options -> Ic_traffic.Series.t -> Params.stable_fp fitted
+  ?options:options ->
+  ?kernel:kernel ->
+  Ic_traffic.Series.t ->
+  Params.stable_fp fitted
 (** Fit the stable-fP model (Equation 5): one [f], one preference vector,
     per-bin activities. *)
 
 val fit_stable_f :
-  ?options:options -> Ic_traffic.Series.t -> Params.stable_f fitted
+  ?options:options ->
+  ?kernel:kernel ->
+  Ic_traffic.Series.t ->
+  Params.stable_f fitted
 (** Fit the stable-f model (Equation 4): one [f], per-bin preferences and
     activities. *)
 
 val fit_time_varying :
-  ?options:options -> Ic_traffic.Series.t -> Params.time_varying fitted
+  ?options:options ->
+  ?kernel:kernel ->
+  Ic_traffic.Series.t ->
+  Params.time_varying fitted
 (** Fit the time-varying model (Equation 3): every parameter per bin. Each
     bin is fitted independently. *)
 

@@ -25,13 +25,15 @@ let objective tms weights st =
       let w = weights.(t) in
       if w > 0. then begin
         let at = st.a.(t) in
+        let xd = Tm.unsafe_data tm in
         for i = 0 to n - 1 do
+          let base = i * n in
           for j = 0 to n - 1 do
             let pred =
               (st.f *. at.(i) *. st.p.(j))
               +. ((1. -. st.f) *. at.(j) *. st.p.(i))
             in
-            let r = pred -. Tm.get tm i j in
+            let r = pred -. Array.unsafe_get xd (base + j) in
             acc := !acc +. (w *. r *. r)
           done
         done
@@ -46,13 +48,14 @@ let grad_a tms weights st t =
   let g = Vec.create n in
   let w = weights.(t) in
   if w > 0. then begin
-    let tm = tms.(t) in
+    let xd = Tm.unsafe_data tms.(t) in
     for i = 0 to n - 1 do
+      let base = i * n in
       for j = 0 to n - 1 do
         let pred =
           (st.f *. at.(i) *. st.p.(j)) +. ((1. -. st.f) *. at.(j) *. st.p.(i))
         in
-        let r = 2. *. w *. (pred -. Tm.get tm i j) in
+        let r = 2. *. w *. (pred -. Array.unsafe_get xd (base + j)) in
         g.(i) <- g.(i) +. (r *. st.f *. st.p.(j));
         g.(j) <- g.(j) +. (r *. (1. -. st.f) *. st.p.(i))
       done
@@ -68,13 +71,15 @@ let grad_p tms weights st =
       let w = weights.(t) in
       if w > 0. then begin
         let at = st.a.(t) in
+        let xd = Tm.unsafe_data tm in
         for i = 0 to n - 1 do
+          let base = i * n in
           for j = 0 to n - 1 do
             let pred =
               (st.f *. at.(i) *. st.p.(j))
               +. ((1. -. st.f) *. at.(j) *. st.p.(i))
             in
-            let r = 2. *. w *. (pred -. Tm.get tm i j) in
+            let r = 2. *. w *. (pred -. Array.unsafe_get xd (base + j)) in
             g.(j) <- g.(j) +. (r *. st.f *. at.(i));
             g.(i) <- g.(i) +. (r *. (1. -. st.f) *. at.(j))
           done
@@ -91,13 +96,15 @@ let grad_f tms weights st =
       let w = weights.(t) in
       if w > 0. then begin
         let at = st.a.(t) in
+        let xd = Tm.unsafe_data tm in
         for i = 0 to n - 1 do
+          let base = i * n in
           for j = 0 to n - 1 do
             let pred =
               (st.f *. at.(i) *. st.p.(j))
               +. ((1. -. st.f) *. at.(j) *. st.p.(i))
             in
-            let r = 2. *. w *. (pred -. Tm.get tm i j) in
+            let r = 2. *. w *. (pred -. Array.unsafe_get xd (base + j)) in
             acc := !acc +. (r *. ((at.(i) *. st.p.(j)) -. (at.(j) *. st.p.(i))))
           done
         done
@@ -123,7 +130,7 @@ let backtrack ~apply ~current ~step tms weights =
 let fit_stable_fp ?(options = default_options) series =
   let t_count = Series.length series in
   let tms = Array.init t_count (Series.tm series) in
-  let norms = Array.map (fun tm -> Vec.nrm2 (Tm.to_vector tm)) tms in
+  let norms = Array.map (fun tm -> Vec.nrm2 (Tm.unsafe_data tm)) tms in
   let weights =
     Array.map (fun nrm -> if nrm > 0. then 1. /. (nrm *. nrm) else 0.) norms
   in
@@ -159,14 +166,18 @@ let fit_stable_fp ?(options = default_options) series =
   while !continue_ && !iters < options.max_iters do
     incr iters;
     let sa, sp, sf = !steps in
+    (* The gradient at the current state is invariant across backtracking
+       tries (only the step length changes), so each block computes it once
+       outside its [apply] closure. *)
     (* activity block: per-bin gradient steps with a shared relative step *)
+    let ga = Array.mapi (fun t _ -> grad_a tms weights !st t) !st.a in
     let st1, sa', _ =
       backtrack
         ~apply:(fun step ->
           let a =
             Array.mapi
               (fun t at ->
-                let g = grad_a tms weights !st t in
+                let g = ga.(t) in
                 let scale = Float.max (Vec.amax at) 1. in
                 let gmax = Float.max (Vec.amax g) 1e-300 in
                 let eta = step *. scale /. gmax in
@@ -179,27 +190,30 @@ let fit_stable_fp ?(options = default_options) series =
     in
     st := st1;
     (* preference block *)
+    let gp = grad_p tms weights !st in
     let st2, sp', _ =
       backtrack
         ~apply:(fun step ->
-          let g = grad_p tms weights !st in
-          let gmax = Float.max (Vec.amax g) 1e-300 in
+          let gmax = Float.max (Vec.amax gp) 1e-300 in
           let eta = step /. gmax in
           let p =
             Ic_linalg.Proj.simplex
-              (Array.mapi (fun k x -> x -. (eta *. g.(k))) !st.p)
+              (Array.mapi (fun k x -> x -. (eta *. gp.(k))) !st.p)
           in
           { !st with p })
         ~current:!st ~step:(Float.min (sp *. 2.) 1.) tms weights
     in
     st := st2;
     (* forward-fraction block, kept in the physical branch *)
+    let gf = grad_f tms weights !st in
     let st3, sf', value =
       backtrack
         ~apply:(fun step ->
-          let g = grad_f tms weights !st in
-          let eta = step /. Float.max (Float.abs g) 1e-300 in
-          { !st with f = Ic_linalg.Proj.box ~lo:0. ~hi:0.5 (!st.f -. (eta *. g)) })
+          let eta = step /. Float.max (Float.abs gf) 1e-300 in
+          {
+            !st with
+            f = Ic_linalg.Proj.box ~lo:0. ~hi:0.5 (!st.f -. (eta *. gf));
+          })
         ~current:!st ~step:(Float.min (sf *. 2.) 0.5) tms weights
     in
     st := st3;
@@ -217,7 +231,7 @@ let fit_stable_fp ?(options = default_options) series =
             (!st.f *. at.(i) *. !st.p.(j))
             +. ((1. -. !st.f) *. at.(j) *. !st.p.(i)))
       in
-      Vec.nrm2_diff (Tm.to_vector tms.(t)) (Tm.to_vector pred) /. norms.(t)
+      Vec.nrm2_diff (Tm.unsafe_data tms.(t)) (Tm.unsafe_data pred) /. norms.(t)
     end
   in
   let per_bin_error = Array.init t_count model_err in

@@ -1,1 +1,1 @@
-lib/estimation/entropy.mli: Ic_linalg Ic_topology Ic_traffic
+lib/estimation/entropy.mli: Ic_linalg Ic_topology Ic_traffic Tomogravity

@@ -35,6 +35,15 @@ let run ?link_loads config ~truth ~prior =
   | Some loads when Array.length loads <> Series.length truth ->
       invalid_arg "Pipeline.run: link-load series length mismatch"
   | _ -> ());
+  (* Hoisted across bins: the tomogravity plan (routing-dependent structure
+     and scratch buffers) and the marginal-row index maps. *)
+  let plan = Tomogravity.make_plan config.routing in
+  let ingress_rows =
+    Array.init n (fun i -> Routing.ingress_row config.routing i)
+  in
+  let egress_rows =
+    Array.init n (fun j -> Routing.egress_row config.routing j)
+  in
   let estimates =
     Array.init (Series.length truth) (fun k ->
         let truth_tm = Series.tm truth k in
@@ -46,19 +55,19 @@ let run ?link_loads config ~truth ~prior =
         let refined =
           match config.refinement with
           | Least_squares solver ->
-              Tomogravity.estimate ~solver config.routing ~link_loads
+              Tomogravity.estimate_with_plan ~solver plan ~link_loads
                 ~prior:(Series.tm prior k)
           | Max_entropy ->
-              Entropy.estimate config.routing ~link_loads
+              Entropy.estimate ~plan config.routing ~link_loads
                 ~prior:(Series.tm prior k)
         in
         if not config.apply_ipf then refined
         else begin
           let row_targets =
-            Array.init n (fun i -> link_loads.(Routing.ingress_row config.routing i))
+            Array.init n (fun i -> link_loads.(ingress_rows.(i)))
           in
           let col_targets =
-            Array.init n (fun j -> link_loads.(Routing.egress_row config.routing j))
+            Array.init n (fun j -> link_loads.(egress_rows.(j)))
           in
           if Ic_linalg.Vec.sum row_targets <= 0. then refined
           else (Ipf.fit refined ~row_targets ~col_targets).Ipf.tm

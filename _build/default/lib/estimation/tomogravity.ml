@@ -1,6 +1,8 @@
 module Vec = Ic_linalg.Vec
 module Mat = Ic_linalg.Mat
 module Sparse = Ic_linalg.Sparse
+module Chol = Ic_linalg.Chol
+module Workspace = Ic_linalg.Workspace
 module Routing = Ic_topology.Routing
 
 type solver = Cholesky | Cg
@@ -46,8 +48,8 @@ let estimate ?(solver = Cholesky) routing ~link_loads ~prior =
       match solver with
       | Cholesky ->
           let g = weighted_gram routing weights in
-          let ch = Ic_linalg.Chol.factorize_ridge ~ridge:1e-10 g in
-          Ic_linalg.Chol.solve ch rhs
+          let ch = Chol.factorize_ridge ~ridge:Chol.default_ridge g in
+          Chol.solve ch rhs
       | Cg ->
           let apply v =
             Sparse.mulv r (Vec.mul weights (Sparse.mulv_t r v))
@@ -56,8 +58,142 @@ let estimate ?(solver = Cholesky) routing ~link_loads ~prior =
           u
     in
     let correction = Vec.mul weights (Sparse.mulv_t r u) in
-    Ic_traffic.Tm.of_vector n (Vec.add x0 correction)
+    Ic_traffic.Tm.of_vector_clamped n (Vec.add x0 correction)
   end
+
+(* The batched path. A [plan] freezes everything that depends only on the
+   routing matrix: the column-compressed view of R that [plan_weighted_gram]
+   walks (no [Sparse.transpose], no intermediate lists), plus a workspace
+   whose buffers — Gram matrix, Cholesky factor, and the per-bin vectors —
+   are reused across every bin estimated with the plan. All arithmetic
+   follows the naive [estimate] operation-for-operation, so the two paths
+   agree bit-for-bit. *)
+
+type plan = {
+  routing : Routing.t;
+  m : int;  (* rows of R: links plus marginal pseudo-links *)
+  n_od : int;  (* columns of R: n^2 OD pairs *)
+  col_ptr : int array;  (* length n_od + 1 *)
+  col_rows : int array;  (* row indices, ascending within each column *)
+  col_vals : float array;
+  ws : Workspace.t;
+}
+
+let make_plan routing =
+  let r = routing.Routing.matrix in
+  let m = Sparse.rows r in
+  let n_od = Sparse.cols r in
+  let col_ptr = Array.make (n_od + 1) 0 in
+  for i = 0 to m - 1 do
+    Sparse.row_iter r i (fun j _ -> col_ptr.(j + 1) <- col_ptr.(j + 1) + 1)
+  done;
+  for j = 1 to n_od do
+    col_ptr.(j) <- col_ptr.(j) + col_ptr.(j - 1)
+  done;
+  let nnz = col_ptr.(n_od) in
+  let col_rows = Array.make nnz 0 in
+  let col_vals = Array.make nnz 0. in
+  let next = Array.sub col_ptr 0 n_od in
+  for i = 0 to m - 1 do
+    Sparse.row_iter r i (fun j v ->
+        let k = next.(j) in
+        col_rows.(k) <- i;
+        col_vals.(k) <- v;
+        next.(j) <- k + 1)
+  done;
+  { routing; m; n_od; col_ptr; col_rows; col_vals; ws = Workspace.create () }
+
+let plan_routing plan = plan.routing
+
+let plan_weighted_gram plan weights =
+  if Array.length weights <> plan.n_od then
+    invalid_arg "Tomogravity.plan_weighted_gram: weight dimension mismatch";
+  let m = plan.m in
+  let g = Workspace.zero_mat plan.ws "gram" m m in
+  let gd = g.Mat.data in
+  let col_ptr = plan.col_ptr
+  and col_rows = plan.col_rows
+  and col_vals = plan.col_vals in
+  for c = 0 to plan.n_od - 1 do
+    let w = Array.unsafe_get weights c in
+    if w > 0. then begin
+      let lo = Array.unsafe_get col_ptr c in
+      let hi = Array.unsafe_get col_ptr (c + 1) - 1 in
+      for k1 = lo to hi do
+        let base = Array.unsafe_get col_rows k1 * m in
+        let wv1 = w *. Array.unsafe_get col_vals k1 in
+        for k2 = lo to hi do
+          let idx = base + Array.unsafe_get col_rows k2 in
+          Array.unsafe_set gd idx
+            (Array.unsafe_get gd idx
+            +. (wv1 *. Array.unsafe_get col_vals k2))
+        done
+      done
+    end
+  done;
+  g
+
+let estimate_with_plan ?(solver = Cholesky) plan ~link_loads ~prior =
+  let m = plan.m and n_od = plan.n_od in
+  if Array.length link_loads <> m then
+    invalid_arg "Tomogravity.estimate: link-load dimension mismatch";
+  let n = Ic_traffic.Tm.size prior in
+  if n * n <> n_od then
+    invalid_arg "Tomogravity.estimate: prior does not match routing matrix";
+  let r = plan.routing.Routing.matrix in
+  let ws = plan.ws in
+  let x0 = Workspace.vec ws "x0" n_od in
+  Array.blit (Ic_traffic.Tm.unsafe_data prior) 0 x0 0 n_od;
+  let weights = Workspace.vec ws "weights" n_od in
+  for s = 0 to n_od - 1 do
+    let x = Array.unsafe_get x0 s in
+    Array.unsafe_set weights s (if x < 0. then 0. else x)
+  done;
+  let rhs = Workspace.vec ws "rhs" m in
+  Sparse.mulv_into r x0 ~into:rhs;
+  for i = 0 to m - 1 do
+    Array.unsafe_set rhs i
+      (Array.unsafe_get link_loads i -. Array.unsafe_get rhs i)
+  done;
+  let ynorm = Vec.nrm2 link_loads in
+  if Vec.nrm2 rhs <= 1e-12 *. Float.max ynorm 1. then prior
+  else begin
+    let u =
+      match solver with
+      | Cholesky ->
+          let g = plan_weighted_gram plan weights in
+          let l = Workspace.mat ws "chol.l" m m in
+          let ch = Chol.factorize_ridge_into ~ridge:Chol.default_ridge ~l g in
+          let u = Workspace.vec ws "u" m in
+          Array.blit rhs 0 u 0 m;
+          Chol.solve_into ch u;
+          u
+      | Cg ->
+          let apply v =
+            Sparse.mulv r (Vec.mul weights (Sparse.mulv_t r v))
+          in
+          let u, _stats = Ic_linalg.Cg.solve ~tol:1e-10 apply (Vec.copy rhs) in
+          u
+    in
+    let corr = Workspace.vec ws "corr" n_od in
+    Sparse.mulv_t_into r u ~into:corr;
+    let out = Workspace.vec ws "out" n_od in
+    for s = 0 to n_od - 1 do
+      Array.unsafe_set out s
+        (Array.unsafe_get x0 s
+        +. (Array.unsafe_get weights s *. Array.unsafe_get corr s))
+    done;
+    Ic_traffic.Tm.of_vector_clamped n out
+  end
+
+let estimate_series ?solver routing ~link_loads ~priors =
+  let bins = Array.length link_loads in
+  if Array.length priors <> bins then
+    invalid_arg "Tomogravity.estimate_series: series length mismatch";
+  let plan = make_plan routing in
+  Array.init bins (fun k ->
+      estimate_with_plan ?solver plan ~link_loads:link_loads.(k)
+        ~prior:priors.(k))
 
 let residual routing ~link_loads tm =
   let r = routing.Routing.matrix in

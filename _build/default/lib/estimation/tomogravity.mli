@@ -36,3 +36,44 @@ val residual :
   float
 (** Relative link-constraint violation [||R x - Y|| / ||Y||] of an estimate
     (diagnostic; the non-negativity clamp can leave a small residual). *)
+
+(** {2 Batched estimation}
+
+    Estimating a series re-solves the same-shaped system once per bin. A
+    {!plan} precomputes everything that depends only on the routing matrix —
+    a column-compressed view of [R] for assembling [R diag(w) Rᵀ] without
+    transposing or allocating, plus a scratch workspace reused across bins —
+    so the per-bin cost is pure arithmetic. Results are bit-identical to the
+    one-shot {!estimate}. *)
+
+type plan
+(** Routing-dependent precomputation plus reusable scratch buffers. A plan
+    is single-threaded state: concurrent estimates must not share one. *)
+
+val make_plan : Ic_topology.Routing.t -> plan
+
+val plan_routing : plan -> Ic_topology.Routing.t
+(** The routing the plan was built from. *)
+
+val plan_weighted_gram : plan -> Ic_linalg.Vec.t -> Ic_linalg.Mat.t
+(** {!weighted_gram} through the plan's column structure. The result lives
+    in the plan's workspace and is only valid until the next call that uses
+    the plan. Bit-identical to {!weighted_gram}. *)
+
+val estimate_with_plan :
+  ?solver:solver ->
+  plan ->
+  link_loads:Ic_linalg.Vec.t ->
+  prior:Ic_traffic.Tm.t ->
+  Ic_traffic.Tm.t
+(** {!estimate} using the plan's precomputed structure and buffers. Raises
+    the same [Invalid_argument] errors as {!estimate}. *)
+
+val estimate_series :
+  ?solver:solver ->
+  Ic_topology.Routing.t ->
+  link_loads:Ic_linalg.Vec.t array ->
+  priors:Ic_traffic.Tm.t array ->
+  Ic_traffic.Tm.t array
+(** Estimate one TM per bin, building the plan once. [link_loads] and
+    [priors] must have equal lengths (one entry per bin). *)

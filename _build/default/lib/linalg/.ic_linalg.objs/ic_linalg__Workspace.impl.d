@@ -1,0 +1,1 @@
+lib/linalg/workspace.ml: Array Hashtbl Mat Vec

@@ -1,0 +1,1 @@
+lib/linalg/workspace.mli: Mat Vec

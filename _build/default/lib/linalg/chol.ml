@@ -1,5 +1,7 @@
 type t = { l : Mat.t }
 
+let default_ridge = 1e-10
+
 let factorize a =
   let n, cols = Mat.dims a in
   if n <> cols then invalid_arg "Chol.factorize: matrix not square";
@@ -26,19 +28,59 @@ let factorize a =
     Ok { l }
   with Bad j -> Error (`Not_positive_definite j)
 
+(* In-place variant of [factorize] writing into a caller-owned factor buffer:
+   no per-solve allocation, and the inner loops run on the flat data arrays.
+   [shift] adds [shift * I] without materializing the shifted matrix. The
+   arithmetic (operation order included) is identical to [factorize] on the
+   shifted matrix, so the two paths produce bit-identical factors. *)
+let factorize_into ?(shift = 0.) ~l a =
+  let n, cols = Mat.dims a in
+  if n <> cols then invalid_arg "Chol.factorize_into: matrix not square";
+  if Mat.dims l <> (n, n) then
+    invalid_arg "Chol.factorize_into: factor buffer has wrong dimensions";
+  let ad = a.Mat.data and ld = l.Mat.data in
+  let exception Bad of int in
+  try
+    for j = 0 to n - 1 do
+      let jbase = j * n in
+      let acc = ref (Array.unsafe_get ad (jbase + j) +. shift) in
+      for k = 0 to j - 1 do
+        let ljk = Array.unsafe_get ld (jbase + k) in
+        acc := !acc -. (ljk *. ljk)
+      done;
+      if !acc <= 0. then raise (Bad j);
+      let ljj = sqrt !acc in
+      Array.unsafe_set ld (jbase + j) ljj;
+      for i = j + 1 to n - 1 do
+        let ibase = i * n in
+        let acc = ref (Array.unsafe_get ad (ibase + j)) in
+        for k = 0 to j - 1 do
+          acc :=
+            !acc
+            -. (Array.unsafe_get ld (ibase + k)
+                *. Array.unsafe_get ld (jbase + k))
+        done;
+        Array.unsafe_set ld (ibase + j) (!acc /. ljj)
+      done
+    done;
+    Ok { l }
+  with Bad j -> Error (`Not_positive_definite j)
+
+let mean_diag_of a =
+  let n, _ = Mat.dims a in
+  if n = 0 then 1.
+  else begin
+    let s = ref 0. in
+    for i = 0 to n - 1 do
+      s := !s +. Float.abs (Mat.get a i i)
+    done;
+    let m = !s /. float_of_int n in
+    if m > 0. then m else 1.
+  end
+
 let factorize_ridge ?(ridge = 1e-12) a =
   let n, _ = Mat.dims a in
-  let mean_diag =
-    if n = 0 then 1.
-    else begin
-      let s = ref 0. in
-      for i = 0 to n - 1 do
-        s := !s +. Float.abs (Mat.get a i i)
-      done;
-      let m = !s /. float_of_int n in
-      if m > 0. then m else 1.
-    end
-  in
+  let mean_diag = mean_diag_of a in
   let rec attempt lambda =
     let shifted =
       Mat.init n n (fun i j ->
@@ -52,6 +94,39 @@ let factorize_ridge ?(ridge = 1e-12) a =
         else attempt (Float.max (lambda *. 10.) (1e-12 *. mean_diag))
   in
   attempt (ridge *. mean_diag)
+
+let factorize_ridge_into ?(ridge = 1e-12) ~l a =
+  let mean_diag = mean_diag_of a in
+  let rec attempt lambda =
+    match factorize_into ~shift:lambda ~l a with
+    | Ok ch -> ch
+    | Error (`Not_positive_definite _) ->
+        if lambda > 1e6 *. mean_diag then
+          invalid_arg "Chol.factorize_ridge_into: matrix is not positive definite"
+        else attempt (Float.max (lambda *. 10.) (1e-12 *. mean_diag))
+  in
+  attempt (ridge *. mean_diag)
+
+let solve_into { l } b =
+  let n, _ = Mat.dims l in
+  if Array.length b <> n then
+    invalid_arg "Chol.solve_into: bad right-hand side";
+  let ld = l.Mat.data in
+  for i = 0 to n - 1 do
+    let ibase = i * n in
+    let acc = ref (Array.unsafe_get b i) in
+    for j = 0 to i - 1 do
+      acc := !acc -. (Array.unsafe_get ld (ibase + j) *. Array.unsafe_get b j)
+    done;
+    Array.unsafe_set b i (!acc /. Array.unsafe_get ld (ibase + i))
+  done;
+  for i = n - 1 downto 0 do
+    let acc = ref (Array.unsafe_get b i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (Array.unsafe_get ld ((j * n) + i) *. Array.unsafe_get b j)
+    done;
+    Array.unsafe_set b i (!acc /. Array.unsafe_get ld ((i * n) + i))
+  done
 
 let solve { l } b =
   let n, _ = Mat.dims l in

@@ -3,10 +3,31 @@
 type t
 (** A factorization [A = L Lᵀ] with [L] lower-triangular. *)
 
+val default_ridge : float
+(** [1e-10] — the standard relative ridge for normal-equation systems built
+    from routing or design matrices (tomogravity's [R W Rᵀ], {!Lsq}'s
+    [AᵀA]). These systems are numerically rank deficient by construction, so
+    a ridge well above the [1e-12] last-resort jitter of {!factorize_ridge}
+    keeps the solve stable without visibly perturbing the solution. *)
+
 val factorize : Mat.t -> (t, [ `Not_positive_definite of int ]) result
 (** [factorize a] factorizes the symmetric matrix [a] (only the lower triangle
     is read). [`Not_positive_definite k] reports a non-positive pivot at step
     [k]. Raises [Invalid_argument] if [a] is not square. *)
+
+val factorize_into :
+  ?shift:float ->
+  l:Mat.t ->
+  Mat.t ->
+  (t, [ `Not_positive_definite of int ]) result
+(** [factorize_into ~l a] is {!factorize} writing the factor into the
+    caller-owned buffer [l] (same dimensions as [a]) instead of allocating —
+    the workspace entry point for per-bin solves that reuse one factor buffer
+    across a whole series. [?shift] (default [0.]) factorizes [a + shift I]
+    without materializing the shifted matrix. The returned [t] aliases [l]:
+    the factorization is only valid until [l] is overwritten. On [Error] the
+    contents of [l] are unspecified. Produces bit-identical factors to
+    {!factorize} on the (shifted) input. *)
 
 val factorize_ridge : ?ridge:float -> Mat.t -> t
 (** [factorize_ridge ~ridge a] factorizes [a + lambda I] where [lambda] starts
@@ -15,8 +36,16 @@ val factorize_ridge : ?ridge:float -> Mat.t -> t
     equations that may be numerically rank deficient, such as the tomogravity
     system [R W Rᵀ]. *)
 
+val factorize_ridge_into : ?ridge:float -> l:Mat.t -> Mat.t -> t
+(** {!factorize_ridge} writing into a caller-owned factor buffer (see
+    {!factorize_into} for the aliasing rules). *)
+
 val solve : t -> Vec.t -> Vec.t
 (** [solve ch b] solves [A x = b]. *)
+
+val solve_into : t -> Vec.t -> unit
+(** [solve_into ch b] solves [A x = b] in place, overwriting [b] with the
+    solution — no allocation. *)
 
 val log_det : t -> float
 (** Log-determinant of [A]. *)

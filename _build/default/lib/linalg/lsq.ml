@@ -1,4 +1,4 @@
-let solve_normal ?(ridge = 1e-10) a b =
+let solve_normal ?(ridge = Chol.default_ridge) a b =
   let g = Mat.gram a in
   let ch = Chol.factorize_ridge ~ridge g in
   Chol.solve ch (Mat.mulv_t a b)
@@ -20,7 +20,7 @@ let pseudo_solve a b =
     (* minimum-norm solution: x = aᵀ (a aᵀ + ridge)⁻¹ b *)
     let at = Mat.transpose a in
     let g = Mat.gram at in
-    let ch = Chol.factorize_ridge ~ridge:1e-10 g in
+    let ch = Chol.factorize_ridge ~ridge:Chol.default_ridge g in
     let y = Chol.solve ch b in
     Mat.mulv at y
   end

@@ -31,6 +31,12 @@ let get m i j = m.data.((i * m.cols) + j)
 
 let set m i j x = m.data.((i * m.cols) + j) <- x
 
+let unsafe_get m i j = Array.unsafe_get m.data ((i * m.cols) + j)
+
+let unsafe_set m i j x = Array.unsafe_set m.data ((i * m.cols) + j) x
+
+let fill m x = Array.fill m.data 0 (Array.length m.data) x
+
 let update m i j f =
   let k = (i * m.cols) + j in
   m.data.(k) <- f m.data.(k)

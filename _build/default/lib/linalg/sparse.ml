@@ -87,28 +87,39 @@ let get t i j =
   done;
   !found
 
-let mulv t x =
-  if Array.length x <> t.cols then invalid_arg "Sparse.mulv: bad vector";
-  let y = Array.make t.rows 0. in
+let mulv_into t x ~into:y =
+  if Array.length x <> t.cols then invalid_arg "Sparse.mulv_into: bad vector";
+  if Array.length y <> t.rows then invalid_arg "Sparse.mulv_into: bad output";
   for i = 0 to t.rows - 1 do
     let acc = ref 0. in
     for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
       acc := !acc +. (t.values.(k) *. x.(t.col_idx.(k)))
     done;
     y.(i) <- !acc
-  done;
+  done
+
+let mulv t x =
+  if Array.length x <> t.cols then invalid_arg "Sparse.mulv: bad vector";
+  let y = Array.make t.rows 0. in
+  mulv_into t x ~into:y;
   y
 
-let mulv_t t x =
-  if Array.length x <> t.rows then invalid_arg "Sparse.mulv_t: bad vector";
-  let y = Array.make t.cols 0. in
+let mulv_t_into t x ~into:y =
+  if Array.length x <> t.rows then invalid_arg "Sparse.mulv_t_into: bad vector";
+  if Array.length y <> t.cols then invalid_arg "Sparse.mulv_t_into: bad output";
+  Array.fill y 0 (Array.length y) 0.;
   for i = 0 to t.rows - 1 do
     let xi = x.(i) in
     if xi <> 0. then
       for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
         y.(t.col_idx.(k)) <- y.(t.col_idx.(k)) +. (t.values.(k) *. xi)
       done
-  done;
+  done
+
+let mulv_t t x =
+  if Array.length x <> t.rows then invalid_arg "Sparse.mulv_t: bad vector";
+  let y = Array.make t.cols 0. in
+  mulv_t_into t x ~into:y;
   y
 
 let scale_cols t d =

@@ -29,6 +29,14 @@ val mulv : t -> Vec.t -> Vec.t
 val mulv_t : t -> Vec.t -> Vec.t
 (** [mulv_t a x] is [aᵀ x]. *)
 
+val mulv_into : t -> Vec.t -> into:Vec.t -> unit
+(** [mulv_into a x ~into] writes [a x] into the caller-owned buffer [into]
+    (length [rows a]) without allocating. Bit-identical to {!mulv}. *)
+
+val mulv_t_into : t -> Vec.t -> into:Vec.t -> unit
+(** [mulv_t_into a x ~into] writes [aᵀ x] into [into] (length [cols a],
+    zeroed first) without allocating. Bit-identical to {!mulv_t}. *)
+
 val scale_cols : t -> Vec.t -> t
 (** [scale_cols a d] is [a * diag d]. *)
 

@@ -44,7 +44,22 @@ let to_vector t = Array.copy t.data
 let of_vector n v =
   if Array.length v <> n * n then
     invalid_arg "Tm.of_vector: length does not match size";
+  Array.iter
+    (fun x ->
+      if x < 0. then invalid_arg "Tm.of_vector: negative traffic volume")
+    v;
+  { n; data = Array.copy v }
+
+let of_vector_clamped n v =
+  if Array.length v <> n * n then
+    invalid_arg "Tm.of_vector_clamped: length does not match size";
   { n; data = Array.map (fun x -> if x < 0. then 0. else x) v }
+
+let unsafe_get t i j = Array.unsafe_get t.data ((i * t.n) + j)
+
+let unsafe_set t i j v = Array.unsafe_set t.data ((i * t.n) + j) v
+
+let unsafe_data t = t.data
 
 let map2 f a b =
   if a.n <> b.n then invalid_arg "Tm.map2: size mismatch";

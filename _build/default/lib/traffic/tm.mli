@@ -31,8 +31,25 @@ val to_vector : t -> Ic_linalg.Vec.t
     {!Ic_topology.Routing.od_index}. *)
 
 val of_vector : int -> Ic_linalg.Vec.t -> t
-(** Negative entries are clamped to zero (estimators can produce tiny
-    negative values). *)
+(** Raises [Invalid_argument] on negative entries — a TM holds byte counts.
+    Estimator outputs that may carry tiny negative values from floating-point
+    cancellation should go through {!of_vector_clamped} instead, making the
+    clamp explicit at the call site. *)
+
+val of_vector_clamped : int -> Ic_linalg.Vec.t -> t
+(** {!of_vector} with negative entries clamped to zero. *)
+
+val unsafe_get : t -> int -> int -> float
+(** [get] without bounds checks, for inner loops that have validated their
+    ranges; out-of-range access is undefined behaviour. *)
+
+val unsafe_set : t -> int -> int -> float -> unit
+(** [set] without bounds or sign checks (see {!unsafe_get}). Callers must
+    keep entries non-negative. *)
+
+val unsafe_data : t -> float array
+(** The backing row-major array itself — not a copy. For read-mostly hot
+    loops ({!to_vector} copies); writers must preserve non-negativity. *)
 
 val map2 : (float -> float -> float) -> t -> t -> t
 (** Elementwise combination; result entries are clamped at zero. *)

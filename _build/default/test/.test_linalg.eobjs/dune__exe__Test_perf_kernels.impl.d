@@ -1,0 +1,1 @@
+test/test_perf_kernels.ml: Alcotest Array Float Ic_core Ic_estimation Ic_gravity Ic_linalg Ic_prng Ic_timeseries Ic_topology Ic_traffic Printf

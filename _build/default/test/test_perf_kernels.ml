@@ -1,0 +1,408 @@
+(* Golden-equivalence tests for the allocation-free batched kernels: every
+   workspace/plan path must reproduce its naive reference on seeded random
+   instances. The kernels are written to match the reference operation for
+   operation, so the tolerances here are far below anything the estimation
+   tests would notice. *)
+
+module Vec = Ic_linalg.Vec
+module Mat = Ic_linalg.Mat
+module Chol = Ic_linalg.Chol
+module Workspace = Ic_linalg.Workspace
+module Tm = Ic_traffic.Tm
+module Series = Ic_traffic.Series
+module Tomogravity = Ic_estimation.Tomogravity
+module Routing = Ic_topology.Routing
+
+let feq = Alcotest.(check (float 1e-12))
+
+(* Relative-error check: |a - b| <= tol * max(|a|, |b|, 1). *)
+let check_rel ~tol msg a b =
+  let scale = Float.max (Float.max (Float.abs a) (Float.abs b)) 1. in
+  if Float.abs (a -. b) > tol *. scale then
+    Alcotest.failf "%s: %.17g vs %.17g (rel err %.3g > %.3g)" msg a b
+      (Float.abs (a -. b) /. scale)
+      tol
+
+let check_vec_rel ~tol msg a b =
+  if Array.length a <> Array.length b then
+    Alcotest.failf "%s: length mismatch" msg;
+  Array.iteri (fun i x -> check_rel ~tol (Printf.sprintf "%s[%d]" msg i) x b.(i)) a
+
+let check_tm_rel ~tol msg a b =
+  check_vec_rel ~tol msg (Tm.to_vector a) (Tm.to_vector b)
+
+let spd_matrix rng n =
+  let b = Mat.init n n (fun _ _ -> Ic_prng.Rng.float_range rng (-1.) 1.) in
+  Mat.add (Mat.gram b) (Mat.scale (float_of_int n) (Mat.identity n))
+
+(* --- Chol into-variants vs the allocating reference --- *)
+
+let test_factorize_into_matches () =
+  let rng = Ic_prng.Rng.create 101 in
+  for trial = 0 to 4 do
+    let n = 5 + (7 * trial) in
+    let a = spd_matrix rng n in
+    let l = Mat.create n n in
+    match (Chol.factorize a, Chol.factorize_into ~l a) with
+    | Ok ch_ref, Ok ch_into ->
+        let b = Array.init n (fun _ -> Ic_prng.Rng.float_range rng (-2.) 2.) in
+        let x_ref = Chol.solve ch_ref b in
+        let x_into = Array.copy b in
+        Chol.solve_into ch_into x_into;
+        Array.iteri
+          (fun i x -> feq (Printf.sprintf "solve[%d] n=%d" i n) x x_into.(i))
+          x_ref
+    | _ -> Alcotest.fail "factorization failed on an SPD matrix"
+  done
+
+let test_factorize_into_shift () =
+  let rng = Ic_prng.Rng.create 102 in
+  let n = 13 in
+  let a = spd_matrix rng n in
+  let shift = 0.37 in
+  let shifted =
+    Mat.init n n (fun i j ->
+        if i = j then Mat.get a i j +. shift else Mat.get a i j)
+  in
+  let l = Mat.create n n in
+  match (Chol.factorize shifted, Chol.factorize_into ~shift ~l a) with
+  | Ok ch_ref, Ok ch_into ->
+      let b = Array.init n (fun _ -> Ic_prng.Rng.float_range rng (-1.) 1.) in
+      let x_ref = Chol.solve ch_ref b in
+      let x_into = Array.copy b in
+      Chol.solve_into ch_into x_into;
+      Array.iteri
+        (fun i x -> feq (Printf.sprintf "shifted solve[%d]" i) x x_into.(i))
+        x_ref
+  | _ -> Alcotest.fail "factorization failed"
+
+let test_factorize_ridge_into_matches () =
+  let rng = Ic_prng.Rng.create 103 in
+  let n = 17 in
+  (* rank-deficient: Gram of a wide matrix, so the ridge loop engages *)
+  let b = Mat.init (n / 2) n (fun _ _ -> Ic_prng.Rng.float_range rng (-1.) 1.) in
+  let g = Mat.gram b in
+  let ch_ref = Chol.factorize_ridge ~ridge:Chol.default_ridge g in
+  let l = Mat.create n n in
+  let ch_into = Chol.factorize_ridge_into ~ridge:Chol.default_ridge ~l g in
+  let rhs = Array.init n (fun _ -> Ic_prng.Rng.float_range rng (-1.) 1.) in
+  let x_ref = Chol.solve ch_ref rhs in
+  let x_into = Array.copy rhs in
+  Chol.solve_into ch_into x_into;
+  Array.iteri (fun i x -> feq (Printf.sprintf "ridge solve[%d]" i) x x_into.(i)) x_ref
+
+let test_factorize_into_not_pd () =
+  let a = Mat.init 3 3 (fun i j -> if i = j then -1. else 0.) in
+  let l = Mat.create 3 3 in
+  match Chol.factorize_into ~l a with
+  | Error (`Not_positive_definite 0) -> ()
+  | Ok _ -> Alcotest.fail "negative-definite matrix factorized"
+  | Error (`Not_positive_definite k) ->
+      Alcotest.failf "wrong pivot index %d" k
+
+(* --- Workspace kernels vs Mat/Vec references --- *)
+
+let test_workspace_kernels () =
+  let rng = Ic_prng.Rng.create 104 in
+  let rows = 9 and cols = 6 in
+  let a = Mat.init rows cols (fun _ _ -> Ic_prng.Rng.float_range rng (-1.) 1.) in
+  let x = Array.init cols (fun _ -> Ic_prng.Rng.float_range rng (-1.) 1.) in
+  let y = Array.init rows (fun _ -> Ic_prng.Rng.float_range rng (-1.) 1.) in
+  let out = Array.make rows 0. in
+  Workspace.gemv_inplace a x out;
+  Array.iteri (fun i v -> feq (Printf.sprintf "gemv[%d]" i) v out.(i)) (Mat.mulv a x);
+  let out_t = Array.make cols 1234. in
+  Workspace.gemv_t_inplace a y out_t;
+  Array.iteri
+    (fun i v -> feq (Printf.sprintf "gemv_t[%d]" i) v out_t.(i))
+    (Mat.mulv_t a y);
+  (* syr: rank-1 update against the dense construction *)
+  let s = spd_matrix rng rows in
+  let expected =
+    Mat.init rows rows (fun i j -> Mat.get s i j +. (0.5 *. y.(i) *. y.(j)))
+  in
+  Workspace.syr ~alpha:0.5 y s;
+  Alcotest.(check bool) "syr" true (Mat.approx_equal ~tol:1e-12 expected s)
+
+let test_workspace_buffer_reuse () =
+  let ws = Workspace.create () in
+  let v1 = Workspace.vec ws "a" 5 in
+  v1.(0) <- 42.;
+  let v2 = Workspace.vec ws "a" 5 in
+  Alcotest.(check bool) "same buffer" true (v1 == v2);
+  feq "contents preserved" 42. v2.(0);
+  let v3 = Workspace.zero_vec ws "a" 5 in
+  feq "zeroed" 0. v3.(0);
+  let v4 = Workspace.vec ws "a" 7 in
+  Alcotest.(check int) "resized" 7 (Array.length v4);
+  let m1 = Workspace.mat ws "m" 3 4 in
+  Mat.set m1 0 0 7.;
+  let m2 = Workspace.mat ws "m" 3 4 in
+  Alcotest.(check bool) "same mat" true (m1 == m2);
+  feq "mat contents preserved" 7. (Mat.get m2 0 0)
+
+(* --- Sparse in-place products --- *)
+
+let test_sparse_into_matches () =
+  let module Sparse = Ic_linalg.Sparse in
+  let rng = Ic_prng.Rng.create 105 in
+  let rows = 11 and cols = 8 in
+  let triplets = ref [] in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      if Ic_prng.Rng.float_range rng 0. 1. < 0.3 then
+        triplets := (i, j, Ic_prng.Rng.float_range rng (-2.) 2.) :: !triplets
+    done
+  done;
+  let s = Sparse.of_triplets ~rows ~cols !triplets in
+  let x = Array.init cols (fun _ -> Ic_prng.Rng.float_range rng (-1.) 1.) in
+  let y = Array.init rows (fun _ -> Ic_prng.Rng.float_range rng (-1.) 1.) in
+  let into = Array.make rows 999. in
+  Sparse.mulv_into s x ~into;
+  Array.iteri (fun i v -> feq (Printf.sprintf "mulv[%d]" i) v into.(i)) (Sparse.mulv s x);
+  let into_t = Array.make cols 999. in
+  Sparse.mulv_t_into s y ~into:into_t;
+  Array.iteri
+    (fun i v -> feq (Printf.sprintf "mulv_t[%d]" i) v into_t.(i))
+    (Sparse.mulv_t s y)
+
+(* --- Tomogravity plan vs per-bin estimate --- *)
+
+let binning = Ic_timeseries.Timebin.five_min
+
+(* A noisy IC-model series on a small ring-with-chords topology. *)
+let make_world seed =
+  let graph = Ic_topology.Topologies.abilene_like () in
+  let routing = Routing.build graph in
+  let n = Ic_topology.Graph.node_count graph in
+  let rng = Ic_prng.Rng.create seed in
+  let bins = 12 in
+  let tms =
+    Array.init bins (fun _ ->
+        Tm.init n (fun i j ->
+            if i = j then 0.
+            else Ic_prng.Sampler.lognormal rng ~mu:10. ~sigma:1.2))
+  in
+  let series = Series.make binning tms in
+  (routing, series)
+
+let test_plan_gram_matches () =
+  let routing, series = make_world 7 in
+  let plan = Tomogravity.make_plan routing in
+  for k = 0 to 2 do
+    let weights = Vec.clamp_nonneg (Tm.to_vector (Series.tm series k)) in
+    let g_ref = Tomogravity.weighted_gram routing weights in
+    let g_plan = Tomogravity.plan_weighted_gram plan weights in
+    Alcotest.(check bool)
+      (Printf.sprintf "gram bin %d" k)
+      true
+      (Mat.approx_equal ~tol:0. g_ref g_plan)
+  done
+
+let test_estimate_with_plan_matches () =
+  let routing, series = make_world 8 in
+  let plan = Tomogravity.make_plan routing in
+  let bins = Series.length series in
+  for k = 0 to bins - 1 do
+    let truth = Series.tm series k in
+    let y = Routing.link_loads routing (Tm.to_vector truth) in
+    let prior = Ic_gravity.Gravity.of_tm truth in
+    let reference = Tomogravity.estimate routing ~link_loads:y ~prior in
+    let planned = Tomogravity.estimate_with_plan plan ~link_loads:y ~prior in
+    check_tm_rel ~tol:1e-9 (Printf.sprintf "estimate bin %d" k) reference planned
+  done
+
+let test_estimate_series_matches () =
+  let routing, series = make_world 9 in
+  let bins = Series.length series in
+  let link_loads =
+    Array.init bins (fun k ->
+        Routing.link_loads routing (Tm.to_vector (Series.tm series k)))
+  in
+  let priors =
+    Array.init bins (fun k -> Ic_gravity.Gravity.of_tm (Series.tm series k))
+  in
+  let batched = Tomogravity.estimate_series routing ~link_loads ~priors in
+  Alcotest.(check int) "length" bins (Array.length batched);
+  Array.iteri
+    (fun k tm ->
+      let reference =
+        Tomogravity.estimate routing ~link_loads:link_loads.(k)
+          ~prior:priors.(k)
+      in
+      check_tm_rel ~tol:1e-9 (Printf.sprintf "series bin %d" k) reference tm)
+    batched;
+  (* the Cg solver path must agree with its per-bin counterpart too *)
+  let batched_cg =
+    Tomogravity.estimate_series ~solver:Tomogravity.Cg routing ~link_loads
+      ~priors
+  in
+  let reference_cg =
+    Tomogravity.estimate ~solver:Tomogravity.Cg routing
+      ~link_loads:link_loads.(0) ~prior:priors.(0)
+  in
+  check_tm_rel ~tol:1e-9 "cg bin 0" reference_cg batched_cg.(0)
+
+let test_estimate_with_plan_validation () =
+  let routing, series = make_world 10 in
+  let plan = Tomogravity.make_plan routing in
+  let prior = Ic_gravity.Gravity.of_tm (Series.tm series 0) in
+  Alcotest.check_raises "bad link loads"
+    (Invalid_argument "Tomogravity.estimate: link-load dimension mismatch")
+    (fun () ->
+      ignore (Tomogravity.estimate_with_plan plan ~link_loads:[| 1. |] ~prior));
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Tomogravity.estimate_series: series length mismatch")
+    (fun () ->
+      ignore
+        (Tomogravity.estimate_series routing ~link_loads:[| [| 1. |] |]
+           ~priors:[||]))
+
+let test_entropy_plan_matches () =
+  let routing, series = make_world 11 in
+  let plan = Tomogravity.make_plan routing in
+  let truth = Series.tm series 0 in
+  let y = Routing.link_loads routing (Tm.to_vector truth) in
+  let prior = Ic_gravity.Gravity.of_tm truth in
+  let reference = Ic_estimation.Entropy.estimate routing ~link_loads:y ~prior in
+  let planned =
+    Ic_estimation.Entropy.estimate ~plan routing ~link_loads:y ~prior
+  in
+  check_tm_rel ~tol:1e-9 "entropy" reference planned
+
+(* --- Fit: Workspace kernel vs Naive kernel --- *)
+
+let make_fit_series seed =
+  let n = 8 and bins = 10 in
+  let rng = Ic_prng.Rng.create seed in
+  let preference =
+    Vec.normalize_sum
+      (Array.init n (fun _ -> Ic_prng.Sampler.lognormal rng ~mu:(-2.) ~sigma:1.))
+  in
+  let activity =
+    Array.init bins (fun t ->
+        Array.init n (fun i ->
+            (1.5 +. sin (float_of_int (t + i)))
+            *. Ic_prng.Sampler.lognormal rng ~mu:8. ~sigma:0.4))
+  in
+  let params : Ic_core.Params.stable_fp = { f = 0.3; preference; activity } in
+  let series = Ic_core.Model.stable_fp params binning in
+  Series.map
+    (fun tm ->
+      Tm.init (Tm.size tm) (fun i j ->
+          Tm.get tm i j *. exp (Ic_prng.Sampler.normal rng ~mu:0. ~sigma:0.05)))
+    series
+
+let check_fitted msg (a : Ic_core.Params.stable_fp Ic_core.Fit.fitted)
+    (b : Ic_core.Params.stable_fp Ic_core.Fit.fitted) =
+  check_rel ~tol:1e-9 (msg ^ ": f") a.params.f b.params.f;
+  check_vec_rel ~tol:1e-9 (msg ^ ": preference") a.params.preference
+    b.params.preference;
+  Array.iteri
+    (fun t at ->
+      check_vec_rel ~tol:1e-9
+        (Printf.sprintf "%s: activity bin %d" msg t)
+        at b.params.activity.(t))
+    a.params.activity;
+  check_rel ~tol:1e-9 (msg ^ ": mean error") a.mean_error b.mean_error;
+  Alcotest.(check int) (msg ^ ": sweeps") a.sweeps b.sweeps
+
+let test_fit_kernels_agree () =
+  let series = make_fit_series 21 in
+  let naive = Ic_core.Fit.fit_stable_fp ~kernel:Ic_core.Fit.Naive series in
+  let ws = Ic_core.Fit.fit_stable_fp ~kernel:Ic_core.Fit.Workspace series in
+  check_fitted "stable_fp" naive ws;
+  let default = Ic_core.Fit.fit_stable_fp series in
+  check_fitted "default kernel" naive default
+
+let test_fit_stable_f_kernels_agree () =
+  let series = make_fit_series 22 in
+  let naive = Ic_core.Fit.fit_stable_f ~kernel:Ic_core.Fit.Naive series in
+  let ws = Ic_core.Fit.fit_stable_f ~kernel:Ic_core.Fit.Workspace series in
+  check_rel ~tol:1e-9 "stable_f: f" naive.params.f ws.params.f;
+  check_rel ~tol:1e-9 "stable_f: mean error" naive.mean_error ws.mean_error;
+  Array.iteri
+    (fun t p ->
+      check_vec_rel ~tol:1e-9
+        (Printf.sprintf "stable_f: preference bin %d" t)
+        p ws.params.preference.(t))
+    naive.params.preference
+
+let test_fit_time_varying_kernels_agree () =
+  let series = make_fit_series 23 in
+  let naive = Ic_core.Fit.fit_time_varying ~kernel:Ic_core.Fit.Naive series in
+  let ws = Ic_core.Fit.fit_time_varying ~kernel:Ic_core.Fit.Workspace series in
+  check_vec_rel ~tol:1e-9 "time_varying: f" naive.params.f ws.params.f;
+  check_rel ~tol:1e-9 "time_varying: mean error" naive.mean_error ws.mean_error
+
+(* --- Estimate_a.prior_series hoist --- *)
+
+let test_prior_series_matches_per_bin () =
+  let series = make_fit_series 24 in
+  let n = Series.size series in
+  let rng = Ic_prng.Rng.create 25 in
+  let preference =
+    Vec.normalize_sum (Array.init n (fun _ -> Ic_prng.Rng.float_range rng 0.5 2.))
+  in
+  let f = 0.28 in
+  let prior = Ic_core.Estimate_a.prior_series ~f ~preference series in
+  for k = 0 to Series.length series - 1 do
+    let tm = Series.tm series k in
+    let activity =
+      Ic_core.Estimate_a.activities ~f ~preference
+        ~ingress:(Ic_traffic.Marginals.ingress tm)
+        ~egress:(Ic_traffic.Marginals.egress tm)
+    in
+    let expected = Ic_core.Model.simplified ~f ~activity ~preference in
+    check_tm_rel ~tol:1e-9
+      (Printf.sprintf "prior bin %d" k)
+      expected (Series.tm prior k)
+  done
+
+let () =
+  Alcotest.run "ic_perf_kernels"
+    [
+      ( "chol",
+        [
+          Alcotest.test_case "factorize_into matches factorize" `Quick
+            test_factorize_into_matches;
+          Alcotest.test_case "factorize_into with shift" `Quick
+            test_factorize_into_shift;
+          Alcotest.test_case "factorize_ridge_into matches" `Quick
+            test_factorize_ridge_into_matches;
+          Alcotest.test_case "factorize_into rejects non-PD" `Quick
+            test_factorize_into_not_pd;
+        ] );
+      ( "workspace",
+        [
+          Alcotest.test_case "in-place kernels match Mat" `Quick
+            test_workspace_kernels;
+          Alcotest.test_case "buffer reuse" `Quick test_workspace_buffer_reuse;
+          Alcotest.test_case "sparse into-products match" `Quick
+            test_sparse_into_matches;
+        ] );
+      ( "tomogravity plan",
+        [
+          Alcotest.test_case "plan gram matches naive" `Quick
+            test_plan_gram_matches;
+          Alcotest.test_case "estimate_with_plan matches estimate" `Quick
+            test_estimate_with_plan_matches;
+          Alcotest.test_case "estimate_series matches per-bin" `Quick
+            test_estimate_series_matches;
+          Alcotest.test_case "validation errors preserved" `Quick
+            test_estimate_with_plan_validation;
+          Alcotest.test_case "entropy with plan matches" `Quick
+            test_entropy_plan_matches;
+        ] );
+      ( "fit kernels",
+        [
+          Alcotest.test_case "stable_fp kernels agree" `Quick
+            test_fit_kernels_agree;
+          Alcotest.test_case "stable_f kernels agree" `Quick
+            test_fit_stable_f_kernels_agree;
+          Alcotest.test_case "time_varying kernels agree" `Quick
+            test_fit_time_varying_kernels_agree;
+          Alcotest.test_case "prior_series matches per-bin solves" `Quick
+            test_prior_series_matches_per_bin;
+        ] );
+    ]

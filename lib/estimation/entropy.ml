@@ -15,7 +15,7 @@ let primal prior_vec exponent =
       else p *. exp (Ic_linalg.Proj.box ~lo:(-30.) ~hi:30. exponent.(s)))
     prior_vec
 
-let estimate ?(options = default_options) routing ~link_loads ~prior =
+let estimate ?(options = default_options) ?plan routing ~link_loads ~prior =
   let r = routing.Routing.matrix in
   let m = Sparse.rows r in
   if Array.length link_loads <> m then
@@ -23,6 +23,24 @@ let estimate ?(options = default_options) routing ~link_loads ~prior =
   let n = Ic_traffic.Tm.size prior in
   if n * n <> Sparse.cols r then
     invalid_arg "Entropy.estimate: prior does not match routing matrix";
+  (* With a plan, each Newton system reuses the plan's Gram buffers and this
+     factor buffer instead of allocating; the arithmetic is unchanged. *)
+  let factor_buf =
+    match plan with None -> None | Some _ -> Some (Ic_linalg.Mat.create m m)
+  in
+  let newton_solve weights rhs =
+    match (plan, factor_buf) with
+    | Some plan, Some l ->
+        let g = Tomogravity.plan_weighted_gram plan weights in
+        let ch = Ic_linalg.Chol.factorize_ridge_into ~ridge:1e-9 ~l g in
+        let delta = Vec.copy rhs in
+        Ic_linalg.Chol.solve_into ch delta;
+        delta
+    | _ ->
+        let g = Tomogravity.weighted_gram routing weights in
+        let ch = Ic_linalg.Chol.factorize_ridge ~ridge:1e-9 g in
+        Ic_linalg.Chol.solve ch rhs
+  in
   let prior_vec = Vec.clamp_nonneg (Ic_traffic.Tm.to_vector prior) in
   let ynorm = Float.max (Vec.nrm2 link_loads) 1e-12 in
   let lambda = ref (Vec.create m) in
@@ -37,9 +55,7 @@ let estimate ?(options = default_options) routing ~link_loads ~prior =
     (* Newton system: (R diag(x) Rt) delta = Y - R x *)
     let weights = !x in
     let rhs = Vec.sub link_loads (Sparse.mulv r weights) in
-    let g = Tomogravity.weighted_gram routing weights in
-    let ch = Ic_linalg.Chol.factorize_ridge ~ridge:1e-9 g in
-    let delta = Ic_linalg.Chol.solve ch rhs in
+    let delta = newton_solve weights rhs in
     (* damped line search on the link residual *)
     let rec try_step step tries =
       if tries = 0 then None
@@ -61,7 +77,7 @@ let estimate ?(options = default_options) routing ~link_loads ~prior =
         if rc <= options.tol then continue_ := false
     | None -> continue_ := false
   done;
-  Ic_traffic.Tm.of_vector n !best
+  Ic_traffic.Tm.of_vector_clamped n !best
 
 let residual routing ~link_loads tm =
   Tomogravity.residual routing ~link_loads tm

@@ -24,6 +24,7 @@ val default_options : options
 
 val estimate :
   ?options:options ->
+  ?plan:Tomogravity.plan ->
   Ic_topology.Routing.t ->
   link_loads:Ic_linalg.Vec.t ->
   prior:Ic_traffic.Tm.t ->
@@ -31,7 +32,12 @@ val estimate :
 (** One bin. Entries with zero prior stay zero (KL support). Infeasible or
     ill-scaled constraints degrade gracefully: the iteration stops at the
     best damped step and the result is always non-negative. Raises
-    [Invalid_argument] on dimension mismatches. *)
+    [Invalid_argument] on dimension mismatches.
+
+    [?plan] must be a {!Tomogravity.make_plan} of the same [routing]; when
+    given, the Newton systems are assembled and factorized through the
+    plan's preallocated buffers (bit-identical results, no per-iteration
+    allocation). *)
 
 val residual :
   Ic_topology.Routing.t ->

@@ -30,6 +30,16 @@ val get : t -> int -> int -> float
 
 val set : t -> int -> int -> float -> unit
 
+val unsafe_get : t -> int -> int -> float
+(** [get] without bounds checks. For inner loops that have already validated
+    their index ranges; out-of-range access is undefined behaviour. *)
+
+val unsafe_set : t -> int -> int -> float -> unit
+(** [set] without bounds checks (see {!unsafe_get}). *)
+
+val fill : t -> float -> unit
+(** Set every entry to the given value (in place). *)
+
 val update : t -> int -> int -> (float -> float) -> unit
 
 val row : t -> int -> Vec.t
