@@ -188,6 +188,46 @@ let batch_tests =
              series_link_loads series_priors));
   ]
 
+(* Streaming engine: per-bin serving cost (prior + tomogravity + IPF over a
+   reused plan, refits disabled so the sliding-window refit is measured
+   separately below) and the cost of one warm 64-bin refit. *)
+let stream_observations =
+  let feed =
+    Ic_runtime.Feed.create ~noise_sigma:0.01 ~drop_rate:0.02 routing fit_series
+      ~seed:11
+  in
+  Array.init
+    (Ic_traffic.Series.length fit_series)
+    (fun _ -> Option.get (Ic_runtime.Feed.next feed))
+
+let stream_config =
+  {
+    (Ic_runtime.Engine.default_config routing binning) with
+    Ic_runtime.Engine.refit_every = 1 lsl 30;
+    window = Array.length stream_observations;
+    initial_params = Some (fitted.params.f, Array.copy fitted.params.preference);
+  }
+
+let stream_tests =
+  [
+    Test.make ~name:"stream/engine-per-bin"
+      (Staged.stage
+         (let engine = Ic_runtime.Engine.create stream_config in
+          let k = ref 0 in
+          fun () ->
+            let loads, missing = stream_observations.(!k) in
+            ignore (Ic_runtime.Engine.step engine ~loads ~missing);
+            k := (!k + 1) mod Array.length stream_observations));
+    Test.make ~name:"stream/refit-window"
+      (Staged.stage
+         (let engine = Ic_runtime.Engine.create stream_config in
+          Array.iter
+            (fun (loads, missing) ->
+              ignore (Ic_runtime.Engine.step engine ~loads ~missing))
+            stream_observations;
+          fun () -> ignore (Ic_runtime.Engine.refit engine)));
+  ]
+
 let extension_tests =
   [
     Test.make ~name:"extension/maxent-one-bin"
@@ -355,6 +395,7 @@ let () =
     run_group "figure kernels" figure_tests
     @ run_group "ablations" ablation_tests
     @ run_group "batched estimation" batch_tests
+    @ run_group "streaming engine" stream_tests
     @ run_group "extensions" extension_tests
     @ run_group "substrates" substrate_tests
   in

@@ -255,6 +255,117 @@ let run_whatif node boost f_new seed topology_file =
           base.(e.id) changed.(e.id) d)
     sorted
 
+(* --- stream -------------------------------------------------------------- *)
+
+let run_stream which weeks seed bins drop_rate corrupt_rate noise kill_after
+    resume checkpoint_path refit_every window recover_after telemetry_mode
+    verbose =
+  setup_logs verbose;
+  let ds = load_dataset (dataset_of_string which) weeks seed in
+  let series = ds.Ic_datasets.Dataset.series in
+  let routing = Ic_topology.Routing.build ds.Ic_datasets.Dataset.graph in
+  let binning = series.Ic_traffic.Series.binning in
+  let config =
+    let c = Ic_runtime.Engine.default_config routing binning in
+    let c =
+      match refit_every with
+      | Some r -> { c with Ic_runtime.Engine.refit_every = r }
+      | None -> c
+    in
+    let c =
+      match window with
+      | Some w -> { c with Ic_runtime.Engine.window = w }
+      | None -> c
+    in
+    match recover_after with
+    | Some r -> { c with Ic_runtime.Engine.recover_after = r }
+    | None -> c
+  in
+  let feed_seed = Option.value ~default:7 seed in
+  let fresh_feed () =
+    Ic_runtime.Feed.create ~noise_sigma:noise ~drop_rate ~corrupt_rate routing
+      series ~seed:feed_seed
+  in
+  let total =
+    let len = Ic_traffic.Series.length series in
+    match bins with Some b -> min b len | None -> len
+  in
+  Printf.printf "streaming %s: %d bins x %d nodes (drop %.1f%%, corrupt %.1f%%, noise %.1f%%)\n"
+    which total
+    (Ic_traffic.Series.size series)
+    (100. *. drop_rate) (100. *. corrupt_rate) (100. *. noise);
+  let run_uninterrupted () =
+    let engine = Ic_runtime.Engine.create config in
+    let res = Ic_runtime.Replay.run ~max_bins:total engine (fresh_feed ()) in
+    (engine, res)
+  in
+  let engine, estimates =
+    match kill_after with
+    | Some k when k > 0 && k < total ->
+        let engine0 = Ic_runtime.Engine.create config in
+        let head =
+          Ic_runtime.Replay.run ~max_bins:k engine0 (fresh_feed ())
+        in
+        Ic_runtime.Checkpoint.save ~path:checkpoint_path engine0;
+        Printf.printf "killed after %d bins; checkpoint written to %s\n" k
+          checkpoint_path;
+        if not resume then (engine0, head.Ic_runtime.Replay.estimates)
+        else begin
+          match
+            Ic_runtime.Checkpoint.load ~path:checkpoint_path ~config
+          with
+          | Error e ->
+              prerr_endline e;
+              exit 1
+          | Ok engine1 ->
+              let feed = fresh_feed () in
+              Ic_runtime.Feed.skip feed k;
+              let tail =
+                Ic_runtime.Replay.run ~max_bins:(total - k) engine1 feed
+              in
+              Printf.printf "resumed from bin %d, processed %d more bins\n" k
+                (Array.length tail.Ic_runtime.Replay.estimates);
+              let combined =
+                Array.append head.Ic_runtime.Replay.estimates
+                  tail.Ic_runtime.Replay.estimates
+              in
+              let _, shadow = run_uninterrupted () in
+              let identical =
+                Ic_runtime.Replay.bit_identical combined
+                  shadow.Ic_runtime.Replay.estimates
+              in
+              Printf.printf
+                "resume check: estimates bit-identical to uninterrupted run: %s\n"
+                (if identical then "yes" else "NO");
+              if not identical then exit 1;
+              (engine1, combined)
+        end
+    | _ ->
+        let engine, res = run_uninterrupted () in
+        (engine, res.Ic_runtime.Replay.estimates)
+  in
+  Printf.printf "processed %d bins; final prior rung: %s\n"
+    (Array.length estimates)
+    (Ic_runtime.Degrade.level_name (Ic_runtime.Engine.level engine));
+  let transitions = Ic_runtime.Engine.transitions engine in
+  Printf.printf "degradation transitions (%d):\n" (List.length transitions);
+  List.iter
+    (fun (tr : Ic_runtime.Degrade.transition) ->
+      Printf.printf "  bin %5d  %s -> %s  (%s)\n" tr.bin
+        (Ic_runtime.Degrade.level_name tr.from_)
+        (Ic_runtime.Degrade.level_name tr.to_)
+        (Ic_runtime.Degrade.reason_name tr.reason))
+    transitions;
+  let with_timings =
+    match telemetry_mode with
+    | "counters" -> false
+    | "full" -> true
+    | s -> invalid_arg ("unknown telemetry mode " ^ s ^ " (counters|full)")
+  in
+  print_string
+    (Ic_runtime.Telemetry.dump ~with_timings
+       (Ic_runtime.Engine.telemetry engine))
+
 (* --- topology ------------------------------------------------------------ *)
 
 let run_topology name out =
@@ -413,6 +524,73 @@ let whatif_cmd =
   Cmd.v (Cmd.info "whatif" ~doc)
     Term.(const run_whatif $ node $ boost $ f_new $ seed_arg $ topology)
 
+let stream_cmd =
+  let bins =
+    let doc = "Stop after BINS bins (full replay if omitted)." in
+    Arg.(value & opt (some int) None & info [ "bins" ] ~docv:"BINS" ~doc)
+  in
+  let drop_rate =
+    let doc = "Probability a link poll is lost per bin." in
+    Arg.(value & opt float 0. & info [ "drop-rate" ] ~docv:"P" ~doc)
+  in
+  let corrupt_rate =
+    let doc = "Probability a surviving poll is corrupted per bin." in
+    Arg.(value & opt float 0. & info [ "corrupt-rate" ] ~docv:"P" ~doc)
+  in
+  let noise =
+    let doc = "SNMP multiplicative noise sigma." in
+    Arg.(value & opt float 0.01 & info [ "noise" ] ~docv:"SIGMA" ~doc)
+  in
+  let kill_after =
+    let doc = "Kill the engine after BINS bins and write a checkpoint." in
+    Arg.(value & opt (some int) None & info [ "kill-after" ] ~docv:"BINS" ~doc)
+  in
+  let resume =
+    let doc =
+      "After --kill-after, restore from the checkpoint, replay the rest of \
+       the feed, and verify the estimates are bit-identical to an \
+       uninterrupted run."
+    in
+    Arg.(value & flag & info [ "resume" ] ~doc)
+  in
+  let checkpoint =
+    let doc = "Checkpoint file path." in
+    Arg.(
+      value
+      & opt string "ic-engine.ckpt"
+      & info [ "checkpoint" ] ~docv:"FILE" ~doc)
+  in
+  let refit_every =
+    let doc = "Refit the stable-fP parameters every BINS bins." in
+    Arg.(value & opt (some int) None & info [ "refit-every" ] ~docv:"BINS" ~doc)
+  in
+  let window =
+    let doc = "Sliding refit window length in bins." in
+    Arg.(value & opt (some int) None & info [ "window" ] ~docv:"BINS" ~doc)
+  in
+  let recover_after =
+    let doc = "Healthy bins required per upward ladder step." in
+    Arg.(
+      value & opt (some int) None & info [ "recover-after" ] ~docv:"BINS" ~doc)
+  in
+  let telemetry =
+    let doc = "Telemetry detail: counters (deterministic) or full." in
+    Arg.(value & opt string "counters" & info [ "telemetry" ] ~docv:"MODE" ~doc)
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Verbose logging.")
+  in
+  let doc =
+    "Replay a dataset as a live link-load feed through the streaming \
+     estimation engine, with injected faults, degradation ladder, \
+     checkpoint/resume and telemetry."
+  in
+  Cmd.v (Cmd.info "stream" ~doc)
+    Term.(
+      const run_stream $ dataset_arg $ weeks_arg $ seed_arg $ bins $ drop_rate
+      $ corrupt_rate $ noise $ kill_after $ resume $ checkpoint $ refit_every
+      $ window $ recover_after $ telemetry $ verbose)
+
 let topology_cmd =
   let topo_name =
     let doc = "Built-in topology: geant, totem or abilene." in
@@ -432,7 +610,7 @@ let main_cmd =
      (Erramilli, Crovella, Taft; IMC 2006)"
   in
   Cmd.group (Cmd.info "ic-lab" ~version:"1.0.0" ~doc)
-    [ experiment_cmd; gen_cmd; fit_cmd; estimate_cmd; trace_cmd; whatif_cmd;
-      topology_cmd ]
+    [ experiment_cmd; gen_cmd; fit_cmd; estimate_cmd; stream_cmd; trace_cmd;
+      whatif_cmd; topology_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

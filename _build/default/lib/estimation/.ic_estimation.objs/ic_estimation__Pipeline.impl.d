@@ -1,1 +1,1 @@
-lib/estimation/pipeline.ml: Array Entropy Ic_linalg Ic_topology Ic_traffic Ipf Tomogravity
+lib/estimation/pipeline.ml: Array Entropy Ic_linalg Ic_topology Ic_traffic Ipf Logs Tomogravity

@@ -19,6 +19,7 @@ type result = {
   estimate : Ic_traffic.Series.t;
   per_bin_error : float array;
   mean_error : float;
+  clamped_entries : int;
 }
 
 let run ?link_loads config ~truth ~prior =
@@ -44,6 +45,14 @@ let run ?link_loads config ~truth ~prior =
   let egress_rows =
     Array.init n (fun j -> Routing.egress_row config.routing j)
   in
+  (* Negative-estimate audit: the tomogravity step clamps floating-point
+     overshoot to zero. The clamp must never be silent (the pre-PR-1
+     [Tm.of_vector] hid it), so every refined bin reads the plan's clamp
+     hook and the total is reported in the result. The MaxEnt path cannot
+     produce negatives ([prior * exp] form), and IPF only rescales
+     non-negative entries, so the tomogravity hook covers every clamp in
+     the pipeline. *)
+  let clamped = ref 0 in
   let estimates =
     Array.init (Series.length truth) (fun k ->
         let truth_tm = Series.tm truth k in
@@ -55,8 +64,12 @@ let run ?link_loads config ~truth ~prior =
         let refined =
           match config.refinement with
           | Least_squares solver ->
-              Tomogravity.estimate_with_plan ~solver plan ~link_loads
-                ~prior:(Series.tm prior k)
+              let tm =
+                Tomogravity.estimate_with_plan ~solver plan ~link_loads
+                  ~prior:(Series.tm prior k)
+              in
+              clamped := !clamped + Tomogravity.plan_last_clamp_count plan;
+              tm
           | Max_entropy ->
               Entropy.estimate ~plan config.routing ~link_loads
                 ~prior:(Series.tm prior k)
@@ -86,7 +99,10 @@ let run ?link_loads config ~truth ~prior =
       Ic_linalg.Vec.sum per_bin_error
       /. float_of_int (Array.length per_bin_error)
   in
-  { estimate; per_bin_error; mean_error }
+  if !clamped > 0 then
+    Logs.debug (fun m ->
+        m "Pipeline.run: clamped %d negative estimate entries" !clamped);
+  { estimate; per_bin_error; mean_error; clamped_entries = !clamped }
 
 let improvement_over ~baseline ~candidate =
   Ic_traffic.Error.improvement_series ~baseline:baseline.per_bin_error

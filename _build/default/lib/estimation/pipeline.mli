@@ -26,6 +26,12 @@ type result = {
   estimate : Ic_traffic.Series.t;
   per_bin_error : float array;  (** RelL2(t) vs the truth *)
   mean_error : float;
+  clamped_entries : int;
+      (** total estimate entries the tomogravity non-negativity clamp zeroed
+          across all bins ({!Tomogravity.plan_last_clamp_count} summed) —
+          never silently swallowed. The MaxEnt refinement is structurally
+          non-negative and IPF only rescales, so this covers every clamp
+          site in the pipeline. *)
 }
 
 val run :

@@ -77,6 +77,7 @@ type plan = {
   col_rows : int array;  (* row indices, ascending within each column *)
   col_vals : float array;
   ws : Workspace.t;
+  mutable last_clamp_count : int;
 }
 
 let make_plan routing =
@@ -101,9 +102,20 @@ let make_plan routing =
         col_vals.(k) <- v;
         next.(j) <- k + 1)
   done;
-  { routing; m; n_od; col_ptr; col_rows; col_vals; ws = Workspace.create () }
+  {
+    routing;
+    m;
+    n_od;
+    col_ptr;
+    col_rows;
+    col_vals;
+    ws = Workspace.create ();
+    last_clamp_count = 0;
+  }
 
 let plan_routing plan = plan.routing
+
+let plan_last_clamp_count plan = plan.last_clamp_count
 
 let plan_weighted_gram plan weights =
   if Array.length weights <> plan.n_od then
@@ -156,7 +168,10 @@ let estimate_with_plan ?(solver = Cholesky) plan ~link_loads ~prior =
       (Array.unsafe_get link_loads i -. Array.unsafe_get rhs i)
   done;
   let ynorm = Vec.nrm2 link_loads in
-  if Vec.nrm2 rhs <= 1e-12 *. Float.max ynorm 1. then prior
+  if Vec.nrm2 rhs <= 1e-12 *. Float.max ynorm 1. then begin
+    plan.last_clamp_count <- 0;
+    prior
+  end
   else begin
     let u =
       match solver with
@@ -178,11 +193,16 @@ let estimate_with_plan ?(solver = Cholesky) plan ~link_loads ~prior =
     let corr = Workspace.vec ws "corr" n_od in
     Sparse.mulv_t_into r u ~into:corr;
     let out = Workspace.vec ws "out" n_od in
+    let clamped = ref 0 in
     for s = 0 to n_od - 1 do
-      Array.unsafe_set out s
-        (Array.unsafe_get x0 s
-        +. (Array.unsafe_get weights s *. Array.unsafe_get corr s))
+      let v =
+        Array.unsafe_get x0 s
+        +. (Array.unsafe_get weights s *. Array.unsafe_get corr s)
+      in
+      if v < 0. then incr clamped;
+      Array.unsafe_set out s v
     done;
+    plan.last_clamp_count <- !clamped;
     Ic_traffic.Tm.of_vector_clamped n out
   end
 

@@ -55,6 +55,14 @@ val make_plan : Ic_topology.Routing.t -> plan
 val plan_routing : plan -> Ic_topology.Routing.t
 (** The routing the plan was built from. *)
 
+val plan_last_clamp_count : plan -> int
+(** Number of negative entries (floating-point cancellation overshoot) that
+    the non-negativity clamp zeroed in the most recent
+    {!estimate_with_plan} call through this plan. The pre-PR-1 code clamped
+    silently; callers that care about estimate fidelity — {!Pipeline} and
+    the streaming runtime's telemetry — read this hook after each bin so no
+    path swallows the clamp unrecorded. *)
+
 val plan_weighted_gram : plan -> Ic_linalg.Vec.t -> Ic_linalg.Mat.t
 (** {!weighted_gram} through the plan's column structure. The result lives
     in the plan's workspace and is only valid until the next call that uses

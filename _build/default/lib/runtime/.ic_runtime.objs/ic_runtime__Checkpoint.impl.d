@@ -1,0 +1,1 @@
+lib/runtime/checkpoint.ml: Array Buffer Degrade Engine Ic_traffic Int64 List Printf String Sys

@@ -1,0 +1,1 @@
+lib/runtime/degrade.ml: List Printf

@@ -1,0 +1,1 @@
+lib/runtime/engine.ml: Array Degrade Float Ic_core Ic_estimation Ic_gravity Ic_linalg Ic_timeseries Ic_topology Ic_traffic Option Telemetry

@@ -1,0 +1,1 @@
+lib/runtime/engine.mli: Degrade Ic_linalg Ic_timeseries Ic_topology Ic_traffic Telemetry

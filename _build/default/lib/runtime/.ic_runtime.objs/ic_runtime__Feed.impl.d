@@ -1,0 +1,1 @@
+lib/runtime/feed.ml: Array Float Ic_linalg Ic_prng Ic_topology Ic_traffic

@@ -1,0 +1,1 @@
+lib/runtime/feed.mli: Ic_linalg Ic_topology Ic_traffic

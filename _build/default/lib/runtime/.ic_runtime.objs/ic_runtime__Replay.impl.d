@@ -1,0 +1,1 @@
+lib/runtime/replay.ml: Array Degrade Engine Feed Ic_traffic Int64 List

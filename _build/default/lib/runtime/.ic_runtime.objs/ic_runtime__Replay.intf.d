@@ -1,0 +1,1 @@
+lib/runtime/replay.mli: Degrade Engine Feed Ic_traffic

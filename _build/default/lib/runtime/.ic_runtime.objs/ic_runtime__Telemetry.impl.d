@@ -1,0 +1,1 @@
+lib/runtime/telemetry.ml: Array Buffer Float Hashtbl List Printf Stdlib Sys

@@ -1,0 +1,254 @@
+module Tm = Ic_traffic.Tm
+
+let magic = "ic-runtime-checkpoint v1"
+
+(* Floats travel as the hex of their bit pattern: exact, NaN-safe. *)
+let hex_of_float f = Printf.sprintf "%016Lx" (Int64.bits_of_float f)
+
+let encode_floats buf vec =
+  Array.iter
+    (fun v ->
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (hex_of_float v))
+    vec
+
+let encode (s : Engine.snapshot) =
+  let buf = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun l -> Buffer.add_string buf l; Buffer.add_char buf '\n') fmt in
+  line "%s" magic;
+  line "bin %d" s.s_bin;
+  line "f %s" (hex_of_float s.s_f);
+  (match s.s_preference with
+  | None -> line "preference none"
+  | Some p ->
+      Buffer.add_string buf (Printf.sprintf "preference %d" (Array.length p));
+      encode_floats buf p;
+      Buffer.add_char buf '\n');
+  if s.s_fit_age = max_int then line "fit_age never"
+  else line "fit_age %d" s.s_fit_age;
+  line "level %d" (Degrade.rank s.s_degrade.Degrade.s_level);
+  line "streak %d" s.s_degrade.Degrade.s_streak;
+  line "transitions %d" (List.length s.s_degrade.Degrade.s_transitions);
+  List.iter
+    (fun (tr : Degrade.transition) ->
+      line "t %d %d %d %s" tr.bin (Degrade.rank tr.from_) (Degrade.rank tr.to_)
+        (Degrade.reason_name tr.reason))
+    s.s_degrade.Degrade.s_transitions;
+  let n = if Array.length s.s_window = 0 then 0 else Tm.size s.s_window.(0) in
+  line "window %d %d" (Array.length s.s_window) n;
+  Array.iter
+    (fun tm ->
+      Buffer.add_string buf "tm";
+      encode_floats buf (Tm.unsafe_data tm);
+      Buffer.add_char buf '\n')
+    s.s_window;
+  Buffer.add_string buf
+    (Printf.sprintf "last_loads %d" (Array.length s.s_last_loads));
+  encode_floats buf s.s_last_loads;
+  Buffer.add_char buf '\n';
+  line "have_last %d" (if s.s_have_last then 1 else 0);
+  Buffer.add_string buf
+    (Printf.sprintf "consec %d" (Array.length s.s_consec_missing));
+  Array.iter
+    (fun c -> Buffer.add_string buf (Printf.sprintf " %d" c))
+    s.s_consec_missing;
+  Buffer.add_char buf '\n';
+  line "counters %d" (List.length s.s_counters);
+  List.iter (fun (name, v) -> line "c %s %d" name v) s.s_counters;
+  line "end";
+  Buffer.contents buf
+
+(* --- decoding ----------------------------------------------------------- *)
+
+exception Bad of string
+
+let reason_of_name name =
+  let all =
+    [
+      Degrade.Warmup;
+      Degrade.Fit_stale;
+      Degrade.Polls_missing;
+      Degrade.Imputation_exhausted;
+      Degrade.F_degenerate;
+      Degrade.Recovered;
+    ]
+  in
+  match List.find_opt (fun r -> Degrade.reason_name r = name) all with
+  | Some r -> r
+  | None -> raise (Bad ("unknown transition reason " ^ name))
+
+type cursor = { lines : string array; mutable pos : int }
+
+let next_line cur =
+  if cur.pos >= Array.length cur.lines then raise (Bad "truncated checkpoint");
+  let l = cur.lines.(cur.pos) in
+  cur.pos <- cur.pos + 1;
+  l
+
+let words l = String.split_on_char ' ' l |> List.filter (fun w -> w <> "")
+
+let expect_key key tokens =
+  match tokens with
+  | k :: rest when k = key -> rest
+  | _ -> raise (Bad ("expected '" ^ key ^ "' record"))
+
+let parse_int w =
+  match int_of_string_opt w with
+  | Some v -> v
+  | None -> raise (Bad ("bad integer " ^ w))
+
+let parse_float_hex w =
+  if String.length w <> 16 then raise (Bad ("bad float field " ^ w));
+  match Int64.of_string_opt ("0x" ^ w) with
+  | Some bits -> Int64.float_of_bits bits
+  | None -> raise (Bad ("bad float field " ^ w))
+
+let parse_floats count rest =
+  if List.length rest <> count then raise (Bad "float vector length mismatch");
+  Array.of_list (List.map parse_float_hex rest)
+
+let decode_exn text =
+  let cur =
+    { lines = Array.of_list (String.split_on_char '\n' text); pos = 0 }
+  in
+  if next_line cur <> magic then raise (Bad "not an ic-runtime checkpoint");
+  let s_bin =
+    match expect_key "bin" (words (next_line cur)) with
+    | [ v ] -> parse_int v
+    | _ -> raise (Bad "bad bin record")
+  in
+  let s_f =
+    match expect_key "f" (words (next_line cur)) with
+    | [ v ] -> parse_float_hex v
+    | _ -> raise (Bad "bad f record")
+  in
+  let s_preference =
+    match expect_key "preference" (words (next_line cur)) with
+    | [ "none" ] -> None
+    | count :: rest -> Some (parse_floats (parse_int count) rest)
+    | [] -> raise (Bad "bad preference record")
+  in
+  let s_fit_age =
+    match expect_key "fit_age" (words (next_line cur)) with
+    | [ "never" ] -> max_int
+    | [ v ] -> parse_int v
+    | _ -> raise (Bad "bad fit_age record")
+  in
+  let s_level =
+    match expect_key "level" (words (next_line cur)) with
+    | [ v ] -> Degrade.level_of_rank (parse_int v)
+    | _ -> raise (Bad "bad level record")
+  in
+  let s_streak =
+    match expect_key "streak" (words (next_line cur)) with
+    | [ v ] -> parse_int v
+    | _ -> raise (Bad "bad streak record")
+  in
+  let n_transitions =
+    match expect_key "transitions" (words (next_line cur)) with
+    | [ v ] -> parse_int v
+    | _ -> raise (Bad "bad transitions record")
+  in
+  if n_transitions < 0 then raise (Bad "negative transition count");
+  let s_transitions =
+    List.init n_transitions (fun _ ->
+        match expect_key "t" (words (next_line cur)) with
+        | [ bin; from_; to_; reason ] ->
+            {
+              Degrade.bin = parse_int bin;
+              from_ = Degrade.level_of_rank (parse_int from_);
+              to_ = Degrade.level_of_rank (parse_int to_);
+              reason = reason_of_name reason;
+            }
+        | _ -> raise (Bad "bad transition record"))
+  in
+  let window_len, tm_n =
+    match expect_key "window" (words (next_line cur)) with
+    | [ count; n ] -> (parse_int count, parse_int n)
+    | _ -> raise (Bad "bad window record")
+  in
+  if window_len < 0 then raise (Bad "negative window length");
+  let s_window =
+    Array.init window_len (fun _ ->
+        let rest = expect_key "tm" (words (next_line cur)) in
+        if tm_n <= 0 then raise (Bad "window entries with zero TM size");
+        Tm.of_vector_clamped tm_n (parse_floats (tm_n * tm_n) rest))
+  in
+  let s_last_loads =
+    match expect_key "last_loads" (words (next_line cur)) with
+    | count :: rest -> parse_floats (parse_int count) rest
+    | [] -> raise (Bad "bad last_loads record")
+  in
+  let s_have_last =
+    match expect_key "have_last" (words (next_line cur)) with
+    | [ "0" ] -> false
+    | [ "1" ] -> true
+    | _ -> raise (Bad "bad have_last record")
+  in
+  let s_consec_missing =
+    match expect_key "consec" (words (next_line cur)) with
+    | count :: rest ->
+        let count = parse_int count in
+        if List.length rest <> count then
+          raise (Bad "consec vector length mismatch");
+        Array.of_list (List.map parse_int rest)
+    | [] -> raise (Bad "bad consec record")
+  in
+  let n_counters =
+    match expect_key "counters" (words (next_line cur)) with
+    | [ v ] -> parse_int v
+    | _ -> raise (Bad "bad counters record")
+  in
+  if n_counters < 0 then raise (Bad "negative counter count");
+  let s_counters =
+    List.init n_counters (fun _ ->
+        match expect_key "c" (words (next_line cur)) with
+        | [ name; v ] -> (name, parse_int v)
+        | _ -> raise (Bad "bad counter record"))
+  in
+  if next_line cur <> "end" then raise (Bad "missing end marker");
+  {
+    Engine.s_bin;
+    s_f;
+    s_preference;
+    s_fit_age;
+    s_degrade = { Degrade.s_level; s_streak; s_transitions };
+    s_window;
+    s_last_loads;
+    s_have_last;
+    s_consec_missing;
+    s_counters;
+  }
+
+let decode text =
+  match decode_exn text with
+  | s -> Ok s
+  | exception Bad msg -> Error ("checkpoint: " ^ msg)
+
+let save ~path engine =
+  let text = encode (Engine.snapshot engine) in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  (match output_string oc text with
+  | () -> close_out oc
+  | exception e ->
+      close_out_noerr oc;
+      raise e);
+  Sys.rename tmp path
+
+let load ~path ~config =
+  if not (Sys.file_exists path) then
+    Error (Printf.sprintf "checkpoint: no such file %s" path)
+  else begin
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let text = really_input_string ic len in
+    close_in ic;
+    match decode text with
+    | Error _ as e -> e
+    | Ok snapshot -> begin
+        match Engine.restore config snapshot with
+        | engine -> Ok engine
+        | exception Invalid_argument msg -> Error ("checkpoint: " ^ msg)
+      end
+  end

@@ -1,0 +1,25 @@
+(** Durable engine state: serialize an {!Engine.snapshot} to disk and
+    restore it so that a killed engine, resumed under the same config and
+    fed the same remaining observations, produces bit-identical estimates.
+
+    The format (version header ["ic-runtime-checkpoint v1"]) is
+    line-oriented text with every float written as the hex of its IEEE-754
+    bit pattern ([%016Lx] of [Int64.bits_of_float]) — exact round-trips, no
+    decimal rounding, NaN/infinity safe. See DESIGN.md "Runtime
+    architecture" for the full grammar. Timing histograms are not state and
+    are not stored; counters are. *)
+
+val save : path:string -> Engine.t -> unit
+(** Snapshot the engine and write it atomically (temp file + rename).
+    Raises [Sys_error] on I/O failure. *)
+
+val load : path:string -> config:Engine.config -> (Engine.t, string) result
+(** Parse and restore. Returns [Error] (never raises) on a missing file, a
+    corrupt or truncated checkpoint, a version mismatch, or a snapshot that
+    does not match the config's shape. *)
+
+(** {2 Snapshot codec} — exposed for property tests. *)
+
+val encode : Engine.snapshot -> string
+
+val decode : string -> (Engine.snapshot, string) result

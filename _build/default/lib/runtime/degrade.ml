@@ -1,0 +1,100 @@
+type level = Measured_ic | Stale_fp | Closed_form | Gravity
+
+let rank = function
+  | Measured_ic -> 0
+  | Stale_fp -> 1
+  | Closed_form -> 2
+  | Gravity -> 3
+
+let level_name = function
+  | Measured_ic -> "measured-ic"
+  | Stale_fp -> "stale-fp"
+  | Closed_form -> "closed-form"
+  | Gravity -> "gravity"
+
+let level_of_rank = function
+  | 0 -> Measured_ic
+  | 1 -> Stale_fp
+  | 2 -> Closed_form
+  | 3 -> Gravity
+  | r -> invalid_arg (Printf.sprintf "Degrade.level_of_rank: %d" r)
+
+type reason =
+  | Warmup
+  | Fit_stale
+  | Polls_missing
+  | Imputation_exhausted
+  | F_degenerate
+  | Recovered
+
+let reason_name = function
+  | Warmup -> "warmup"
+  | Fit_stale -> "fit-stale"
+  | Polls_missing -> "polls-missing"
+  | Imputation_exhausted -> "imputation-exhausted"
+  | F_degenerate -> "f-degenerate"
+  | Recovered -> "recovered"
+
+type transition = { bin : int; from_ : level; to_ : level; reason : reason }
+
+type t = {
+  recover_after : int;
+  mutable level : level;
+  mutable streak : int;  (* consecutive bins with target better than level *)
+  mutable transitions : transition list;  (* newest first *)
+  mutable count : int;
+}
+
+let create ?(initial = Gravity) ~recover_after () =
+  if recover_after < 1 then
+    invalid_arg "Degrade.create: recover_after must be >= 1";
+  { recover_after; level = initial; streak = 0; transitions = []; count = 0 }
+
+let level t = t.level
+
+let record t ~bin ~to_ ~reason =
+  t.transitions <- { bin; from_ = t.level; to_; reason } :: t.transitions;
+  t.count <- t.count + 1;
+  t.level <- to_
+
+let observe t ~bin ~target ~reason =
+  if rank target > rank t.level then begin
+    (* Health got worse: step all the way down now. *)
+    record t ~bin ~to_:target ~reason;
+    t.streak <- 0
+  end
+  else if rank target < rank t.level then begin
+    (* Health supports a better rung: climb one step per recover_after
+       consecutive healthy bins. *)
+    t.streak <- t.streak + 1;
+    if t.streak >= t.recover_after then begin
+      record t ~bin ~to_:(level_of_rank (rank t.level - 1)) ~reason:Recovered;
+      t.streak <- 0
+    end
+  end
+  else t.streak <- 0;
+  t.level
+
+let transitions t = List.rev t.transitions
+
+let transition_count t = t.count
+
+type snapshot = {
+  s_level : level;
+  s_streak : int;
+  s_transitions : transition list;
+}
+
+let snapshot t =
+  { s_level = t.level; s_streak = t.streak; s_transitions = transitions t }
+
+let restore ~recover_after s =
+  if recover_after < 1 then
+    invalid_arg "Degrade.restore: recover_after must be >= 1";
+  {
+    recover_after;
+    level = s.s_level;
+    streak = s.s_streak;
+    transitions = List.rev s.s_transitions;
+    count = List.length s.s_transitions;
+  }

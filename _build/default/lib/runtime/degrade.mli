@@ -1,0 +1,74 @@
+(** The prior degradation ladder.
+
+    A live engine cannot always run its best prior: the stable-fP fit may
+    not exist yet, may be stale, or the current bin's polls may be too
+    damaged for marginal-hungry priors to be trusted. The ladder makes the
+    fallback policy explicit — four rungs, best first:
+
+    + [Measured_ic] — fresh stable-fP fit; per-bin activities recovered
+      from the marginals (Equations 7–9) and the model evaluated;
+    + [Stale_fp] — same computation, but the fit is older than the
+      staleness threshold (confidence degraded, recorded);
+    + [Closed_form] — only [f] trusted; activities {e and} preferences
+      recovered from the marginals in closed form (Equations 11–12);
+    + [Gravity] — marginals only, the most robust prior.
+
+    Downward transitions happen immediately when health demands them;
+    upward transitions are hysteretic (one rung per [recover_after]
+    consecutive healthy bins), so a flapping link cannot make the engine
+    oscillate. Every transition is recorded with its bin and reason. *)
+
+type level = Measured_ic | Stale_fp | Closed_form | Gravity
+
+val rank : level -> int
+(** 0 (best) .. 3 (most degraded). *)
+
+val level_name : level -> string
+
+val level_of_rank : int -> level
+(** Raises [Invalid_argument] outside [0, 3]. *)
+
+type reason =
+  | Warmup  (** no completed fit yet *)
+  | Fit_stale  (** last refit older than the staleness threshold *)
+  | Polls_missing  (** too many polls missing in this bin *)
+  | Imputation_exhausted
+      (** some link exceeded its consecutive carry-forward budget *)
+  | F_degenerate  (** fitted [f] too close to 1/2 for the closed form *)
+  | Recovered  (** upward step after sustained health *)
+
+val reason_name : reason -> string
+
+type transition = { bin : int; from_ : level; to_ : level; reason : reason }
+
+type t
+
+val create : ?initial:level -> recover_after:int -> unit -> t
+(** A ladder starting at [initial] (default [Gravity]). [recover_after]
+    must be >= 1. *)
+
+val level : t -> level
+
+val observe : t -> bin:int -> target:level -> reason:reason -> level
+(** One bin's health verdict: [target] is the best rung health currently
+    supports, [reason] the dominant cause when [target] is below
+    [Measured_ic]. Steps down to [target] immediately, steps up one rung
+    after [recover_after] consecutive bins of better-than-current health,
+    and returns the rung to use for this bin. *)
+
+val transitions : t -> transition list
+(** All recorded transitions, oldest first. *)
+
+val transition_count : t -> int
+
+(** {2 Checkpoint support} *)
+
+type snapshot = {
+  s_level : level;
+  s_streak : int;
+  s_transitions : transition list;  (** oldest first *)
+}
+
+val snapshot : t -> snapshot
+
+val restore : recover_after:int -> snapshot -> t

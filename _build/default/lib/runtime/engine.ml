@@ -1,0 +1,397 @@
+module Vec = Ic_linalg.Vec
+module Tm = Ic_traffic.Tm
+module Series = Ic_traffic.Series
+module Routing = Ic_topology.Routing
+module Tomogravity = Ic_estimation.Tomogravity
+module Ipf = Ic_estimation.Ipf
+
+type config = {
+  routing : Ic_topology.Routing.t;
+  binning : Ic_timeseries.Timebin.t;
+  refit_every : int;
+  window : int;
+  refit_sweeps : int;
+  stale_after : int;
+  miss_soft : float;
+  miss_hard : float;
+  impute_budget : int;
+  recover_after : int;
+  fallback_f : float;
+  initial_params : (float * Ic_linalg.Vec.t) option;
+}
+
+let default_config routing binning =
+  let day = Ic_timeseries.Timebin.bins_per_day binning in
+  {
+    routing;
+    binning;
+    refit_every = day;
+    window = day;
+    refit_sweeps = 6;
+    stale_after = 2 * day;
+    miss_soft = 0.2;
+    miss_hard = 0.5;
+    impute_budget = 2;
+    recover_after = 12;
+    fallback_f = 0.35;
+    initial_params = None;
+  }
+
+type t = {
+  config : config;
+  plan : Tomogravity.plan;
+  n : int;  (* nodes *)
+  m : int;  (* routing rows: links + 2n marginal pseudo-links *)
+  tel : Telemetry.t;
+  degrade : Degrade.t;
+  ingress_rows : int array;
+  egress_rows : int array;
+  mutable bin : int;
+  mutable f : float;
+  mutable preference : Vec.t option;
+  mutable fit_age : int;  (* max_int = never fitted *)
+  window_buf : Tm.t option array;  (* estimate of bin b lives at b mod window *)
+  last_loads : float array;  (* last trusted poll per link *)
+  mutable have_last : bool;
+  consec_missing : int array;
+}
+
+let validate_config c =
+  if not c.routing.Routing.with_marginals then
+    invalid_arg "Engine: routing must include marginal rows";
+  if c.refit_every < 1 then invalid_arg "Engine: refit_every must be >= 1";
+  if c.window < 1 then invalid_arg "Engine: window must be >= 1";
+  if c.refit_sweeps < 1 then invalid_arg "Engine: refit_sweeps must be >= 1";
+  if c.stale_after < 1 then invalid_arg "Engine: stale_after must be >= 1";
+  if c.miss_soft < 0. || c.miss_soft > 1. || c.miss_hard < c.miss_soft then
+    invalid_arg "Engine: need 0 <= miss_soft <= miss_hard";
+  if c.impute_budget < 0 then invalid_arg "Engine: negative impute_budget";
+  if c.recover_after < 1 then invalid_arg "Engine: recover_after must be >= 1";
+  if c.fallback_f < 0. || c.fallback_f > 1. then
+    invalid_arg "Engine: fallback_f out of [0,1]";
+  match c.initial_params with
+  | Some (f, p) ->
+      if f < 0. || f > 1. then invalid_arg "Engine: initial f out of [0,1]";
+      let g = c.routing.Routing.graph in
+      if Array.length p <> Ic_topology.Graph.node_count g then
+        invalid_arg "Engine: initial preference size mismatch"
+  | None -> ()
+
+let create ?telemetry config =
+  validate_config config;
+  let g = config.routing.Routing.graph in
+  let n = Ic_topology.Graph.node_count g in
+  let m = Routing.row_count config.routing in
+  let f, preference, fit_age, initial_level =
+    match config.initial_params with
+    | Some (f, p) -> (f, Some (Array.copy p), 0, Degrade.Measured_ic)
+    | None -> (config.fallback_f, None, max_int, Degrade.Gravity)
+  in
+  {
+    config;
+    plan = Tomogravity.make_plan config.routing;
+    n;
+    m;
+    tel = (match telemetry with Some t -> t | None -> Telemetry.create ());
+    degrade =
+      Degrade.create ~initial:initial_level
+        ~recover_after:config.recover_after ();
+    ingress_rows = Array.init n (fun i -> Routing.ingress_row config.routing i);
+    egress_rows = Array.init n (fun j -> Routing.egress_row config.routing j);
+    bin = 0;
+    f;
+    preference;
+    fit_age;
+    window_buf = Array.make config.window None;
+    last_loads = Array.make m 0.;
+    have_last = false;
+    consec_missing = Array.make m 0;
+  }
+
+type output = {
+  estimate : Ic_traffic.Tm.t;
+  level : Degrade.level;
+  clamped : int;
+}
+
+(* --- sliding-window refit ---------------------------------------------- *)
+
+let window_series t =
+  let len = min t.bin (Array.length t.window_buf) in
+  if len = 0 then None
+  else begin
+    let tms =
+      Array.init len (fun k ->
+          let b = t.bin - len + k in
+          match t.window_buf.(b mod Array.length t.window_buf) with
+          | Some tm -> tm
+          | None -> Tm.create t.n (* unreachable: slots < bin are filled *))
+    in
+    Some (Series.make t.config.binning tms)
+  end
+
+let refit t =
+  match window_series t with
+  | None ->
+      Telemetry.incr t.tel "refit.skipped";
+      false
+  | Some series ->
+      let total =
+        Array.fold_left
+          (fun acc tm -> acc +. Tm.total tm)
+          0. series.Series.tms
+      in
+      if total <= 0. then begin
+        Telemetry.incr t.tel "refit.skipped";
+        false
+      end
+      else begin
+        Telemetry.time t.tel "refit" (fun () ->
+            let options =
+              {
+                Ic_core.Fit.default_options with
+                max_sweeps = t.config.refit_sweeps;
+                f_init =
+                  (if t.preference = None then
+                     Ic_core.Fit.default_options.f_init
+                   else t.f);
+              }
+            in
+            let fitted = Ic_core.Fit.fit_stable_fp ~options series in
+            t.f <- fitted.params.f;
+            t.preference <- Some (Array.copy fitted.params.preference);
+            t.fit_age <- 0);
+        Telemetry.incr t.tel "refit.count";
+        true
+      end
+
+(* --- one bin ------------------------------------------------------------ *)
+
+let worse a b = if Degrade.rank a >= Degrade.rank b then a else b
+
+let f_degenerate f = Float.abs ((2. *. f) -. 1.) < 1e-6
+
+let target_level t ~miss_frac ~over_budget =
+  let fit_target, fit_reason =
+    if t.preference = None then (Degrade.Gravity, Degrade.Warmup)
+    else if t.fit_age > t.config.stale_after then
+      (Degrade.Stale_fp, Degrade.Fit_stale)
+    else (Degrade.Measured_ic, Degrade.Warmup)
+  in
+  let miss_target, miss_reason =
+    if over_budget then (Degrade.Gravity, Degrade.Imputation_exhausted)
+    else if miss_frac > t.config.miss_hard then
+      (Degrade.Gravity, Degrade.Polls_missing)
+    else if miss_frac > t.config.miss_soft then
+      (Degrade.Closed_form, Degrade.Polls_missing)
+    else (Degrade.Measured_ic, Degrade.Polls_missing)
+  in
+  let target = worse fit_target miss_target in
+  let reason =
+    if Degrade.rank miss_target > Degrade.rank fit_target then miss_reason
+    else fit_reason
+  in
+  (* The closed form needs |2f - 1| bounded away from zero. *)
+  if target = Degrade.Closed_form && f_degenerate t.f then
+    (Degrade.Gravity, Degrade.F_degenerate)
+  else (target, reason)
+
+let build_prior t level ~ingress ~egress =
+  let in_total = Vec.sum ingress and out_total = Vec.sum egress in
+  if in_total <= 0. || out_total <= 0. then Tm.create t.n
+  else
+    match (level : Degrade.level) with
+    | Measured_ic | Stale_fp ->
+        let preference =
+          match t.preference with
+          | Some p -> p
+          | None -> invalid_arg "Engine: IC rung without a fit (bug)"
+        in
+        let activity =
+          Ic_core.Estimate_a.activities ~f:t.f ~preference ~ingress ~egress
+        in
+        Ic_core.Model.simplified ~f:t.f ~activity ~preference
+    | Closed_form -> begin
+        match Ic_core.Closed_form.estimate ~f:t.f ~ingress ~egress with
+        | Ok { activity; preference } ->
+            Ic_core.Model.simplified ~f:t.f ~activity ~preference
+        | Error `F_near_half ->
+            (* The ladder guards this; belt for a racing f update. *)
+            Telemetry.incr t.tel "prior.f_near_half";
+            Ic_gravity.Gravity.from_marginals ~ingress ~egress
+      end
+    | Gravity -> Ic_gravity.Gravity.from_marginals ~ingress ~egress
+
+let step t ~loads ~missing =
+  if Array.length loads <> t.m then
+    invalid_arg "Engine.step: link-load dimension mismatch";
+  if Array.length missing <> t.m then
+    invalid_arg "Engine.step: missing-flag dimension mismatch";
+  Telemetry.incr t.tel "bins";
+  Telemetry.add t.tel "polls.total" t.m;
+  (* Ingest: flag corrupt polls, impute by carry-forward, track budgets. *)
+  let effective = Array.make t.m 0. in
+  let n_missing = ref 0 in
+  Telemetry.time t.tel "ingest" (fun () ->
+      for e = 0 to t.m - 1 do
+        let v = loads.(e) in
+        let dropped = missing.(e) in
+        let corrupt = (not dropped) && (not (Float.is_finite v) || v < 0.) in
+        if dropped then Telemetry.incr t.tel "polls.dropped";
+        if corrupt then Telemetry.incr t.tel "polls.corrupt";
+        if dropped || corrupt then begin
+          incr n_missing;
+          Telemetry.incr t.tel "polls.imputed";
+          t.consec_missing.(e) <- t.consec_missing.(e) + 1;
+          effective.(e) <-
+            (if t.have_last then t.last_loads.(e)
+             else if Float.is_finite v && v > 0. then v
+             else 0.);
+          if not t.have_last then t.last_loads.(e) <- effective.(e)
+        end
+        else begin
+          t.consec_missing.(e) <- 0;
+          t.last_loads.(e) <- v;
+          effective.(e) <- v
+        end
+      done;
+      t.have_last <- true);
+  (* Health verdict -> ladder rung. *)
+  let miss_frac = float_of_int !n_missing /. float_of_int t.m in
+  let over_budget =
+    Array.exists (fun c -> c > t.config.impute_budget) t.consec_missing
+  in
+  let target, reason = target_level t ~miss_frac ~over_budget in
+  let before = Degrade.level t.degrade in
+  let level = Degrade.observe t.degrade ~bin:t.bin ~target ~reason in
+  if Degrade.rank level > Degrade.rank before then
+    Telemetry.incr t.tel "degrade.down"
+  else if Degrade.rank level < Degrade.rank before then
+    Telemetry.incr t.tel "degrade.up";
+  Telemetry.incr t.tel ("bins.at." ^ Degrade.level_name level);
+  (* Prior from this bin's marginal counts, at the chosen rung. *)
+  let ingress = Array.map (fun r -> effective.(r)) t.ingress_rows in
+  let egress = Array.map (fun r -> effective.(r)) t.egress_rows in
+  let prior =
+    Telemetry.time t.tel "prior" (fun () -> build_prior t level ~ingress ~egress)
+  in
+  (* Refine against the link constraints, then project onto the measured
+     marginals. *)
+  let refined =
+    Telemetry.time t.tel "estimate" (fun () ->
+        Tomogravity.estimate_with_plan t.plan ~link_loads:effective ~prior)
+  in
+  let clamped = Tomogravity.plan_last_clamp_count t.plan in
+  Telemetry.add t.tel "estimate.clamped_entries" clamped;
+  let estimate =
+    if Vec.sum ingress <= 0. then refined
+    else
+      Telemetry.time t.tel "ipf" (fun () ->
+          let outcome =
+            Ipf.fit refined ~row_targets:ingress ~col_targets:egress
+          in
+          Telemetry.add t.tel "ipf.iterations" outcome.Ipf.iterations;
+          outcome.Ipf.tm)
+  in
+  t.window_buf.(t.bin mod Array.length t.window_buf) <- Some estimate;
+  t.bin <- t.bin + 1;
+  if t.fit_age < max_int then t.fit_age <- t.fit_age + 1;
+  if t.bin mod t.config.refit_every = 0 then ignore (refit t);
+  { estimate; level; clamped }
+
+(* --- accessors ---------------------------------------------------------- *)
+
+let bins_seen t = t.bin
+
+let level t = Degrade.level t.degrade
+
+let params t =
+  match t.preference with Some p -> Some (t.f, Array.copy p) | None -> None
+
+let fit_age t = if t.fit_age = max_int then None else Some t.fit_age
+
+let telemetry t = t.tel
+
+let transitions t = Degrade.transitions t.degrade
+
+let config t = t.config
+
+(* --- checkpointing ------------------------------------------------------ *)
+
+type snapshot = {
+  s_bin : int;
+  s_f : float;
+  s_preference : Ic_linalg.Vec.t option;
+  s_fit_age : int;
+  s_degrade : Degrade.snapshot;
+  s_window : Ic_traffic.Tm.t array;
+  s_last_loads : Ic_linalg.Vec.t;
+  s_have_last : bool;
+  s_consec_missing : int array;
+  s_counters : (string * int) list;
+}
+
+let snapshot t =
+  let len = min t.bin (Array.length t.window_buf) in
+  let window =
+    Array.init len (fun k ->
+        let b = t.bin - len + k in
+        match t.window_buf.(b mod Array.length t.window_buf) with
+        | Some tm -> Tm.copy tm
+        | None -> Tm.create t.n)
+  in
+  {
+    s_bin = t.bin;
+    s_f = t.f;
+    s_preference = Option.map Array.copy t.preference;
+    s_fit_age = t.fit_age;
+    s_degrade = Degrade.snapshot t.degrade;
+    s_window = window;
+    s_last_loads = Array.copy t.last_loads;
+    s_have_last = t.have_last;
+    s_consec_missing = Array.copy t.consec_missing;
+    s_counters = Telemetry.counters t.tel;
+  }
+
+let restore ?telemetry config s =
+  validate_config config;
+  let t = create ?telemetry config in
+  if Array.length s.s_last_loads <> t.m then
+    invalid_arg "Engine.restore: link count does not match config";
+  if Array.length s.s_consec_missing <> t.m then
+    invalid_arg "Engine.restore: budget array does not match config";
+  if Array.length s.s_window > config.window then
+    invalid_arg "Engine.restore: snapshot window exceeds config window";
+  (match s.s_preference with
+  | Some p when Array.length p <> t.n ->
+      invalid_arg "Engine.restore: preference size mismatch"
+  | _ -> ());
+  Array.iter
+    (fun tm ->
+      if Tm.size tm <> t.n then
+        invalid_arg "Engine.restore: window TM size mismatch")
+    s.s_window;
+  if s.s_bin < Array.length s.s_window then
+    invalid_arg "Engine.restore: more window entries than bins";
+  let t =
+    {
+      t with
+      degrade =
+        Degrade.restore ~recover_after:config.recover_after s.s_degrade;
+      bin = s.s_bin;
+      f = s.s_f;
+      preference = Option.map Array.copy s.s_preference;
+      fit_age = s.s_fit_age;
+    }
+  in
+  let len = Array.length s.s_window in
+  Array.iteri
+    (fun k tm ->
+      let b = s.s_bin - len + k in
+      t.window_buf.(b mod config.window) <- Some (Tm.copy tm))
+    s.s_window;
+  Array.blit s.s_last_loads 0 t.last_loads 0 t.m;
+  Array.blit s.s_consec_missing 0 t.consec_missing 0 t.m;
+  t.have_last <- s.s_have_last;
+  Telemetry.set_counters t.tel s.s_counters;
+  t

@@ -1,0 +1,113 @@
+(** The streaming estimation engine: one traffic-matrix estimate per time
+    bin, fed link-load polls as they arrive, with bounded amortized work.
+
+    Per bin the engine (1) validates and imputes the polls (carry-forward,
+    with a per-link budget), (2) asks the {!Degrade} ladder which prior rung
+    current health supports, (3) builds that prior from the bin's marginal
+    counts, (4) refines it against the link constraints through a reused
+    {!Ic_estimation.Tomogravity.plan}, and (5) projects onto the measured
+    marginals with IPF. Every [refit_every] bins it refits the stable-fP
+    parameters over a sliding window of its own recent estimates
+    (warm-started from the current [f]), which is what keeps the
+    [Measured_ic] rung honest on a live feed.
+
+    The engine is deterministic: identical observation streams produce
+    bit-identical estimates, and {!snapshot}/{!restore} (see {!Checkpoint})
+    reproduce the uninterrupted stream bit-for-bit after a kill. *)
+
+type config = {
+  routing : Ic_topology.Routing.t;  (** must be built [~with_marginals:true] *)
+  binning : Ic_timeseries.Timebin.t;
+  refit_every : int;  (** sliding-window refit period, bins *)
+  window : int;  (** estimates retained for the refit window *)
+  refit_sweeps : int;  (** block-coordinate sweeps per warm refit *)
+  stale_after : int;
+      (** fit age (bins) beyond which [Measured_ic] degrades to
+          [Stale_fp] *)
+  miss_soft : float;
+      (** missing-poll fraction above which the prior drops to the closed
+          form *)
+  miss_hard : float;  (** fraction above which it drops to gravity *)
+  impute_budget : int;
+      (** consecutive carry-forward polls tolerated per link before the
+          ladder drops to gravity *)
+  recover_after : int;  (** healthy bins per upward ladder step *)
+  fallback_f : float;  (** forward fraction assumed before any fit exists *)
+  initial_params : (float * Ic_linalg.Vec.t) option;
+      (** a pre-calibrated [(f, preference)], treated as a fit completed at
+          bin 0 (the engine starts at [Measured_ic]) *)
+}
+
+val default_config :
+  Ic_topology.Routing.t -> Ic_timeseries.Timebin.t -> config
+(** Daily refit window and period, 6 warm sweeps, staleness at two refit
+    periods, soft/hard missing thresholds 0.2/0.5, imputation budget 2,
+    recovery after 12 healthy bins, fallback [f] 0.35, cold start. *)
+
+type t
+
+val create : ?telemetry:Telemetry.t -> config -> t
+(** Raises [Invalid_argument] if the routing lacks marginal rows or a
+    config field is out of range. *)
+
+type output = {
+  estimate : Ic_traffic.Tm.t;
+  level : Degrade.level;  (** prior rung used for this bin *)
+  clamped : int;  (** negative entries zeroed by the tomogravity clamp *)
+}
+
+val step : t -> loads:Ic_linalg.Vec.t -> missing:bool array -> output
+(** Consume one bin of polls. [loads] has one entry per routing row;
+    [missing.(e)] marks polls the collector lost (imputed by carry-forward).
+    Entries that are non-finite or negative are treated as corrupt and
+    imputed the same way. Raises [Invalid_argument] on dimension
+    mismatches. *)
+
+val refit : t -> bool
+(** Force a sliding-window refit now (normally triggered every
+    [refit_every] bins). Returns false when the window is empty or carries
+    no traffic. *)
+
+val bins_seen : t -> int
+
+val level : t -> Degrade.level
+
+val params : t -> (float * Ic_linalg.Vec.t) option
+(** Current [(f, preference)]; [None] before the first (re)fit. *)
+
+val fit_age : t -> int option
+(** Bins since the last completed refit; [None] if never fitted. *)
+
+val telemetry : t -> Telemetry.t
+
+val transitions : t -> Degrade.transition list
+
+val config : t -> config
+
+(** {2 Checkpoint support}
+
+    A snapshot is the full serializable engine state — everything that
+    affects future estimates. Restoring it under the same config and
+    replaying the same observations is bit-identical to never having
+    stopped. Timing histograms are deliberately excluded (wall-clock is not
+    state); counters round-trip. *)
+
+type snapshot = {
+  s_bin : int;
+  s_f : float;
+  s_preference : Ic_linalg.Vec.t option;
+  s_fit_age : int;  (** [max_int] encodes "never fitted" *)
+  s_degrade : Degrade.snapshot;
+  s_window : Ic_traffic.Tm.t array;  (** chronological, oldest first *)
+  s_last_loads : Ic_linalg.Vec.t;
+  s_have_last : bool;
+  s_consec_missing : int array;
+  s_counters : (string * int) list;
+}
+
+val snapshot : t -> snapshot
+
+val restore : ?telemetry:Telemetry.t -> config -> snapshot -> t
+(** Rebuild an engine from a snapshot. The config must structurally match
+    the one the snapshot was taken under (same routing shape and window
+    size); raises [Invalid_argument] otherwise. *)

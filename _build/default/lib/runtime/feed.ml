@@ -1,0 +1,60 @@
+module Vec = Ic_linalg.Vec
+module Routing = Ic_topology.Routing
+module Snmp = Ic_topology.Snmp
+module Series = Ic_traffic.Series
+
+type t = {
+  loads : Vec.t array;  (* true per-bin link loads, precomputed *)
+  snmp : Snmp.stream;
+  corrupt_rate : float;
+  fault_rng : Ic_prng.Rng.t;
+  mutable pos : int;
+}
+
+let create ?(noise_sigma = 0.01) ?(drop_rate = 0.) ?(corrupt_rate = 0.)
+    routing series ~seed =
+  if corrupt_rate < 0. || corrupt_rate >= 1. then
+    invalid_arg "Feed.create: corrupt rate out of [0,1)";
+  let g = routing.Routing.graph in
+  if Series.size series <> Ic_topology.Graph.node_count g then
+    invalid_arg "Feed.create: series does not match routing";
+  let loads =
+    Array.init (Series.length series) (fun k ->
+        Routing.link_loads routing
+          (Ic_traffic.Tm.to_vector (Series.tm series k)))
+  in
+  let rng = Ic_prng.Rng.create seed in
+  let snmp_rng = Ic_prng.Rng.split rng in
+  {
+    loads;
+    snmp = Snmp.stream { noise_sigma; loss_rate = drop_rate } snmp_rng;
+    corrupt_rate;
+    fault_rng = Ic_prng.Rng.split rng;
+    pos = 0;
+  }
+
+let length t = Array.length t.loads
+
+let position t = t.pos
+
+let next t =
+  if t.pos >= Array.length t.loads then None
+  else begin
+    let { Snmp.values; missing } = Snmp.poll t.snmp t.loads.(t.pos) in
+    t.pos <- t.pos + 1;
+    if t.corrupt_rate > 0. then
+      for e = 0 to Array.length values - 1 do
+        if
+          (not missing.(e))
+          && Ic_prng.Rng.float t.fault_rng < t.corrupt_rate
+        then
+          (* A corrupt counter read: strictly negative, detectably bogus. *)
+          values.(e) <- -.(Float.abs values.(e)) -. 1.
+      done;
+    Some (values, missing)
+  end
+
+let skip t k =
+  for _ = 1 to k do
+    ignore (next t)
+  done

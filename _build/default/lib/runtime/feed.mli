@@ -1,0 +1,42 @@
+(** A live observation feed for the engine: replay a TM series as the
+    sequence of link-load polls an operator's collector would deliver,
+    with injected faults.
+
+    Per bin the true loads [Y = R x(t)] go through an
+    {!Ic_topology.Snmp.stream} (per-poll noise, dropped polls), then the
+    corruptor flips surviving polls to garbage (a strictly negative value,
+    the way a wrapped or torn counter read manifests) with probability
+    [corrupt_rate]. Dropped polls are reported in the [missing] flags;
+    corrupt polls are {e not} — detecting them is the engine's job.
+
+    The feed is deterministic from its seed, and a fresh feed with the same
+    inputs replays the identical stream — which is how a resumed engine is
+    fed the exact observations it would have seen had it never died. *)
+
+type t
+
+val create :
+  ?noise_sigma:float ->
+  ?drop_rate:float ->
+  ?corrupt_rate:float ->
+  Ic_topology.Routing.t ->
+  Ic_traffic.Series.t ->
+  seed:int ->
+  t
+(** Defaults: 1% noise, no drops, no corruption. Raises [Invalid_argument]
+    on rates out of range or a series that does not match the routing. *)
+
+val length : t -> int
+(** Total bins in the replay. *)
+
+val position : t -> int
+(** Index of the next bin to be delivered. *)
+
+val next : t -> (Ic_linalg.Vec.t * bool array) option
+(** The next bin's observation: measured loads (one per routing row) and
+    the dropped-poll flags. [None] when the replay is exhausted. *)
+
+val skip : t -> int -> unit
+(** [skip t k] advances past [k] bins, drawing and discarding their
+    observations so the stream state stays identical to a feed that
+    delivered them — fast-forward for resume-after-kill. *)

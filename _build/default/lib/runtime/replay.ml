@@ -1,0 +1,47 @@
+module Tm = Ic_traffic.Tm
+
+type result = {
+  estimates : Ic_traffic.Tm.t array;
+  levels : Degrade.level array;
+  clamped : int;
+}
+
+let run ?max_bins ?on_bin engine feed =
+  let budget =
+    match max_bins with
+    | None -> Feed.length feed - Feed.position feed
+    | Some b -> min b (Feed.length feed - Feed.position feed)
+  in
+  let estimates = ref [] in
+  let levels = ref [] in
+  let clamped = ref 0 in
+  let consumed = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !consumed < budget do
+    match Feed.next feed with
+    | None -> continue_ := false
+    | Some (loads, missing) ->
+        let bin = Engine.bins_seen engine in
+        let out = Engine.step engine ~loads ~missing in
+        (match on_bin with Some f -> f ~bin out | None -> ());
+        estimates := out.Engine.estimate :: !estimates;
+        levels := out.Engine.level :: !levels;
+        clamped := !clamped + out.Engine.clamped;
+        incr consumed
+  done;
+  {
+    estimates = Array.of_list (List.rev !estimates);
+    levels = Array.of_list (List.rev !levels);
+    clamped = !clamped;
+  }
+
+let bit_identical a b =
+  Array.length a = Array.length b
+  && Array.for_all2
+       (fun x y ->
+         let dx = Tm.unsafe_data x and dy = Tm.unsafe_data y in
+         Tm.size x = Tm.size y
+         && Array.for_all2
+              (fun u v -> Int64.equal (Int64.bits_of_float u) (Int64.bits_of_float v))
+              dx dy)
+       a b

@@ -1,0 +1,126 @@
+type hist = {
+  mutable events : int;
+  mutable total_ns : float;
+  mutable max_ns : float;
+  bucket_counts : int array;  (* index = log2(ns), clamped to [0, 62] *)
+}
+
+type t = {
+  clock : unit -> float;
+  counters : (string, int ref) Hashtbl.t;
+  hists : (string, hist) Hashtbl.t;
+}
+
+let create ?(clock = Sys.time) () =
+  { clock; counters = Hashtbl.create 32; hists = Hashtbl.create 16 }
+
+let counter_ref t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.add t.counters name r;
+      r
+
+let incr t name = Stdlib.incr (counter_ref t name)
+
+let add t name v =
+  let r = counter_ref t name in
+  r := !r + v
+
+let count t name =
+  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let counters t =
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.counters []
+  |> List.sort compare
+
+let set_counters t entries =
+  Hashtbl.reset t.counters;
+  List.iter (fun (name, v) -> Hashtbl.replace t.counters name (ref v)) entries
+
+let bucket_of_ns ns =
+  if ns < 1. then 0
+  else min 62 (int_of_float (Float.log2 ns))
+
+let hist t stage =
+  match Hashtbl.find_opt t.hists stage with
+  | Some h -> h
+  | None ->
+      let h =
+        { events = 0; total_ns = 0.; max_ns = 0.; bucket_counts = Array.make 63 0 }
+      in
+      Hashtbl.add t.hists stage h;
+      h
+
+let record_ns t stage ns =
+  let ns = Float.max ns 0. in
+  let h = hist t stage in
+  h.events <- h.events + 1;
+  h.total_ns <- h.total_ns +. ns;
+  h.max_ns <- Float.max h.max_ns ns;
+  let b = bucket_of_ns ns in
+  h.bucket_counts.(b) <- h.bucket_counts.(b) + 1
+
+let time t stage f =
+  let t0 = t.clock () in
+  let result = f () in
+  let t1 = t.clock () in
+  record_ns t stage ((t1 -. t0) *. 1e9);
+  result
+
+type timing = {
+  stage : string;
+  events : int;
+  total_ns : float;
+  max_ns : float;
+  buckets : (int * int) list;
+}
+
+let timings t =
+  Hashtbl.fold
+    (fun stage h acc ->
+      let buckets = ref [] in
+      for b = 62 downto 0 do
+        if h.bucket_counts.(b) > 0 then
+          buckets := (b, h.bucket_counts.(b)) :: !buckets
+      done;
+      {
+        stage;
+        events = h.events;
+        total_ns = h.total_ns;
+        max_ns = h.max_ns;
+        buckets = !buckets;
+      }
+      :: acc)
+    t.hists []
+  |> List.sort (fun a b -> compare a.stage b.stage)
+
+let pretty_ns ns =
+  if ns >= 1e9 then Printf.sprintf "%.2fs" (ns /. 1e9)
+  else if ns >= 1e6 then Printf.sprintf "%.2fms" (ns /. 1e6)
+  else if ns >= 1e3 then Printf.sprintf "%.2fus" (ns /. 1e3)
+  else Printf.sprintf "%.0fns" ns
+
+let dump ?(with_timings = true) t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "counters:\n";
+  List.iter
+    (fun (name, v) -> Buffer.add_string buf (Printf.sprintf "  %-32s %d\n" name v))
+    (counters t);
+  if with_timings then begin
+    Buffer.add_string buf "timings:\n";
+    List.iter
+      (fun tm ->
+        let mean = if tm.events = 0 then 0. else tm.total_ns /. float_of_int tm.events in
+        Buffer.add_string buf
+          (Printf.sprintf "  %-16s %6d events  mean %8s  max %8s  " tm.stage
+             tm.events (pretty_ns mean) (pretty_ns tm.max_ns));
+        List.iter
+          (fun (b, c) ->
+            Buffer.add_string buf (Printf.sprintf "2^%d:%d " b c))
+          tm.buckets;
+        Buffer.add_char buf '\n')
+      (timings t)
+  end;
+  Buffer.contents buf

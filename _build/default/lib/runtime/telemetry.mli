@@ -1,0 +1,52 @@
+(** In-process counters and per-stage timing histograms for the streaming
+    engine.
+
+    Counters are deterministic functions of the observation stream (poll
+    counts, degradations, clamped entries, ...) and round-trip through
+    checkpoints. Timings are wall-clock and therefore {e not} part of the
+    engine's determinism contract: they are kept out of checkpoints and the
+    dump prints them after the counters so deterministic consumers (cram
+    tests) can truncate.
+
+    The clock is injectable so tests can drive the histograms
+    deterministically. *)
+
+type t
+
+val create : ?clock:(unit -> float) -> unit -> t
+(** A fresh telemetry sink. [clock] returns seconds (monotonicity is the
+    caller's concern); the default is [Sys.time]. *)
+
+val incr : t -> string -> unit
+(** Add 1 to a named counter (created at 0 on first use). *)
+
+val add : t -> string -> int -> unit
+
+val count : t -> string -> int
+(** Current value of a counter; 0 if never touched. *)
+
+val counters : t -> (string * int) list
+(** All counters, sorted by name. *)
+
+val set_counters : t -> (string * int) list -> unit
+(** Replace all counters — checkpoint restore. Timings are left empty. *)
+
+val time : t -> string -> (unit -> 'a) -> 'a
+(** [time t stage f] runs [f] and records its duration in [stage]'s
+    histogram (power-of-two buckets in nanoseconds). *)
+
+type timing = {
+  stage : string;
+  events : int;
+  total_ns : float;
+  max_ns : float;
+  buckets : (int * int) list;
+      (** (log2 nanosecond bucket, event count), sparse, ascending *)
+}
+
+val timings : t -> timing list
+(** Per-stage timing summaries, sorted by stage name. *)
+
+val dump : ?with_timings:bool -> t -> string
+(** Human-readable dump: counters first (deterministic), then — when
+    [with_timings] (default [true]) — the timing histograms. *)

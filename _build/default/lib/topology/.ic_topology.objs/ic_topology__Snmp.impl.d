@@ -1,1 +1,1 @@
-lib/topology/snmp.ml: Array Ic_prng
+lib/topology/snmp.ml: Array Ic_linalg Ic_prng

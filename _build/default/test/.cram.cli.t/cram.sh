@@ -3,4 +3,8 @@
   $ ../bin/ic_lab.exe topology --name geant -o g.topo
   $ head -2 g.topo
   $ ../bin/ic_lab.exe experiment nosuchfig 2>&1 | head -1
+  $ ../bin/ic_lab.exe stream --dataset geant --weeks 1 --bins 40 \
+  >   --drop-rate 0.05 --corrupt-rate 0.02 --refit-every 12 --window 24 \
+  >   --recover-after 4 --kill-after 20 --resume --checkpoint eng.ckpt
+  $ head -1 eng.ckpt
   $ ../examples/quickstart.exe | head -3

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Filename Float Ic_core Ic_prng Ic_runtime Ic_timeseries Ic_topology Ic_traffic Int64 List QCheck QCheck_alcotest String Sys

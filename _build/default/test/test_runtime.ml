@@ -1,0 +1,376 @@
+(* The streaming runtime: telemetry, the degradation ladder, the fault-
+   injecting feed, the engine's determinism, and — the load-bearing
+   property — checkpoint/restore being bit-identical to never stopping. *)
+
+module Telemetry = Ic_runtime.Telemetry
+module Degrade = Ic_runtime.Degrade
+module Engine = Ic_runtime.Engine
+module Checkpoint = Ic_runtime.Checkpoint
+module Feed = Ic_runtime.Feed
+module Replay = Ic_runtime.Replay
+module Snmp = Ic_topology.Snmp
+module Tm = Ic_traffic.Tm
+
+(* --- shared fixture: a small synthetic world on the Abilene graph ------- *)
+
+let graph = Ic_topology.Topologies.abilene_like ()
+
+let routing = Ic_topology.Routing.build graph
+
+let binning = Ic_timeseries.Timebin.five_min
+
+let series =
+  let spec =
+    {
+      Ic_core.Synth.default_spec with
+      nodes = Ic_topology.Graph.node_count graph;
+      binning;
+      bins = 48;
+      mean_total_bytes = 1e9;
+    }
+  in
+  (Ic_core.Synth.generate spec (Ic_prng.Rng.create 17)).Ic_core.Synth.series
+
+let config ?(refit_every = 8) ?(window = 16) () =
+  {
+    (Engine.default_config routing binning) with
+    Engine.refit_every;
+    window;
+    refit_sweeps = 4;
+    stale_after = 24;
+    impute_budget = 1;
+    recover_after = 3;
+  }
+
+let mk_feed ?(drop = 0.05) ?(corrupt = 0.01) ~seed () =
+  Feed.create ~noise_sigma:0.01 ~drop_rate:drop ~corrupt_rate:corrupt routing
+    series ~seed
+
+(* --- telemetry ---------------------------------------------------------- *)
+
+let test_telemetry_counters () =
+  let t = Telemetry.create () in
+  Alcotest.(check int) "untouched" 0 (Telemetry.count t "nope");
+  Telemetry.incr t "b";
+  Telemetry.incr t "a";
+  Telemetry.incr t "b";
+  Telemetry.add t "a" 5;
+  Alcotest.(check int) "a" 6 (Telemetry.count t "a");
+  Alcotest.(check (list (pair string int)))
+    "sorted"
+    [ ("a", 6); ("b", 2) ]
+    (Telemetry.counters t);
+  Telemetry.set_counters t [ ("z", 9) ];
+  Alcotest.(check (list (pair string int)))
+    "replaced" [ ("z", 9) ] (Telemetry.counters t)
+
+let test_telemetry_timing () =
+  let now = ref 0. in
+  let t = Telemetry.create ~clock:(fun () -> !now) () in
+  let tick d f =
+    Telemetry.time t "stage" (fun () ->
+        now := !now +. d;
+        f)
+  in
+  Alcotest.(check int) "result passes through" 41 (tick 0.001 41);
+  ignore (tick 0.002 0);
+  (match Telemetry.timings t with
+  | [ tm ] ->
+      Alcotest.(check string) "stage" "stage" tm.Telemetry.stage;
+      Alcotest.(check int) "events" 2 tm.Telemetry.events;
+      Alcotest.(check (float 1.)) "total ns" 3e6 tm.Telemetry.total_ns;
+      Alcotest.(check (float 1.)) "max ns" 2e6 tm.Telemetry.max_ns
+  | l -> Alcotest.failf "expected one stage, got %d" (List.length l));
+  let dump = Telemetry.dump ~with_timings:false t in
+  Alcotest.(check bool)
+    "counters-only dump omits timings" false
+    (String.length dump >= 7 && String.sub dump 0 7 = "timings")
+
+(* --- degradation ladder ------------------------------------------------- *)
+
+let test_degrade_down_immediate () =
+  let d = Degrade.create ~initial:Degrade.Measured_ic ~recover_after:3 () in
+  let l =
+    Degrade.observe d ~bin:4 ~target:Degrade.Gravity
+      ~reason:Degrade.Polls_missing
+  in
+  Alcotest.(check int) "drops straight to gravity" 3 (Degrade.rank l);
+  match Degrade.transitions d with
+  | [ tr ] ->
+      Alcotest.(check int) "bin" 4 tr.Degrade.bin;
+      Alcotest.(check string) "from" "measured-ic"
+        (Degrade.level_name tr.Degrade.from_);
+      Alcotest.(check string) "to" "gravity" (Degrade.level_name tr.Degrade.to_);
+      Alcotest.(check string) "reason" "polls-missing"
+        (Degrade.reason_name tr.Degrade.reason)
+  | l -> Alcotest.failf "expected one transition, got %d" (List.length l)
+
+let test_degrade_up_hysteretic () =
+  let d = Degrade.create ~recover_after:3 () in
+  let healthy bin =
+    Degrade.observe d ~bin ~target:Degrade.Measured_ic ~reason:Degrade.Warmup
+  in
+  Alcotest.(check int) "still gravity" 3 (Degrade.rank (healthy 0));
+  Alcotest.(check int) "still gravity" 3 (Degrade.rank (healthy 1));
+  Alcotest.(check int) "one rung up" 2 (Degrade.rank (healthy 2));
+  (* a bad bin resets the streak *)
+  ignore
+    (Degrade.observe d ~bin:3 ~target:Degrade.Closed_form
+       ~reason:Degrade.Polls_missing);
+  Alcotest.(check int) "streak reset" 2 (Degrade.rank (healthy 4));
+  Alcotest.(check int) "streak reset" 2 (Degrade.rank (healthy 5));
+  Alcotest.(check int) "up again" 1 (Degrade.rank (healthy 6));
+  Alcotest.(check int) "recorded climbs" 2
+    (List.length
+       (List.filter
+          (fun tr -> tr.Degrade.reason = Degrade.Recovered)
+          (Degrade.transitions d)))
+
+let test_degrade_snapshot_roundtrip () =
+  let d = Degrade.create ~recover_after:2 () in
+  ignore (Degrade.observe d ~bin:0 ~target:Degrade.Measured_ic ~reason:Degrade.Warmup);
+  ignore (Degrade.observe d ~bin:1 ~target:Degrade.Measured_ic ~reason:Degrade.Warmup);
+  let d' = Degrade.restore ~recover_after:2 (Degrade.snapshot d) in
+  Alcotest.(check int) "level" (Degrade.rank (Degrade.level d))
+    (Degrade.rank (Degrade.level d'));
+  (* same next step: the streak survived the round trip *)
+  let a = Degrade.observe d ~bin:2 ~target:Degrade.Measured_ic ~reason:Degrade.Warmup in
+  let b = Degrade.observe d' ~bin:2 ~target:Degrade.Measured_ic ~reason:Degrade.Warmup in
+  Alcotest.(check int) "same step" (Degrade.rank a) (Degrade.rank b)
+
+(* --- snmp stream -------------------------------------------------------- *)
+
+let test_snmp_stream_matches_batch () =
+  let loads =
+    Array.init 20 (fun k ->
+        Array.init 14 (fun e -> 1e6 *. float_of_int ((k * 14) + e + 1)))
+  in
+  let spec = { Snmp.noise_sigma = 0.05; loss_rate = 0.2 } in
+  let batch = Snmp.measure_series spec (Ic_prng.Rng.create 3) loads in
+  let stream = Snmp.stream spec (Ic_prng.Rng.create 3) in
+  Array.iteri
+    (fun k truth ->
+      let p = Snmp.poll stream truth in
+      Array.iteri
+        (fun e v ->
+          if Int64.bits_of_float v <> Int64.bits_of_float p.Snmp.values.(e)
+          then Alcotest.failf "bin %d link %d differs" k e)
+        batch.(k))
+    loads
+
+(* --- feed --------------------------------------------------------------- *)
+
+let drain feed =
+  let rec go acc =
+    match Feed.next feed with
+    | None -> List.rev acc
+    | Some (v, m) -> go ((Array.copy v, Array.copy m) :: acc)
+  in
+  go []
+
+let obs_equal (v1, m1) (v2, m2) =
+  m1 = m2
+  && Array.for_all2
+       (fun a b -> Int64.bits_of_float a = Int64.bits_of_float b)
+       v1 v2
+
+let test_feed_deterministic () =
+  let a = drain (mk_feed ~seed:5 ()) and b = drain (mk_feed ~seed:5 ()) in
+  Alcotest.(check int) "length" (Ic_traffic.Series.length series)
+    (List.length a);
+  Alcotest.(check bool) "same stream" true (List.for_all2 obs_equal a b);
+  let c = drain (mk_feed ~seed:6 ()) in
+  Alcotest.(check bool) "seed matters" false (List.for_all2 obs_equal a c)
+
+let test_feed_skip_is_fast_forward () =
+  let a = mk_feed ~seed:9 () and b = mk_feed ~seed:9 () in
+  for _ = 1 to 10 do
+    ignore (Feed.next a)
+  done;
+  Feed.skip b 10;
+  Alcotest.(check int) "position" (Feed.position a) (Feed.position b);
+  Alcotest.(check bool) "same tail" true
+    (List.for_all2 obs_equal (drain a) (drain b))
+
+let test_feed_corruption_is_detectable () =
+  let feed = mk_feed ~drop:0. ~corrupt:0.3 ~seed:4 () in
+  let negatives = ref 0 in
+  List.iter
+    (fun (v, m) ->
+      Array.iteri
+        (fun e x ->
+          if x < 0. then begin
+            incr negatives;
+            Alcotest.(check bool) "corrupt polls are not flagged missing"
+              false m.(e)
+          end)
+        v)
+    (drain feed);
+  Alcotest.(check bool) "some corruption injected" true (!negatives > 0)
+
+(* --- engine ------------------------------------------------------------- *)
+
+let run_bins ?(cfg = config ()) ?drop ?corrupt ~seed bins =
+  let engine = Engine.create cfg in
+  let feed = mk_feed ?drop ?corrupt ~seed () in
+  let res = Replay.run ~max_bins:bins engine feed in
+  (engine, res)
+
+let test_engine_deterministic () =
+  let _, a = run_bins ~seed:21 30 and _, b = run_bins ~seed:21 30 in
+  Alcotest.(check bool) "bit-identical" true
+    (Replay.bit_identical a.Replay.estimates b.Replay.estimates)
+
+let test_engine_recovers_and_degrades () =
+  let engine, res = run_bins ~seed:21 40 in
+  Alcotest.(check int) "bins" 40 (Engine.bins_seen engine);
+  let tel = Engine.telemetry engine in
+  Alcotest.(check int) "bins counter" 40 (Telemetry.count tel "bins");
+  Alcotest.(check bool) "ladder moved" true
+    (List.length (Engine.transitions engine) >= 1);
+  (* cold start is gravity; a refit must have promoted the engine *)
+  Alcotest.(check bool) "refit happened" true
+    (Telemetry.count tel "refit.count" >= 1);
+  Alcotest.(check bool) "reached an IC rung" true
+    (Array.exists
+       (fun l -> Degrade.rank l <= Degrade.rank Degrade.Stale_fp)
+       res.Replay.levels);
+  (* estimates are nonnegative and carry traffic *)
+  Array.iter
+    (fun tm ->
+      let total = Tm.total tm in
+      if not (Float.is_finite total && total > 0.) then
+        Alcotest.fail "estimate without traffic")
+    res.Replay.estimates
+
+let test_engine_validation () =
+  Alcotest.check_raises "no marginals"
+    (Invalid_argument "Engine: routing must include marginal rows") (fun () ->
+      let r = Ic_topology.Routing.build ~with_marginals:false graph in
+      ignore (Engine.create (Engine.default_config r binning)));
+  Alcotest.check_raises "bad window"
+    (Invalid_argument "Engine: window must be >= 1") (fun () ->
+      ignore (Engine.create { (config ()) with Engine.window = 0 }));
+  let engine = Engine.create (config ()) in
+  Alcotest.check_raises "bad loads"
+    (Invalid_argument "Engine.step: link-load dimension mismatch") (fun () ->
+      ignore (Engine.step engine ~loads:[| 1. |] ~missing:[| false |]))
+
+(* --- checkpointing ------------------------------------------------------ *)
+
+let test_checkpoint_decode_errors () =
+  let bad s =
+    match Checkpoint.decode s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "decoded garbage: %S" s
+  in
+  bad "";
+  bad "not a checkpoint";
+  bad "ic-runtime-checkpoint v1\nbin x\n";
+  (* truncation anywhere is an error, not a crash *)
+  let engine, _ = run_bins ~seed:33 12 in
+  let path = Filename.temp_file "ic_ckpt" ".txt" in
+  Checkpoint.save ~path engine;
+  let ic = open_in_bin path in
+  let full = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  bad (String.sub full 0 (String.length full / 2));
+  (match Checkpoint.decode full with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "round trip failed: %s" e);
+  match Checkpoint.load ~path:"/nonexistent/ckpt" ~config:(config ()) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "loaded a missing file"
+
+let test_checkpoint_config_mismatch () =
+  let engine, _ = run_bins ~seed:33 12 in
+  let snap = Engine.snapshot engine in
+  let other =
+    Ic_topology.Routing.build (Ic_topology.Topologies.geant_like ())
+  in
+  Alcotest.check_raises "wrong routing"
+    (Invalid_argument "Engine.restore: link count does not match config")
+    (fun () ->
+      ignore
+        (Engine.restore
+           { (config ()) with Engine.routing = other }
+           snap))
+
+(* The tentpole property: save/restore through a real file, then N more
+   bins, is bit-identical to an engine that never stopped. *)
+let resume_matches_uninterrupted (seed, n1, n2, drop) =
+  let cfg = config () in
+  let head_engine = Engine.create cfg in
+  let feed = mk_feed ~drop ~seed () in
+  let head = Replay.run ~max_bins:n1 head_engine feed in
+  let path = Filename.temp_file "ic_ckpt" ".txt" in
+  Checkpoint.save ~path head_engine;
+  let restored =
+    match Checkpoint.load ~path ~config:cfg with
+    | Ok e -> e
+    | Error m -> failwith m
+  in
+  Sys.remove path;
+  let feed2 = mk_feed ~drop ~seed () in
+  Feed.skip feed2 n1;
+  let tail = Replay.run ~max_bins:n2 restored feed2 in
+  let _, full = run_bins ~cfg ~drop ~seed (n1 + n2) in
+  Replay.bit_identical
+    (Array.append head.Replay.estimates tail.Replay.estimates)
+    full.Replay.estimates
+  && Engine.transitions restored = Engine.transitions (Engine.create cfg |> fun e ->
+         let f = mk_feed ~drop ~seed () in
+         ignore (Replay.run ~max_bins:(n1 + n2) e f);
+         e)
+
+let checkpoint_property =
+  QCheck.Test.make ~count:8 ~name:"resume is bit-identical to no kill"
+    QCheck.(
+      quad (int_range 0 1000) (int_range 1 20) (int_range 1 20)
+        (oneofl [ 0.0; 0.05; 0.3 ]))
+    resume_matches_uninterrupted
+
+let () =
+  Alcotest.run "ic_runtime"
+    [
+      ( "telemetry",
+        [
+          Alcotest.test_case "counters" `Quick test_telemetry_counters;
+          Alcotest.test_case "timing" `Quick test_telemetry_timing;
+        ] );
+      ( "degrade",
+        [
+          Alcotest.test_case "down immediate" `Quick test_degrade_down_immediate;
+          Alcotest.test_case "up hysteretic" `Quick test_degrade_up_hysteretic;
+          Alcotest.test_case "snapshot roundtrip" `Quick
+            test_degrade_snapshot_roundtrip;
+        ] );
+      ( "snmp stream",
+        [
+          Alcotest.test_case "matches batch" `Quick
+            test_snmp_stream_matches_batch;
+        ] );
+      ( "feed",
+        [
+          Alcotest.test_case "deterministic" `Quick test_feed_deterministic;
+          Alcotest.test_case "skip fast-forwards" `Quick
+            test_feed_skip_is_fast_forward;
+          Alcotest.test_case "corruption detectable" `Quick
+            test_feed_corruption_is_detectable;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "deterministic" `Quick test_engine_deterministic;
+          Alcotest.test_case "degrades and recovers" `Quick
+            test_engine_recovers_and_degrades;
+          Alcotest.test_case "validation" `Quick test_engine_validation;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "decode errors" `Quick test_checkpoint_decode_errors;
+          Alcotest.test_case "config mismatch" `Quick
+            test_checkpoint_config_mismatch;
+          QCheck_alcotest.to_alcotest checkpoint_property;
+        ] );
+    ]

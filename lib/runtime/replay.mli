@@ -1,0 +1,22 @@
+(** Drive an {!Engine} over a {!Feed} — the serving loop of
+    [ic-lab stream], reusable from benches and tests. *)
+
+type result = {
+  estimates : Ic_traffic.Tm.t array;  (** one per consumed bin *)
+  levels : Degrade.level array;  (** prior rung used per bin *)
+  clamped : int;  (** total clamped entries across the run *)
+}
+
+val run :
+  ?max_bins:int ->
+  ?on_bin:(bin:int -> Engine.output -> unit) ->
+  Engine.t ->
+  Feed.t ->
+  result
+(** Step the engine over the feed from its current position until the feed
+    is exhausted (or [max_bins] consumed). [on_bin] observes each bin as it
+    completes. *)
+
+val bit_identical : Ic_traffic.Tm.t array -> Ic_traffic.Tm.t array -> bool
+(** Exact (float bit pattern) equality of two estimate runs — the
+    resume-equals-uninterrupted acceptance check. *)

@@ -20,14 +20,26 @@ let bins_per_week t = seconds_per_week / t.width_s
 
 let seconds_of_bin t k = k * t.width_s
 
-let bin_of_seconds t s = s / t.width_s
+(* Flooring division/modulo: OCaml's (/) and (mod) truncate toward zero, so
+   for bins before the epoch (negative indices, which sliding windows can
+   produce near a rollover) they are off by one relative to the calendar.
+   [fdiv (-1) 288 = -1] where [(-1) / 288 = 0]. *)
+let fdiv a b = if a >= 0 then a / b else -(((-a) + b - 1) / b)
+
+let fmod a b = a - (b * fdiv a b)
+
+let bin_of_seconds t s = fdiv s t.width_s
 
 let hour_of_day t k =
-  let s = seconds_of_bin t k mod seconds_per_day in
+  let s = fmod (seconds_of_bin t k) seconds_per_day in
   float_of_int s /. 3600.
 
-let day_of_week t k = seconds_of_bin t k / seconds_per_day mod 7
+let day_of_week t k = fmod (fdiv (seconds_of_bin t k) seconds_per_day) 7
 
 let is_weekend t k =
   let d = day_of_week t k in
   d = 5 || d = 6
+
+let week_of_bin t k = fdiv k (bins_per_week t)
+
+let bin_in_week t k = fmod k (bins_per_week t)

@@ -18,11 +18,37 @@ val default : spec
 val ideal : spec
 (** No artifacts — for tests and ablation baselines. *)
 
+(** {2 Streaming poll source}
+
+    A live estimation engine consumes polls one bin at a time and needs to
+    know {e which} polls were missing (the batch API imputes them silently).
+    A [stream] carries the poller state — the RNG and the last reported
+    value per link — across bins. *)
+
+type poll = {
+  values : Ic_linalg.Vec.t;
+      (** measured loads; missing entries carry the last reported value
+          forward (first-poll losses fall back to the true value) *)
+  missing : bool array;  (** which polls were lost this bin *)
+}
+
+type stream
+
+val stream : spec -> Ic_prng.Rng.t -> stream
+(** A fresh poll stream. Raises [Invalid_argument] on parameters out of
+    range. *)
+
+val poll : stream -> Ic_linalg.Vec.t -> poll
+(** [poll stream true_loads] measures one bin: independent mean-corrected
+    lognormal noise per link, polls lost with probability [loss_rate].
+    Raises [Invalid_argument] if the link count changes mid-stream. *)
+
 val measure_series :
   spec -> Ic_prng.Rng.t -> Ic_linalg.Vec.t array -> Ic_linalg.Vec.t array
 (** [measure_series spec rng loads] distorts a per-bin series of true link
     loads: each entry gets independent mean-corrected lognormal noise, and
     missing polls are imputed by carrying the last observed value forward
-    (first-bin losses fall back to the true value). Raises
-    [Invalid_argument] on inconsistent dimensions or parameters out of
-    range. *)
+    (first-bin losses fall back to the true value). Implemented as a
+    {!stream} drained over the series — draw-for-draw identical to polling
+    bin at a time. Raises [Invalid_argument] on inconsistent dimensions or
+    parameters out of range. *)

@@ -1,0 +1,17 @@
+#!/bin/sh
+# One-command tier-1 gate: build, full test suite, bench smoke.
+# Run from anywhere inside the repository.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== bench smoke =="
+dune exec bench/main.exe -- --json /dev/null
+
+echo "check.sh: all green"

@@ -24,6 +24,43 @@ let test_timebin_clock () =
     77
     (Tb.bin_of_seconds Tb.five_min (Tb.seconds_of_bin Tb.five_min 77))
 
+(* Weekend rollover and negative-bin (pre-epoch) arithmetic: streaming
+   windows slide across week boundaries, so these must floor, not truncate
+   toward zero. *)
+let test_timebin_week_boundaries () =
+  let five = Tb.five_min and fifteen = Tb.fifteen_min in
+  (* last bin of Sunday at 5-min width *)
+  Alcotest.(check int) "5min sunday" 6 (Tb.day_of_week five 2015);
+  Alcotest.(check bool) "5min weekend" true (Tb.is_weekend five 2015);
+  feq "5min last bin hour" (23. +. (55. /. 60.)) (Tb.hour_of_day five 2015);
+  Alcotest.(check int) "5min week 0" 0 (Tb.week_of_bin five 2015);
+  Alcotest.(check int) "5min in-week" 2015 (Tb.bin_in_week five 2015);
+  (* first bin of the next Monday *)
+  Alcotest.(check int) "5min monday again" 0 (Tb.day_of_week five 2016);
+  Alcotest.(check bool) "5min weekday" false (Tb.is_weekend five 2016);
+  feq "5min midnight" 0. (Tb.hour_of_day five 2016);
+  Alcotest.(check int) "5min week 1" 1 (Tb.week_of_bin five 2016);
+  Alcotest.(check int) "5min in-week reset" 0 (Tb.bin_in_week five 2016);
+  (* same rollover at 15-min width *)
+  Alcotest.(check int) "15min sunday" 6 (Tb.day_of_week fifteen 671);
+  Alcotest.(check int) "15min monday again" 0 (Tb.day_of_week fifteen 672);
+  Alcotest.(check int) "15min week 1" 1 (Tb.week_of_bin fifteen 672);
+  Alcotest.(check int) "15min in-week reset" 0 (Tb.bin_in_week fifteen 672)
+
+let test_timebin_negative_bins () =
+  let five = Tb.five_min in
+  (* a second before the epoch lives in bin -1, not bin 0 *)
+  Alcotest.(check int) "floor division" (-1) (Tb.bin_of_seconds five (-1));
+  Alcotest.(check int) "bin -1 is sunday" 6 (Tb.day_of_week five (-1));
+  feq "bin -1 is just before midnight"
+    (23. +. (55. /. 60.))
+    (Tb.hour_of_day five (-1));
+  Alcotest.(check int) "week -1" (-1) (Tb.week_of_bin five (-1));
+  Alcotest.(check int) "in-week wraps" 2015 (Tb.bin_in_week five (-1));
+  Alcotest.(check int) "roundtrip negative"
+    (-77)
+    (Tb.bin_of_seconds five (Tb.seconds_of_bin five (-77)))
+
 let test_diurnal_mean_one () =
   let d = Ic_timeseries.Diurnal.default in
   let samples = 288 in
@@ -143,6 +180,9 @@ let () =
         [
           Alcotest.test_case "counts" `Quick test_timebin_counts;
           Alcotest.test_case "clock" `Quick test_timebin_clock;
+          Alcotest.test_case "week boundaries" `Quick
+            test_timebin_week_boundaries;
+          Alcotest.test_case "negative bins" `Quick test_timebin_negative_bins;
         ] );
       ( "diurnal",
         [
