@@ -228,6 +228,36 @@ let stream_tests =
           fun () -> ignore (Ic_runtime.Engine.refit engine)));
   ]
 
+(* Parallel execution layer. The work is FIXED across [--jobs] settings —
+   a 256-bin series sharded over the pool, and one multiplexing round over
+   an 8-engine fleet — so ns/run at --jobs 1 vs --jobs 4 measures speedup
+   directly. (On a single-CPU host the pool cannot beat sequential; the
+   numbers then measure the coordination overhead instead.) *)
+let parallel_tests ~pool =
+  let bins = 256 in
+  let src = Array.length series_link_loads in
+  let par_loads = Array.init bins (fun k -> series_link_loads.(k mod src)) in
+  let par_priors = Array.init bins (fun k -> series_priors.(k mod src)) in
+  let fleet = 8 in
+  let engines =
+    Array.init fleet (fun _ -> Ic_runtime.Engine.create stream_config)
+  in
+  let cursors = Array.make fleet 0 in
+  [
+    Test.make ~name:"parallel/tomogravity-series-256"
+      (Staged.stage (fun () ->
+           Ic_estimation.Tomogravity.estimate_series_par ~pool routing
+             ~link_loads:par_loads ~priors:par_priors));
+    Test.make ~name:"parallel/fleet-round-8-engines"
+      (Staged.stage (fun () ->
+           ignore
+             (Ic_parallel.Pool.map pool ~chunk:1 ~n:fleet (fun ~slot:_ i ->
+                  let loads, missing = stream_observations.(cursors.(i)) in
+                  ignore (Ic_runtime.Engine.step engines.(i) ~loads ~missing);
+                  cursors.(i) <-
+                    (cursors.(i) + 1) mod Array.length stream_observations))));
+  ]
+
 let extension_tests =
   [
     Test.make ~name:"extension/maxent-one-bin"
@@ -377,6 +407,8 @@ let write_json path results =
 
 let () =
   let json_path = ref None in
+  let jobs = ref 1 in
+  let group_filter = ref None in
   let argv = Sys.argv in
   let i = ref 1 in
   while !i < Array.length argv do
@@ -384,20 +416,50 @@ let () =
     | "--json" when !i + 1 < Array.length argv ->
         incr i;
         json_path := Some argv.(!i)
+    | "--jobs" when !i + 1 < Array.length argv ->
+        incr i;
+        jobs := int_of_string argv.(!i)
+    | "--group" when !i + 1 < Array.length argv ->
+        incr i;
+        group_filter := Some argv.(!i)
     | arg ->
-        Printf.eprintf "usage: %s [--json <path>] (unknown argument %s)\n"
+        Printf.eprintf
+          "usage: %s [--json <path>] [--jobs <n>] [--group <prefix>] \
+           (unknown argument %s)\n"
           argv.(0) arg;
         exit 2);
     incr i
   done;
-  print_endline "IC traffic-matrix benchmarks (bechamel)";
-  let all =
-    run_group "figure kernels" figure_tests
-    @ run_group "ablations" ablation_tests
-    @ run_group "batched estimation" batch_tests
-    @ run_group "streaming engine" stream_tests
-    @ run_group "extensions" extension_tests
-    @ run_group "substrates" substrate_tests
-  in
-  Option.iter (fun path -> write_json path all) !json_path;
+  Printf.printf "IC traffic-matrix benchmarks (bechamel), --jobs %d\n%!" !jobs;
+  Ic_parallel.Pool.with_pool ~jobs:!jobs (fun pool ->
+      let groups =
+        [
+          ("figure kernels", figure_tests);
+          ("ablations", ablation_tests);
+          ("batched estimation", batch_tests);
+          ("streaming engine", stream_tests);
+          ("parallel", parallel_tests ~pool);
+          ("extensions", extension_tests);
+          ("substrates", substrate_tests);
+        ]
+      in
+      let selected =
+        match !group_filter with
+        | None -> groups
+        | Some g ->
+            let hits =
+              List.filter
+                (fun (label, _) -> String.starts_with ~prefix:g label)
+                groups
+            in
+            if hits = [] then begin
+              Printf.eprintf "no benchmark group matches %S\n" g;
+              exit 2
+            end;
+            hits
+      in
+      let all =
+        List.concat_map (fun (label, tests) -> run_group label tests) selected
+      in
+      Option.iter (fun path -> write_json path all) !json_path);
   print_endline "done."

@@ -119,7 +119,8 @@ let run_fit which weeks seed week stride input nodes bin_minutes =
 
 (* --- estimate ---------------------------------------------------------- *)
 
-let run_estimate which weeks seed calib_week target_week prior_name stride =
+let run_estimate which weeks seed calib_week target_week prior_name stride
+    jobs =
   let ds = load_dataset (dataset_of_string which) weeks seed in
   let take w = subsample stride (Ic_datasets.Dataset.week ds w) in
   let truth = take target_week in
@@ -141,7 +142,12 @@ let run_estimate which weeks seed calib_week target_week prior_name stride =
         Ic_estimation.Prior.ic_stable_f ~f:fit.params.f truth
     | s -> invalid_arg ("unknown prior " ^ s)
   in
-  let result = Ic_estimation.Pipeline.run config ~truth ~prior in
+  (* The parallel path is qcheck-pinned bit-identical to the sequential
+     one, so --jobs only changes wall-clock, never the numbers below. *)
+  let result =
+    Ic_parallel.Pool.with_pool ~jobs (fun pool ->
+        Ic_estimation.Pipeline.run_par ~pool config ~truth ~prior)
+  in
   Printf.printf
     "estimated %s week %d with %s prior: mean RelL2 = %.4f over %d bins\n"
     which target_week prior_name result.mean_error
@@ -257,9 +263,107 @@ let run_whatif node boost f_new seed topology_file =
 
 (* --- stream -------------------------------------------------------------- *)
 
+(* Sharded streaming: split the replay into [shards] contiguous time
+   ranges, run one independent engine per shard on a [jobs]-domain pool,
+   and report the order-independent merged telemetry. Kill/resume goes
+   through the atomic all-shard checkpoint. *)
+let run_stream_sharded which series routing config ~shards ~jobs ~total
+    ~feed_seed ~noise ~drop_rate ~corrupt_rate ~kill_after ~resume
+    ~checkpoint_path =
+  let series = Ic_traffic.Series.sub series ~pos:0 ~len:total in
+  let per_shard = total / shards in
+  if per_shard < 1 then
+    invalid_arg "stream: fewer bins than shards";
+  let specs () =
+    List.init shards (fun s ->
+        let pos = s * per_shard in
+        let len = if s = shards - 1 then total - pos else per_shard in
+        let sub = Ic_traffic.Series.sub series ~pos ~len in
+        {
+          Ic_runtime.Shard.name = Printf.sprintf "%s-%d" which s;
+          config;
+          feed =
+            Ic_runtime.Feed.create ~noise_sigma:noise ~drop_rate ~corrupt_rate
+              routing sub ~seed:(feed_seed + s);
+        })
+  in
+  Printf.printf
+    "streaming %s: %d bins x %d nodes in %d shards (jobs %d, drop %.1f%%, corrupt %.1f%%, noise %.1f%%)\n"
+    which total
+    (Ic_traffic.Series.size series)
+    shards jobs (100. *. drop_rate) (100. *. corrupt_rate) (100. *. noise);
+  Ic_parallel.Pool.with_pool ~jobs (fun pool ->
+      let uninterrupted () =
+        let fleet = Ic_runtime.Shard.create ~pool (specs ()) in
+        Ic_runtime.Shard.run fleet
+      in
+      let fleet, final =
+        match kill_after with
+        | Some k when k > 0 && k < per_shard ->
+            let fleet0 = Ic_runtime.Shard.create ~pool (specs ()) in
+            ignore (Ic_runtime.Shard.run ~max_bins:k fleet0);
+            Ic_runtime.Shard.save ~path:checkpoint_path fleet0;
+            Printf.printf
+              "killed after %d bins per shard; fleet checkpoint written to %s\n"
+              k checkpoint_path;
+            if not resume then (fleet0, Ic_runtime.Shard.results fleet0)
+            else begin
+              match
+                Ic_runtime.Shard.load ~path:checkpoint_path ~pool (specs ())
+              with
+              | Error e ->
+                  prerr_endline e;
+                  exit 1
+              | Ok fleet1 ->
+                  let combined = Ic_runtime.Shard.run fleet1 in
+                  let shadow = uninterrupted () in
+                  let identical =
+                    List.for_all2
+                      (fun (name_a, (a : Ic_runtime.Replay.result))
+                           (name_b, (b : Ic_runtime.Replay.result)) ->
+                        (* head estimates live in fleet0, tail in fleet1 *)
+                        let head =
+                          (List.assoc name_a
+                             (Ic_runtime.Shard.results fleet0))
+                            .Ic_runtime.Replay.estimates
+                        in
+                        name_a = name_b
+                        && Ic_runtime.Replay.bit_identical
+                             (Array.append head a.Ic_runtime.Replay.estimates)
+                             b.Ic_runtime.Replay.estimates)
+                      combined shadow
+                  in
+                  Printf.printf
+                    "resume check: all %d shards bit-identical to uninterrupted runs: %s\n"
+                    shards
+                    (if identical then "yes" else "NO");
+                  if not identical then exit 1;
+                  (fleet1, combined)
+            end
+        | _ ->
+            let fleet = Ic_runtime.Shard.create ~pool (specs ()) in
+            let res = Ic_runtime.Shard.run fleet in
+            (fleet, res)
+      in
+      List.iter
+        (fun (name, (_ : Ic_runtime.Replay.result)) ->
+          let engine =
+            List.assoc name (Ic_runtime.Shard.engines fleet)
+          in
+          (* bins_seen, not the result's estimate count: after a resume the
+             fleet only accumulates post-restore estimates, but the engine
+             knows its full stream position. *)
+          Printf.printf "shard %s: %d bins, final rung %s, %d transitions\n"
+            name
+            (Ic_runtime.Engine.bins_seen engine)
+            (Ic_runtime.Degrade.level_name (Ic_runtime.Engine.level engine))
+            (List.length (Ic_runtime.Engine.transitions engine)))
+        final;
+      print_string (Ic_runtime.Shard.merged_dump fleet))
+
 let run_stream which weeks seed bins drop_rate corrupt_rate noise kill_after
     resume checkpoint_path refit_every window recover_after telemetry_mode
-    verbose =
+    shards jobs verbose =
   setup_logs verbose;
   let ds = load_dataset (dataset_of_string which) weeks seed in
   let series = ds.Ic_datasets.Dataset.series in
@@ -290,6 +394,13 @@ let run_stream which weeks seed bins drop_rate corrupt_rate noise kill_after
     let len = Ic_traffic.Series.length series in
     match bins with Some b -> min b len | None -> len
   in
+  if shards < 1 then invalid_arg "stream: shards must be >= 1";
+  if jobs < 1 then invalid_arg "stream: jobs must be >= 1";
+  if shards > 1 then
+    run_stream_sharded which series routing config ~shards ~jobs ~total
+      ~feed_seed ~noise ~drop_rate ~corrupt_rate ~kill_after ~resume
+      ~checkpoint_path
+  else begin
   Printf.printf "streaming %s: %d bins x %d nodes (drop %.1f%%, corrupt %.1f%%, noise %.1f%%)\n"
     which total
     (Ic_traffic.Series.size series)
@@ -365,6 +476,7 @@ let run_stream which weeks seed bins drop_rate corrupt_rate noise kill_after
   print_string
     (Ic_runtime.Telemetry.dump ~with_timings
        (Ic_runtime.Engine.telemetry engine))
+  end
 
 (* --- topology ------------------------------------------------------------ *)
 
@@ -412,6 +524,13 @@ let seed_arg =
 let dataset_arg =
   let doc = "Dataset: geant or totem." in
   Arg.(value & opt string "geant" & info [ "dataset"; "d" ] ~docv:"NAME" ~doc)
+
+let jobs_arg =
+  let doc =
+    "Worker domains for the estimation hot paths (1 = sequential). Results \
+     are bit-identical at every value; only wall-clock changes."
+  in
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
 let experiment_cmd =
   let ids =
@@ -482,7 +601,7 @@ let estimate_cmd =
   Cmd.v (Cmd.info "estimate" ~doc)
     Term.(
       const run_estimate $ dataset_arg $ weeks_arg $ seed_arg $ calib $ target
-      $ prior $ stride_arg)
+      $ prior $ stride_arg $ jobs_arg)
 
 let trace_cmd =
   let duration =
@@ -577,6 +696,15 @@ let stream_cmd =
     let doc = "Telemetry detail: counters (deterministic) or full." in
     Arg.(value & opt string "counters" & info [ "telemetry" ] ~docv:"MODE" ~doc)
   in
+  let shards =
+    let doc =
+      "Split the replay into N contiguous time ranges and run one \
+       independent engine per shard on the worker pool, with merged \
+       telemetry and an atomic all-shard checkpoint (with --kill-after, \
+       the kill point is per shard)."
+    in
+    Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N" ~doc)
+  in
   let verbose =
     Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Verbose logging.")
   in
@@ -589,7 +717,7 @@ let stream_cmd =
     Term.(
       const run_stream $ dataset_arg $ weeks_arg $ seed_arg $ bins $ drop_rate
       $ corrupt_rate $ noise $ kill_after $ resume $ checkpoint $ refit_every
-      $ window $ recover_after $ telemetry $ verbose)
+      $ window $ recover_after $ telemetry $ shards $ jobs_arg $ verbose)
 
 let topology_cmd =
   let topo_name =

@@ -81,10 +81,10 @@ let generate spec ~seed =
   if spec.weeks <= 0 then invalid_arg "Dataset.generate: weeks must be positive";
   let n = Ic_topology.Graph.node_count spec.graph in
   let root = Ic_prng.Rng.create seed in
-  let pref_rng = Ic_prng.Rng.split root in
-  let f_rng = Ic_prng.Rng.split root in
-  let act_rng = Ic_prng.Rng.split root in
-  let noise_rng = Ic_prng.Rng.split root in
+  let pref_rng = Ic_prng.Rng.fork root in
+  let f_rng = Ic_prng.Rng.fork root in
+  let act_rng = Ic_prng.Rng.fork root in
+  let noise_rng = Ic_prng.Rng.fork root in
   let bins_per_week = Ic_timeseries.Timebin.bins_per_week spec.binning in
   (* Heterogeneous node sizes (drawn first: preferences couple to them). *)
   let bases =
@@ -132,7 +132,7 @@ let generate spec ~seed =
             ()
         in
         Ic_timeseries.Cyclo.generate gen spec.binning
-          (Ic_prng.Rng.split act_rng) ~bins:total_bins)
+          (Ic_prng.Rng.fork act_rng) ~bins:total_bins)
       bases
   in
   let activity_at t = Array.init n (fun i -> per_node_activity.(i).(t)) in

@@ -1,1 +1,1 @@
-lib/estimation/pipeline.ml: Array Entropy Ic_linalg Ic_topology Ic_traffic Ipf Logs Tomogravity
+lib/estimation/pipeline.ml: Array Entropy Ic_linalg Ic_parallel Ic_topology Ic_traffic Ipf Logs Tomogravity

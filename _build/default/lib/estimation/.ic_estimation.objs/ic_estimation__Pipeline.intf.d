@@ -1,1 +1,1 @@
-lib/estimation/pipeline.mli: Ic_linalg Ic_topology Ic_traffic Tomogravity
+lib/estimation/pipeline.mli: Ic_linalg Ic_parallel Ic_topology Ic_traffic Tomogravity

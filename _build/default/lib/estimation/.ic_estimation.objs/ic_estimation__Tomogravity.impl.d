@@ -1,1 +1,1 @@
-lib/estimation/tomogravity.ml: Array Float Ic_linalg Ic_topology Ic_traffic List
+lib/estimation/tomogravity.ml: Array Float Ic_linalg Ic_parallel Ic_topology Ic_traffic List

@@ -1,1 +1,1 @@
-lib/estimation/tomogravity.mli: Ic_linalg Ic_topology Ic_traffic
+lib/estimation/tomogravity.mli: Ic_linalg Ic_parallel Ic_topology Ic_traffic

@@ -22,7 +22,7 @@ type result = {
   clamped_entries : int;
 }
 
-let run ?link_loads config ~truth ~prior =
+let validate ?link_loads config ~truth ~prior =
   if not config.routing.Routing.with_marginals then
     invalid_arg "Pipeline.run: routing must include marginal rows";
   if Series.length truth <> Series.length prior then
@@ -32,60 +32,55 @@ let run ?link_loads config ~truth ~prior =
   let g = config.routing.Routing.graph in
   if Ic_topology.Graph.node_count g <> n then
     invalid_arg "Pipeline.run: routing does not match series size";
-  (match link_loads with
+  match link_loads with
   | Some loads when Array.length loads <> Series.length truth ->
       invalid_arg "Pipeline.run: link-load series length mismatch"
-  | _ -> ());
-  (* Hoisted across bins: the tomogravity plan (routing-dependent structure
-     and scratch buffers) and the marginal-row index maps. *)
-  let plan = Tomogravity.make_plan config.routing in
-  let ingress_rows =
-    Array.init n (fun i -> Routing.ingress_row config.routing i)
+  | _ -> ()
+
+(* One bin of the three-step blueprint against a given plan. Returns the
+   estimate and the number of entries the tomogravity non-negativity clamp
+   zeroed for this bin.
+
+   Negative-estimate audit: the clamp must never be silent (the pre-PR-1
+   [Tm.of_vector] hid it), so every refined bin reads the plan's clamp
+   hook and the total is reported in the result. The MaxEnt path cannot
+   produce negatives ([prior * exp] form), and IPF only rescales
+   non-negative entries, so the tomogravity hook covers every clamp in the
+   pipeline. *)
+let estimate_bin ?link_loads config ~plan ~ingress_rows ~egress_rows ~truth
+    ~prior k =
+  let n = Series.size truth in
+  let truth_tm = Series.tm truth k in
+  let link_loads =
+    match link_loads with
+    | Some loads -> loads.(k)
+    | None -> Routing.link_loads config.routing (Tm.to_vector truth_tm)
   in
-  let egress_rows =
-    Array.init n (fun j -> Routing.egress_row config.routing j)
-  in
-  (* Negative-estimate audit: the tomogravity step clamps floating-point
-     overshoot to zero. The clamp must never be silent (the pre-PR-1
-     [Tm.of_vector] hid it), so every refined bin reads the plan's clamp
-     hook and the total is reported in the result. The MaxEnt path cannot
-     produce negatives ([prior * exp] form), and IPF only rescales
-     non-negative entries, so the tomogravity hook covers every clamp in
-     the pipeline. *)
-  let clamped = ref 0 in
-  let estimates =
-    Array.init (Series.length truth) (fun k ->
-        let truth_tm = Series.tm truth k in
-        let link_loads =
-          match link_loads with
-          | Some loads -> loads.(k)
-          | None -> Routing.link_loads config.routing (Tm.to_vector truth_tm)
+  let refined, clamped =
+    match config.refinement with
+    | Least_squares solver ->
+        let tm =
+          Tomogravity.estimate_with_plan ~solver plan ~link_loads
+            ~prior:(Series.tm prior k)
         in
-        let refined =
-          match config.refinement with
-          | Least_squares solver ->
-              let tm =
-                Tomogravity.estimate_with_plan ~solver plan ~link_loads
-                  ~prior:(Series.tm prior k)
-              in
-              clamped := !clamped + Tomogravity.plan_last_clamp_count plan;
-              tm
-          | Max_entropy ->
-              Entropy.estimate ~plan config.routing ~link_loads
-                ~prior:(Series.tm prior k)
-        in
-        if not config.apply_ipf then refined
-        else begin
-          let row_targets =
-            Array.init n (fun i -> link_loads.(ingress_rows.(i)))
-          in
-          let col_targets =
-            Array.init n (fun j -> link_loads.(egress_rows.(j)))
-          in
-          if Ic_linalg.Vec.sum row_targets <= 0. then refined
-          else (Ipf.fit refined ~row_targets ~col_targets).Ipf.tm
-        end)
+        (tm, Tomogravity.plan_last_clamp_count plan)
+    | Max_entropy ->
+        ( Entropy.estimate ~plan config.routing ~link_loads
+            ~prior:(Series.tm prior k),
+          0 )
   in
+  let estimate =
+    if not config.apply_ipf then refined
+    else begin
+      let row_targets = Array.init n (fun i -> link_loads.(ingress_rows.(i))) in
+      let col_targets = Array.init n (fun j -> link_loads.(egress_rows.(j))) in
+      if Ic_linalg.Vec.sum row_targets <= 0. then refined
+      else (Ipf.fit refined ~row_targets ~col_targets).Ipf.tm
+    end
+  in
+  (estimate, clamped)
+
+let finish ~truth estimates clamped =
   let estimate = Series.make truth.Series.binning estimates in
   let per_bin_error =
     Array.init (Series.length truth) (fun k ->
@@ -99,10 +94,60 @@ let run ?link_loads config ~truth ~prior =
       Ic_linalg.Vec.sum per_bin_error
       /. float_of_int (Array.length per_bin_error)
   in
-  if !clamped > 0 then
+  if clamped > 0 then
     Logs.debug (fun m ->
-        m "Pipeline.run: clamped %d negative estimate entries" !clamped);
-  { estimate; per_bin_error; mean_error; clamped_entries = !clamped }
+        m "Pipeline.run: clamped %d negative estimate entries" clamped);
+  { estimate; per_bin_error; mean_error; clamped_entries = clamped }
+
+let run ?link_loads config ~truth ~prior =
+  validate ?link_loads config ~truth ~prior;
+  let n = Series.size truth in
+  (* Hoisted across bins: the tomogravity plan (routing-dependent structure
+     and scratch buffers) and the marginal-row index maps. *)
+  let plan = Tomogravity.make_plan config.routing in
+  let ingress_rows =
+    Array.init n (fun i -> Routing.ingress_row config.routing i)
+  in
+  let egress_rows =
+    Array.init n (fun j -> Routing.egress_row config.routing j)
+  in
+  let clamped = ref 0 in
+  let estimates =
+    Array.init (Series.length truth) (fun k ->
+        let tm, c =
+          estimate_bin ?link_loads config ~plan ~ingress_rows ~egress_rows
+            ~truth ~prior k
+        in
+        clamped := !clamped + c;
+        tm)
+  in
+  finish ~truth estimates !clamped
+
+let run_par ?link_loads ~pool config ~truth ~prior =
+  validate ?link_loads config ~truth ~prior;
+  let n = Series.size truth in
+  let base = Tomogravity.make_plan config.routing in
+  let plans =
+    Array.init (Ic_parallel.Pool.size pool) (fun s ->
+        if s = 0 then base else Tomogravity.plan_clone base)
+  in
+  let ingress_rows =
+    Array.init n (fun i -> Routing.ingress_row config.routing i)
+  in
+  let egress_rows =
+    Array.init n (fun j -> Routing.egress_row config.routing j)
+  in
+  (* Each bin's (estimate, clamp count) is computed on whichever domain
+     claimed it; the clamp total is then folded in bin order, so the result
+     record — floats included — is a pure function of the inputs. *)
+  let per_bin =
+    Ic_parallel.Pool.map pool ~n:(Series.length truth) (fun ~slot k ->
+        estimate_bin ?link_loads config ~plan:plans.(slot) ~ingress_rows
+          ~egress_rows ~truth ~prior k)
+  in
+  let estimates = Array.map fst per_bin in
+  let clamped = Array.fold_left (fun acc (_, c) -> acc + c) 0 per_bin in
+  finish ~truth estimates clamped
 
 let improvement_over ~baseline ~candidate =
   Ic_traffic.Error.improvement_series ~baseline:baseline.per_bin_error

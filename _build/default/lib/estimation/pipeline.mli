@@ -47,6 +47,19 @@ val run :
     without marginal rows (the pipeline needs the marginal measurements for
     IPF), or on dimension mismatches. *)
 
+val run_par :
+  ?link_loads:Ic_linalg.Vec.t array ->
+  pool:Ic_parallel.Pool.t ->
+  config ->
+  truth:Ic_traffic.Series.t ->
+  prior:Ic_traffic.Series.t ->
+  result
+(** {!run} with the bins sharded across the pool's domains. Shares one
+    read-only tomogravity plan structure ({!Tomogravity.plan_clone} per
+    domain for the mutable scratch) and folds the per-bin clamp counts in
+    bin order, so the result — estimates, errors, and clamp total — is
+    bit-identical to {!run} at every pool size. *)
+
 val improvement_over :
   baseline:result -> candidate:result -> float array
 (** Per-bin percentage improvement of the candidate's error over the

@@ -113,6 +113,16 @@ let make_plan routing =
     last_clamp_count = 0;
   }
 
+let plan_clone plan =
+  (* Share the immutable symbolic structure (col_ptr/col_rows/col_vals are
+     never written after [make_plan]); give the clone its own workspace and
+     clamp counter so two domains can estimate concurrently. *)
+  {
+    plan with
+    ws = Workspace.create ();
+    last_clamp_count = 0;
+  }
+
 let plan_routing plan = plan.routing
 
 let plan_last_clamp_count plan = plan.last_clamp_count
@@ -213,6 +223,21 @@ let estimate_series ?solver routing ~link_loads ~priors =
   let plan = make_plan routing in
   Array.init bins (fun k ->
       estimate_with_plan ?solver plan ~link_loads:link_loads.(k)
+        ~prior:priors.(k))
+
+let estimate_series_par ?solver ~pool routing ~link_loads ~priors =
+  let bins = Array.length link_loads in
+  if Array.length priors <> bins then
+    invalid_arg "Tomogravity.estimate_series_par: series length mismatch";
+  let base = make_plan routing in
+  (* One plan per worker slot: the symbolic structure is shared read-only,
+     the workspaces are private. Slot 0 reuses the base plan. *)
+  let plans =
+    Array.init (Ic_parallel.Pool.size pool) (fun s ->
+        if s = 0 then base else plan_clone base)
+  in
+  Ic_parallel.Pool.map pool ~n:bins (fun ~slot k ->
+      estimate_with_plan ?solver plans.(slot) ~link_loads:link_loads.(k)
         ~prior:priors.(k))
 
 let residual routing ~link_loads tm =

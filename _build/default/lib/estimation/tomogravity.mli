@@ -52,6 +52,13 @@ type plan
 
 val make_plan : Ic_topology.Routing.t -> plan
 
+val plan_clone : plan -> plan
+(** A plan over the same routing that {e shares} the read-only symbolic
+    structure (the column-compressed view of [R]) but owns a fresh
+    workspace and clamp counter. This is how the parallel paths give every
+    domain its own single-threaded plan without redoing or duplicating the
+    symbolic precomputation. *)
+
 val plan_routing : plan -> Ic_topology.Routing.t
 (** The routing the plan was built from. *)
 
@@ -85,3 +92,17 @@ val estimate_series :
   Ic_traffic.Tm.t array
 (** Estimate one TM per bin, building the plan once. [link_loads] and
     [priors] must have equal lengths (one entry per bin). *)
+
+val estimate_series_par :
+  ?solver:solver ->
+  pool:Ic_parallel.Pool.t ->
+  Ic_topology.Routing.t ->
+  link_loads:Ic_linalg.Vec.t array ->
+  priors:Ic_traffic.Tm.t array ->
+  Ic_traffic.Tm.t array
+(** {!estimate_series} with the bins sharded across the pool's domains.
+    One symbolic plan is built and shared read-only; each domain refines
+    its bins through a {!plan_clone} with a private workspace, so the
+    per-bin arithmetic is exactly the sequential kernel's and the output
+    is bit-identical to {!estimate_series} at every pool size (pinned by a
+    qcheck property for jobs 1, 2 and 4). *)

@@ -35,7 +35,7 @@ let run _ctx =
             ~base_level:(Ic_prng.Rng.float_range rng 1e8 3e8)
             ()
         in
-        Ic_timeseries.Cyclo.generate gen binning (Ic_prng.Rng.split rng) ~bins)
+        Ic_timeseries.Cyclo.generate gen binning (Ic_prng.Rng.fork rng) ~bins)
   in
   let workload =
     {

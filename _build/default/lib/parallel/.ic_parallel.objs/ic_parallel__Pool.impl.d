@@ -1,0 +1,1 @@
+lib/parallel/pool.ml: Array Atomic Condition Domain Ic_linalg Ic_prng Mutex Printexc

@@ -1,1 +1,1 @@
-lib/prng/rng.ml: Int64
+lib/prng/rng.ml: Array Int64

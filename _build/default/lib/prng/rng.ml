@@ -34,7 +34,7 @@ let bits64 g =
   g.s3 <- rotl g.s3 45;
   result
 
-let split g =
+let fork g =
   (* Reseed a fresh stream from the parent's output; splitmix64 in between
      decorrelates the child from subsequent parent output. *)
   let state = ref (bits64 g) in
@@ -43,6 +43,42 @@ let split g =
   let s2 = splitmix64 state in
   let s3 = splitmix64 state in
   { s0; s1; s2; s3 }
+
+(* The xoshiro256 jump polynomial: advances the state by exactly 2^128
+   steps. Shared by the ++ and ** scramblers (the jump acts on the linear
+   engine, not the output function). *)
+let jump_coeffs =
+  [|
+    0x180ec6d33cfd0abaL; 0xd5a61266f0c9392cL; 0xa9582618e03fc9aaL;
+    0x39abdc4529b1661cL;
+  |]
+
+let jump g =
+  let s0 = ref 0L and s1 = ref 0L and s2 = ref 0L and s3 = ref 0L in
+  Array.iter
+    (fun coeff ->
+      for b = 0 to 63 do
+        if Int64.logand coeff (Int64.shift_left 1L b) <> 0L then begin
+          s0 := Int64.logxor !s0 g.s0;
+          s1 := Int64.logxor !s1 g.s1;
+          s2 := Int64.logxor !s2 g.s2;
+          s3 := Int64.logxor !s3 g.s3
+        end;
+        ignore (bits64 g)
+      done)
+    jump_coeffs;
+  g.s0 <- !s0;
+  g.s1 <- !s1;
+  g.s2 <- !s2;
+  g.s3 <- !s3
+
+let split g k =
+  if k < 0 then invalid_arg "Rng.split: negative stream index";
+  let child = { s0 = g.s0; s1 = g.s1; s2 = g.s2; s3 = g.s3 } in
+  for _ = 0 to k do
+    jump child
+  done;
+  child
 
 let copy g = { s0 = g.s0; s1 = g.s1; s2 = g.s2; s3 = g.s3 }
 

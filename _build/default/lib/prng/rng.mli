@@ -11,10 +11,27 @@ val create : int -> t
 (** [create seed] builds a generator from an integer seed (any value,
     including 0, is fine: seeding goes through splitmix64). *)
 
-val split : t -> t
-(** [split rng] derives an independent generator stream and advances [rng].
-    Used to give each node / week / application its own stream so that
-    changing one component's draws does not perturb the others. *)
+val fork : t -> t
+(** [fork rng] derives an independent generator stream and advances [rng]
+    (reseeding through splitmix64 from the parent's next output). Used to
+    give each node / week / application its own stream so that changing one
+    component's draws does not perturb the others. Stream identity depends
+    on how many times the parent has been drawn from — for position-stable
+    streams (parallel workers) use {!split}. *)
+
+val jump : t -> unit
+(** Advance the generator by 2^128 steps in O(1) draws — the xoshiro256
+    jump polynomial. Two generators separated by a jump never overlap
+    before 2^128 draws. *)
+
+val split : t -> int -> t
+(** [split rng k] is the [k]-th jump-ahead substream of [rng]: a copy of
+    the current state advanced by [(k+1) * 2^128] steps. The parent is not
+    modified, [split rng k] is a pure function of [(state, k)], and
+    distinct [k] give non-overlapping streams (each pair is at least
+    2^128 draws apart). Cost is [O(k)] jump applications — meant for
+    per-domain / per-shard stream derivation, not per-sample use. Raises
+    [Invalid_argument] if [k < 0]. *)
 
 val copy : t -> t
 

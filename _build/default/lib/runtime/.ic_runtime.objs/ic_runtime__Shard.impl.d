@@ -1,0 +1,1 @@
+lib/runtime/shard.ml: Array Buffer Checkpoint Degrade Engine Feed Hashtbl Ic_parallel Ic_traffic List Printf Replay String Sys Telemetry

@@ -1,0 +1,1 @@
+lib/runtime/shard.mli: Engine Feed Ic_parallel Replay

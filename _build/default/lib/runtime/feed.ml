@@ -24,12 +24,12 @@ let create ?(noise_sigma = 0.01) ?(drop_rate = 0.) ?(corrupt_rate = 0.)
           (Ic_traffic.Tm.to_vector (Series.tm series k)))
   in
   let rng = Ic_prng.Rng.create seed in
-  let snmp_rng = Ic_prng.Rng.split rng in
+  let snmp_rng = Ic_prng.Rng.fork rng in
   {
     loads;
     snmp = Snmp.stream { noise_sigma; loss_rate = drop_rate } snmp_rng;
     corrupt_rate;
-    fault_rng = Ic_prng.Rng.split rng;
+    fault_rng = Ic_prng.Rng.fork rng;
     pos = 0;
   }
 

@@ -102,6 +102,37 @@ let pretty_ns ns =
   else if ns >= 1e3 then Printf.sprintf "%.2fus" (ns /. 1e3)
   else Printf.sprintf "%.0fns" ns
 
+let merged sinks =
+  let totals = Hashtbl.create 64 in
+  List.iter
+    (fun (_, t) ->
+      List.iter
+        (fun (name, v) ->
+          match Hashtbl.find_opt totals name with
+          | Some r -> r := !r + v
+          | None -> Hashtbl.add totals name (ref v))
+        (counters t))
+    sinks;
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) totals []
+  |> List.sort compare
+
+let merged_dump sinks =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "merged counters:\n";
+  List.iter
+    (fun (name, v) ->
+      Buffer.add_string buf (Printf.sprintf "  %-32s %d\n" name v))
+    (merged sinks);
+  List.iter
+    (fun (label, t) ->
+      Buffer.add_string buf (Printf.sprintf "shard %s:\n" label);
+      List.iter
+        (fun (name, v) ->
+          Buffer.add_string buf (Printf.sprintf "  %-32s %d\n" name v))
+        (counters t))
+    (List.sort (fun (a, _) (b, _) -> compare a b) sinks);
+  Buffer.contents buf
+
 let dump ?(with_timings = true) t =
   let buf = Buffer.create 512 in
   Buffer.add_string buf "counters:\n";

@@ -9,7 +9,17 @@
     tests) can truncate.
 
     The clock is injectable so tests can drive the histograms
-    deterministically. *)
+    deterministically.
+
+    {b Concurrency contract — single writer per sink.} A telemetry sink is
+    plain mutable state with no internal locking. The sharded runtime
+    gives every {!Engine} its own sink, and only the domain currently
+    stepping that engine may write to it ({!incr}/{!add}/{!time}); that
+    single-writer-per-engine rule is what makes the sharded path safe
+    without a lock on the hot path. Cross-shard aggregation never shares a
+    sink: it reads each shard's counters after the parallel region and
+    merges them with {!merged}, whose output is sorted by counter name and
+    therefore independent of shard scheduling or enumeration order. *)
 
 type t
 
@@ -50,3 +60,17 @@ val timings : t -> timing list
 val dump : ?with_timings:bool -> t -> string
 (** Human-readable dump: counters first (deterministic), then — when
     [with_timings] (default [true]) — the timing histograms. *)
+
+(** {2 Multi-sink aggregation} *)
+
+val merged : (string * t) list -> (string * int) list
+(** [merged sinks] sums same-named counters across the given (label, sink)
+    pairs and returns them sorted by counter name. Integer addition is
+    commutative, so the result is independent of the order of [sinks] —
+    the property that makes multi-shard dumps deterministic. *)
+
+val merged_dump : (string * t) list -> string
+(** Deterministic multi-shard dump: the merged totals (sorted by counter
+    name) followed by one per-shard counter section per sink, sections
+    sorted by shard label. No timings — a merged dump is for comparing
+    deterministic state, not wall-clock. *)

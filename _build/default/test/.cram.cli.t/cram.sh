@@ -7,4 +7,13 @@
   >   --drop-rate 0.05 --corrupt-rate 0.02 --refit-every 12 --window 24 \
   >   --recover-after 4 --kill-after 20 --resume --checkpoint eng.ckpt
   $ head -1 eng.ckpt
+  $ ../bin/ic_lab.exe stream --dataset geant --weeks 1 --bins 36 \
+  >   --shards 3 --jobs 2 --drop-rate 0.05 --corrupt-rate 0.02 \
+  >   --refit-every 12 --window 24 --recover-after 4 \
+  >   --kill-after 6 --resume --checkpoint fleet.ckpt
+  $ head -2 fleet.ckpt
+  $ ../bin/ic_lab.exe estimate --dataset geant --week 1 --prior stable-fp \
+  >   --stride 24 --jobs 1 | tail -1
+  $ ../bin/ic_lab.exe estimate --dataset geant --week 1 --prior stable-fp \
+  >   --stride 24 --jobs 4 | tail -1
   $ ../examples/quickstart.exe | head -3

@@ -1,1 +1,1 @@
-test/test_prng.ml: Alcotest Array Gen Ic_prng QCheck QCheck_alcotest
+test/test_prng.ml: Alcotest Array Gen Hashtbl Ic_prng Printf QCheck QCheck_alcotest

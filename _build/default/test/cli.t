@@ -63,6 +63,75 @@ every degradation transition (counters-only telemetry is deterministic):
   $ head -1 eng.ckpt
   ic-runtime-checkpoint v1
 
+The sharded stream splits the replay across a fleet of independent engines
+on the worker pool: the whole fleet checkpoints atomically, resumes
+bit-identically per shard, and the merged telemetry dump is deterministic
+(counters summed across shards, sections sorted by shard name):
+
+  $ ../bin/ic_lab.exe stream --dataset geant --weeks 1 --bins 36 \
+  >   --shards 3 --jobs 2 --drop-rate 0.05 --corrupt-rate 0.02 \
+  >   --refit-every 12 --window 24 --recover-after 4 \
+  >   --kill-after 6 --resume --checkpoint fleet.ckpt
+  streaming geant: 36 bins x 22 nodes in 3 shards (jobs 2, drop 5.0%, corrupt 2.0%, noise 1.0%)
+  killed after 6 bins per shard; fleet checkpoint written to fleet.ckpt
+  resume check: all 3 shards bit-identical to uninterrupted runs: yes
+  shard geant-0: 12 bins, final rung gravity, 0 transitions
+  shard geant-1: 12 bins, final rung gravity, 0 transitions
+  shard geant-2: 12 bins, final rung gravity, 0 transitions
+  merged counters:
+    bins                             36
+    bins.at.gravity                  36
+    estimate.clamped_entries         1004
+    ipf.iterations                   222
+    polls.corrupt                    92
+    polls.dropped                    252
+    polls.imputed                    344
+    polls.total                      4392
+    refit.count                      3
+  shard geant-0:
+    bins                             12
+    bins.at.gravity                  12
+    estimate.clamped_entries         398
+    ipf.iterations                   76
+    polls.corrupt                    30
+    polls.dropped                    77
+    polls.imputed                    107
+    polls.total                      1464
+    refit.count                      1
+  shard geant-1:
+    bins                             12
+    bins.at.gravity                  12
+    estimate.clamped_entries         264
+    ipf.iterations                   73
+    polls.corrupt                    35
+    polls.dropped                    78
+    polls.imputed                    113
+    polls.total                      1464
+    refit.count                      1
+  shard geant-2:
+    bins                             12
+    bins.at.gravity                  12
+    estimate.clamped_entries         342
+    ipf.iterations                   73
+    polls.corrupt                    27
+    polls.dropped                    97
+    polls.imputed                    124
+    polls.total                      1464
+    refit.count                      1
+  $ head -2 fleet.ckpt
+  ic-runtime-shards v1
+  shards 3
+
+Parallel estimation is bit-identical to sequential — same mean error at
+any --jobs:
+
+  $ ../bin/ic_lab.exe estimate --dataset geant --week 1 --prior stable-fp \
+  >   --stride 24 --jobs 1 | tail -1
+  estimated geant week 1 with stable-fp prior: mean RelL2 = 0.2610 over 84 bins
+  $ ../bin/ic_lab.exe estimate --dataset geant --week 1 --prior stable-fp \
+  >   --stride 24 --jobs 4 | tail -1
+  estimated geant week 1 with stable-fp prior: mean RelL2 = 0.2610 over 84 bins
+
 The quickstart example is deterministic (fixed seed) and demonstrates the
 fit recovering the generator's parameters:
 

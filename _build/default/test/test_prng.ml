@@ -13,13 +13,64 @@ let test_seed_sensitivity () =
   let a = Rng.create 1 and b = Rng.create 2 in
   Alcotest.(check bool) "different streams" false (Rng.bits64 a = Rng.bits64 b)
 
-let test_split () =
+let test_fork () =
   let parent = Rng.create 7 in
-  let child = Rng.split parent in
+  let child = Rng.fork parent in
   (* child stream differs from the parent's continued stream *)
   let c = Array.init 16 (fun _ -> Rng.bits64 child) in
   let p = Array.init 16 (fun _ -> Rng.bits64 parent) in
   Alcotest.(check bool) "decorrelated" true (c <> p)
+
+let test_split_pure () =
+  let base = Rng.create 7 in
+  let before = Array.init 8 (fun _ -> Rng.bits64 (Rng.copy base)) in
+  let a = Rng.split base 3 and b = Rng.split base 3 in
+  Alcotest.(check bool) "same k, same stream" true
+    (Array.init 32 (fun _ -> Rng.bits64 a)
+    = Array.init 32 (fun _ -> Rng.bits64 b));
+  (* the parent state is untouched by split *)
+  let after = Array.init 8 (fun _ -> Rng.bits64 (Rng.copy base)) in
+  Alcotest.(check bool) "parent unmodified" true (before = after)
+
+let test_split_is_jump_ahead () =
+  (* split g 0 = copy + one jump: 2^128 steps ahead of the parent. *)
+  let g = Rng.create 99 in
+  let child = Rng.split g 0 in
+  let manual = Rng.copy g in
+  Rng.jump manual;
+  Alcotest.(check int64) "split 0 = jump" (Rng.bits64 manual)
+    (Rng.bits64 child);
+  Alcotest.check_raises "negative index"
+    (Invalid_argument "Rng.split: negative stream index") (fun () ->
+      ignore (Rng.split g (-1)))
+
+let test_split_no_collision () =
+  (* Statistical smoke test: the first 10k draws of several split streams
+     (and the parent) are pairwise distinct 64-bit values. Jump-ahead
+     guarantees non-overlap; a collision would mean either a broken jump
+     polynomial or a catastrophically non-uniform generator (expected
+     collision probability over 50k draws is ~7e-11). *)
+  let draws_per_stream = 10_000 in
+  let base = Rng.create 2024 in
+  let streams = Array.init 4 (fun k -> Rng.split base k) in
+  let seen = Hashtbl.create (8 * draws_per_stream) in
+  let collisions = ref 0 in
+  let drain label g =
+    for i = 1 to draws_per_stream do
+      let v = Rng.bits64 g in
+      (match Hashtbl.find_opt seen v with
+      | Some (other, j) ->
+          incr collisions;
+          if !collisions = 1 then
+            Printf.eprintf "collision: %s draw %d = %s draw %d\n" label i
+              other j
+      | None -> ());
+      Hashtbl.replace seen v (label, i)
+    done
+  in
+  drain "parent" base;
+  Array.iteri (fun k g -> drain (Printf.sprintf "split-%d" k) g) streams;
+  Alcotest.(check int) "no collisions in first 10k draws" 0 !collisions
 
 let test_copy () =
   let a = Rng.create 5 in
@@ -178,7 +229,12 @@ let () =
         [
           Alcotest.test_case "determinism" `Quick test_determinism;
           Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
-          Alcotest.test_case "split" `Quick test_split;
+          Alcotest.test_case "fork" `Quick test_fork;
+          Alcotest.test_case "split pure" `Quick test_split_pure;
+          Alcotest.test_case "split = jump-ahead" `Quick
+            test_split_is_jump_ahead;
+          Alcotest.test_case "split streams don't collide" `Quick
+            test_split_no_collision;
           Alcotest.test_case "copy" `Quick test_copy;
           Alcotest.test_case "float" `Quick test_float_range;
           Alcotest.test_case "int" `Quick test_int;

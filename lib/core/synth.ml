@@ -79,7 +79,7 @@ let activity_series spec rng =
     Array.map
       (fun gen ->
         Ic_timeseries.Cyclo.generate gen spec.binning
-          (Ic_prng.Rng.split rng)
+          (Ic_prng.Rng.fork rng)
           ~bins:spec.bins)
       generators
   in
@@ -118,7 +118,7 @@ let from_measured (params : Params.stable_fp) binning rng ~weeks =
     Array.init n (fun i ->
         let fitted = Ic_timeseries.Cyclo_fit.fit binning (node_series i) in
         Ic_timeseries.Cyclo_fit.generate fitted binning
-          (Ic_prng.Rng.split rng) ~bins)
+          (Ic_prng.Rng.fork rng) ~bins)
   in
   let activity =
     Array.init bins (fun t -> Array.init n (fun i -> per_node.(i).(t)))

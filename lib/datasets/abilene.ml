@@ -65,10 +65,10 @@ let generate ?(seed = default_seed) ?(duration_s = 7200.)
      long-lived connections (bulk P2P/FTP) some of which started before the
      capture window and therefore classify as unknown. *)
   let pair a b =
-    pair_connections (Ic_prng.Rng.split rng) ~n ~a ~b ~duration_s
+    pair_connections (Ic_prng.Rng.fork rng) ~n ~a ~b ~duration_s
       ~connections_per_bin:(0.75 *. connections_per_bin)
       ~mix ~lead_in_s:600. ~mean_rate_bps:2e6
-    @ pair_connections (Ic_prng.Rng.split rng) ~n ~a ~b ~duration_s
+    @ pair_connections (Ic_prng.Rng.fork rng) ~n ~a ~b ~duration_s
         ~connections_per_bin:(0.25 *. connections_per_bin)
         ~mix ~lead_in_s:10800. ~mean_rate_bps:1.5e3
   in

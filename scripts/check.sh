@@ -1,5 +1,8 @@
 #!/bin/sh
 # One-command tier-1 gate: build, full test suite, bench smoke.
+# The parallel layer is exercised at both pool sizes: --jobs 1 (the pure
+# sequential path) and --jobs 4 (spawned domains) must both be green —
+# results are bit-identical by contract, only wall-clock may differ.
 # Run from anywhere inside the repository.
 set -eu
 
@@ -11,7 +14,22 @@ dune build
 echo "== dune runtest =="
 dune runtest
 
-echo "== bench smoke =="
-dune exec bench/main.exe -- --json /dev/null
+echo "== bench smoke (--jobs 1) =="
+dune exec bench/main.exe -- --jobs 1 --json /dev/null
+
+echo "== bench smoke (--jobs 4, parallel group) =="
+dune exec bench/main.exe -- --jobs 4 --group parallel --json /dev/null
+
+echo "== CLI parallel smoke =="
+out1=$(dune exec bin/ic_lab.exe -- estimate --dataset geant --week 1 \
+  --prior stable-fp --stride 24 --jobs 1 | tail -1)
+out4=$(dune exec bin/ic_lab.exe -- estimate --dataset geant --week 1 \
+  --prior stable-fp --stride 24 --jobs 4 | tail -1)
+if [ "$out1" != "$out4" ]; then
+  echo "check.sh: --jobs 1 and --jobs 4 disagree:" >&2
+  echo "  jobs 1: $out1" >&2
+  echo "  jobs 4: $out4" >&2
+  exit 1
+fi
 
 echo "check.sh: all green"
