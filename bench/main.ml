@@ -258,6 +258,34 @@ let parallel_tests ~pool =
                     (cursors.(i) + 1) mod Array.length stream_observations))));
   ]
 
+(* Observability overhead. The traced-off engine must price like
+   stream/engine-per-bin (tracing is threaded through every hot path now,
+   so this guards the "noop tracer costs a branch" claim); traced-on shows
+   the full cost of span capture at 6 spans per bin. The micro pair puts a
+   number on one with_span call itself. *)
+let obs_tests =
+  let module Trace = Ic_obs.Trace in
+  let traced_engine tracer =
+    let engine = Ic_runtime.Engine.create ?tracer stream_config in
+    let k = ref 0 in
+    fun () ->
+      let loads, missing = stream_observations.(!k) in
+      ignore (Ic_runtime.Engine.step engine ~loads ~missing);
+      k := (!k + 1) mod Array.length stream_observations
+  in
+  [
+    Test.make ~name:"obs/engine-per-bin-traced-off"
+      (Staged.stage (traced_engine None));
+    Test.make ~name:"obs/engine-per-bin-traced-on"
+      (Staged.stage (traced_engine (Some (Trace.create ~capacity:4096 ()))));
+    Test.make ~name:"obs/noop-span"
+      (Staged.stage (fun () -> Trace.with_span Trace.noop "bench" Fun.id));
+    Test.make ~name:"obs/enabled-span"
+      (Staged.stage
+         (let tracer = Trace.create ~capacity:1024 () in
+          fun () -> Trace.with_span tracer "bench" Fun.id));
+  ]
+
 let extension_tests =
   [
     Test.make ~name:"extension/maxent-one-bin"
@@ -439,6 +467,7 @@ let () =
           ("batched estimation", batch_tests);
           ("streaming engine", stream_tests);
           ("parallel", parallel_tests ~pool);
+          ("observability", obs_tests);
           ("extensions", extension_tests);
           ("substrates", substrate_tests);
         ]

@@ -14,6 +14,21 @@ let load_dataset which weeks seed =
   | `Geant -> Ic_datasets.Geant.generate ?weeks ?seed ()
   | `Totem -> Ic_datasets.Totem.generate ?weeks ?seed ()
 
+(* --- span tracing (--trace FILE) --------------------------------------- *)
+
+(* Retention sized for a full-dataset replay: a bin emits ~10 spans, so
+   64k spans cover several thousand bins before the ring starts evicting
+   the oldest. *)
+let make_tracer = function
+  | None -> Ic_obs.Trace.noop
+  | Some _ -> Ic_obs.Trace.create ~capacity:65536 ()
+
+let export_trace tracer = function
+  | None -> ()
+  | Some path ->
+      let n = Ic_obs.Trace.export_jsonl ~path tracer in
+      Printf.printf "wrote %d spans to %s\n" n path
+
 (* --- experiment ------------------------------------------------------- *)
 
 let run_experiments ids stride out_dir verbose =
@@ -120,7 +135,7 @@ let run_fit which weeks seed week stride input nodes bin_minutes =
 (* --- estimate ---------------------------------------------------------- *)
 
 let run_estimate which weeks seed calib_week target_week prior_name stride
-    jobs =
+    jobs trace =
   let ds = load_dataset (dataset_of_string which) weeks seed in
   let take w = subsample stride (Ic_datasets.Dataset.week ds w) in
   let truth = take target_week in
@@ -143,15 +158,18 @@ let run_estimate which weeks seed calib_week target_week prior_name stride
     | s -> invalid_arg ("unknown prior " ^ s)
   in
   (* The parallel path is qcheck-pinned bit-identical to the sequential
-     one, so --jobs only changes wall-clock, never the numbers below. *)
+     one, so --jobs only changes wall-clock, never the numbers below.
+     Tracing likewise only observes. *)
+  let tracer = make_tracer trace in
   let result =
-    Ic_parallel.Pool.with_pool ~jobs (fun pool ->
-        Ic_estimation.Pipeline.run_par ~pool config ~truth ~prior)
+    Ic_parallel.Pool.with_pool ~jobs ~tracer (fun pool ->
+        Ic_estimation.Pipeline.run_par ~tracer ~pool config ~truth ~prior)
   in
   Printf.printf
     "estimated %s week %d with %s prior: mean RelL2 = %.4f over %d bins\n"
     which target_week prior_name result.mean_error
-    (Array.length result.per_bin_error)
+    (Array.length result.per_bin_error);
+  export_trace tracer trace
 
 (* --- trace --------------------------------------------------------------- *)
 
@@ -269,7 +287,7 @@ let run_whatif node boost f_new seed topology_file =
    through the atomic all-shard checkpoint. *)
 let run_stream_sharded which series routing config ~shards ~jobs ~total
     ~feed_seed ~noise ~drop_rate ~corrupt_rate ~kill_after ~resume
-    ~checkpoint_path =
+    ~checkpoint_path ~tracer =
   let series = Ic_traffic.Series.sub series ~pos:0 ~len:total in
   let per_shard = total / shards in
   if per_shard < 1 then
@@ -292,7 +310,7 @@ let run_stream_sharded which series routing config ~shards ~jobs ~total
     which total
     (Ic_traffic.Series.size series)
     shards jobs (100. *. drop_rate) (100. *. corrupt_rate) (100. *. noise);
-  Ic_parallel.Pool.with_pool ~jobs (fun pool ->
+  Ic_parallel.Pool.with_pool ~jobs ~tracer (fun pool ->
       let uninterrupted () =
         let fleet = Ic_runtime.Shard.create ~pool (specs ()) in
         Ic_runtime.Shard.run fleet
@@ -300,7 +318,7 @@ let run_stream_sharded which series routing config ~shards ~jobs ~total
       let fleet, final =
         match kill_after with
         | Some k when k > 0 && k < per_shard ->
-            let fleet0 = Ic_runtime.Shard.create ~pool (specs ()) in
+            let fleet0 = Ic_runtime.Shard.create ~tracer ~pool (specs ()) in
             ignore (Ic_runtime.Shard.run ~max_bins:k fleet0);
             Ic_runtime.Shard.save ~path:checkpoint_path fleet0;
             Printf.printf
@@ -309,7 +327,8 @@ let run_stream_sharded which series routing config ~shards ~jobs ~total
             if not resume then (fleet0, Ic_runtime.Shard.results fleet0)
             else begin
               match
-                Ic_runtime.Shard.load ~path:checkpoint_path ~pool (specs ())
+                Ic_runtime.Shard.load ~tracer ~path:checkpoint_path ~pool
+                  (specs ())
               with
               | Error e ->
                   prerr_endline e;
@@ -341,7 +360,7 @@ let run_stream_sharded which series routing config ~shards ~jobs ~total
                   (fleet1, combined)
             end
         | _ ->
-            let fleet = Ic_runtime.Shard.create ~pool (specs ()) in
+            let fleet = Ic_runtime.Shard.create ~tracer ~pool (specs ()) in
             let res = Ic_runtime.Shard.run fleet in
             (fleet, res)
       in
@@ -363,8 +382,9 @@ let run_stream_sharded which series routing config ~shards ~jobs ~total
 
 let run_stream which weeks seed bins drop_rate corrupt_rate noise kill_after
     resume checkpoint_path refit_every window recover_after telemetry_mode
-    shards jobs verbose =
+    shards jobs trace verbose =
   setup_logs verbose;
+  let tracer = make_tracer trace in
   let ds = load_dataset (dataset_of_string which) weeks seed in
   let series = ds.Ic_datasets.Dataset.series in
   let routing = Ic_topology.Routing.build ds.Ic_datasets.Dataset.graph in
@@ -396,10 +416,12 @@ let run_stream which weeks seed bins drop_rate corrupt_rate noise kill_after
   in
   if shards < 1 then invalid_arg "stream: shards must be >= 1";
   if jobs < 1 then invalid_arg "stream: jobs must be >= 1";
-  if shards > 1 then
+  if shards > 1 then begin
     run_stream_sharded which series routing config ~shards ~jobs ~total
       ~feed_seed ~noise ~drop_rate ~corrupt_rate ~kill_after ~resume
-      ~checkpoint_path
+      ~checkpoint_path ~tracer;
+    export_trace tracer trace
+  end
   else begin
   Printf.printf "streaming %s: %d bins x %d nodes (drop %.1f%%, corrupt %.1f%%, noise %.1f%%)\n"
     which total
@@ -413,7 +435,7 @@ let run_stream which weeks seed bins drop_rate corrupt_rate noise kill_after
   let engine, estimates =
     match kill_after with
     | Some k when k > 0 && k < total ->
-        let engine0 = Ic_runtime.Engine.create config in
+        let engine0 = Ic_runtime.Engine.create ~tracer config in
         let head =
           Ic_runtime.Replay.run ~max_bins:k engine0 (fresh_feed ())
         in
@@ -452,7 +474,10 @@ let run_stream which weeks seed bins drop_rate corrupt_rate noise kill_after
               (engine1, combined)
         end
     | _ ->
-        let engine, res = run_uninterrupted () in
+        let engine = Ic_runtime.Engine.create ~tracer config in
+        let res =
+          Ic_runtime.Replay.run ~max_bins:total engine (fresh_feed ())
+        in
         (engine, res.Ic_runtime.Replay.estimates)
   in
   Printf.printf "processed %d bins; final prior rung: %s\n"
@@ -475,8 +500,42 @@ let run_stream which weeks seed bins drop_rate corrupt_rate noise kill_after
   in
   print_string
     (Ic_runtime.Telemetry.dump ~with_timings
-       (Ic_runtime.Engine.telemetry engine))
+       (Ic_runtime.Engine.telemetry engine));
+  export_trace tracer trace
   end
+
+(* --- metrics ------------------------------------------------------------- *)
+
+(* Prometheus-style exposition of a short replay's telemetry. The sink gets
+   a fake clock that advances 1 ms per reading, so every histogram — not
+   just the counters — is a pure function of the observation stream and the
+   output can be pinned byte-for-byte in the cram suite. *)
+let run_metrics which weeks seed bins drop_rate corrupt_rate noise =
+  let ds = load_dataset (dataset_of_string which) weeks seed in
+  let series = ds.Ic_datasets.Dataset.series in
+  let routing = Ic_topology.Routing.build ds.Ic_datasets.Dataset.graph in
+  let config =
+    Ic_runtime.Engine.default_config routing series.Ic_traffic.Series.binning
+  in
+  let tick = ref 0. in
+  let clock () =
+    tick := !tick +. 0.001;
+    !tick
+  in
+  let telemetry = Ic_runtime.Telemetry.create ~clock () in
+  let engine = Ic_runtime.Engine.create ~telemetry config in
+  let feed =
+    Ic_runtime.Feed.create ~noise_sigma:noise ~drop_rate ~corrupt_rate routing
+      series
+      ~seed:(Option.value ~default:7 seed)
+  in
+  let total =
+    let len = Ic_traffic.Series.length series in
+    match bins with Some b -> min b len | None -> len
+  in
+  ignore (Ic_runtime.Replay.run ~max_bins:total engine feed);
+  print_string
+    (Ic_obs.Metrics.expose (Ic_runtime.Telemetry.registry telemetry))
 
 (* --- topology ------------------------------------------------------------ *)
 
@@ -531,6 +590,14 @@ let jobs_arg =
      are bit-identical at every value; only wall-clock changes."
   in
   Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+let trace_out_arg =
+  let doc =
+    "Record execution spans (engine/pipeline stages, pool regions) and \
+     write them as JSON Lines to FILE. Tracing only observes: results are \
+     bit-identical with or without it."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
 let experiment_cmd =
   let ids =
@@ -601,7 +668,7 @@ let estimate_cmd =
   Cmd.v (Cmd.info "estimate" ~doc)
     Term.(
       const run_estimate $ dataset_arg $ weeks_arg $ seed_arg $ calib $ target
-      $ prior $ stride_arg $ jobs_arg)
+      $ prior $ stride_arg $ jobs_arg $ trace_out_arg)
 
 let trace_cmd =
   let duration =
@@ -717,7 +784,36 @@ let stream_cmd =
     Term.(
       const run_stream $ dataset_arg $ weeks_arg $ seed_arg $ bins $ drop_rate
       $ corrupt_rate $ noise $ kill_after $ resume $ checkpoint $ refit_every
-      $ window $ recover_after $ telemetry $ shards $ jobs_arg $ verbose)
+      $ window $ recover_after $ telemetry $ shards $ jobs_arg $ trace_out_arg
+      $ verbose)
+
+let metrics_cmd =
+  let bins =
+    let doc = "Replay BINS bins before exposing (full replay if omitted)." in
+    Arg.(value & opt (some int) None & info [ "bins" ] ~docv:"BINS" ~doc)
+  in
+  let drop_rate =
+    let doc = "Probability a link poll is lost per bin." in
+    Arg.(value & opt float 0. & info [ "drop-rate" ] ~docv:"P" ~doc)
+  in
+  let corrupt_rate =
+    let doc = "Probability a surviving poll is corrupted per bin." in
+    Arg.(value & opt float 0. & info [ "corrupt-rate" ] ~docv:"P" ~doc)
+  in
+  let noise =
+    let doc = "SNMP multiplicative noise sigma." in
+    Arg.(value & opt float 0.01 & info [ "noise" ] ~docv:"SIGMA" ~doc)
+  in
+  let doc =
+    "Replay a dataset through the streaming engine and print its metrics \
+     registry in Prometheus text exposition format (counters and per-stage \
+     duration histograms). A deterministic internal clock makes the output \
+     a pure function of the observation stream."
+  in
+  Cmd.v (Cmd.info "metrics" ~doc)
+    Term.(
+      const run_metrics $ dataset_arg $ weeks_arg $ seed_arg $ bins
+      $ drop_rate $ corrupt_rate $ noise)
 
 let topology_cmd =
   let topo_name =
@@ -739,6 +835,6 @@ let main_cmd =
   in
   Cmd.group (Cmd.info "ic-lab" ~version:"1.0.0" ~doc)
     [ experiment_cmd; gen_cmd; fit_cmd; estimate_cmd; stream_cmd; trace_cmd;
-      whatif_cmd; topology_cmd ]
+      metrics_cmd; whatif_cmd; topology_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -1,6 +1,7 @@
 module Routing = Ic_topology.Routing
 module Series = Ic_traffic.Series
 module Tm = Ic_traffic.Tm
+module Trace = Ic_obs.Trace
 
 type refinement =
   | Least_squares of Tomogravity.solver
@@ -99,12 +100,12 @@ let finish ~truth estimates clamped =
         m "Pipeline.run: clamped %d negative estimate entries" clamped);
   { estimate; per_bin_error; mean_error; clamped_entries = clamped }
 
-let run ?link_loads config ~truth ~prior =
+let run ?link_loads ?(tracer = Trace.noop) config ~truth ~prior =
   validate ?link_loads config ~truth ~prior;
   let n = Series.size truth in
   (* Hoisted across bins: the tomogravity plan (routing-dependent structure
      and scratch buffers) and the marginal-row index maps. *)
-  let plan = Tomogravity.make_plan config.routing in
+  let plan = Tomogravity.make_plan ~tracer config.routing in
   let ingress_rows =
     Array.init n (fun i -> Routing.ingress_row config.routing i)
   in
@@ -113,20 +114,23 @@ let run ?link_loads config ~truth ~prior =
   in
   let clamped = ref 0 in
   let estimates =
-    Array.init (Series.length truth) (fun k ->
-        let tm, c =
-          estimate_bin ?link_loads config ~plan ~ingress_rows ~egress_rows
-            ~truth ~prior k
-        in
-        clamped := !clamped + c;
-        tm)
+    Trace.with_span tracer "pipeline.run"
+      ~attrs:[ ("bins", string_of_int (Series.length truth)) ]
+      (fun () ->
+        Array.init (Series.length truth) (fun k ->
+            let tm, c =
+              estimate_bin ?link_loads config ~plan ~ingress_rows ~egress_rows
+                ~truth ~prior k
+            in
+            clamped := !clamped + c;
+            tm))
   in
   finish ~truth estimates !clamped
 
-let run_par ?link_loads ~pool config ~truth ~prior =
+let run_par ?link_loads ?(tracer = Trace.noop) ~pool config ~truth ~prior =
   validate ?link_loads config ~truth ~prior;
   let n = Series.size truth in
-  let base = Tomogravity.make_plan config.routing in
+  let base = Tomogravity.make_plan ~tracer config.routing in
   let plans =
     Array.init (Ic_parallel.Pool.size pool) (fun s ->
         if s = 0 then base else Tomogravity.plan_clone base)
@@ -141,9 +145,12 @@ let run_par ?link_loads ~pool config ~truth ~prior =
      claimed it; the clamp total is then folded in bin order, so the result
      record — floats included — is a pure function of the inputs. *)
   let per_bin =
-    Ic_parallel.Pool.map pool ~n:(Series.length truth) (fun ~slot k ->
-        estimate_bin ?link_loads config ~plan:plans.(slot) ~ingress_rows
-          ~egress_rows ~truth ~prior k)
+    Trace.with_span tracer "pipeline.run"
+      ~attrs:[ ("bins", string_of_int (Series.length truth)) ]
+      (fun () ->
+        Ic_parallel.Pool.map pool ~n:(Series.length truth) (fun ~slot k ->
+            estimate_bin ?link_loads config ~plan:plans.(slot) ~ingress_rows
+              ~egress_rows ~truth ~prior k))
   in
   let estimates = Array.map fst per_bin in
   let clamped = Array.fold_left (fun acc (_, c) -> acc + c) 0 per_bin in

@@ -36,6 +36,7 @@ type result = {
 
 val run :
   ?link_loads:Ic_linalg.Vec.t array ->
+  ?tracer:Ic_obs.Trace.t ->
   config ->
   truth:Ic_traffic.Series.t ->
   prior:Ic_traffic.Series.t ->
@@ -49,6 +50,7 @@ val run :
 
 val run_par :
   ?link_loads:Ic_linalg.Vec.t array ->
+  ?tracer:Ic_obs.Trace.t ->
   pool:Ic_parallel.Pool.t ->
   config ->
   truth:Ic_traffic.Series.t ->

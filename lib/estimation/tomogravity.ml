@@ -4,6 +4,7 @@ module Sparse = Ic_linalg.Sparse
 module Chol = Ic_linalg.Chol
 module Workspace = Ic_linalg.Workspace
 module Routing = Ic_topology.Routing
+module Trace = Ic_obs.Trace
 
 type solver = Cholesky | Cg
 
@@ -77,10 +78,11 @@ type plan = {
   col_rows : int array;  (* row indices, ascending within each column *)
   col_vals : float array;
   ws : Workspace.t;
+  tracer : Trace.t;
   mutable last_clamp_count : int;
 }
 
-let make_plan routing =
+let make_plan ?(tracer = Trace.noop) routing =
   let r = routing.Routing.matrix in
   let m = Sparse.rows r in
   let n_od = Sparse.cols r in
@@ -110,6 +112,7 @@ let make_plan routing =
     col_rows;
     col_vals;
     ws = Workspace.create ();
+    tracer;
     last_clamp_count = 0;
   }
 
@@ -183,53 +186,65 @@ let estimate_with_plan ?(solver = Cholesky) plan ~link_loads ~prior =
     prior
   end
   else begin
+    let tracer = plan.tracer in
     let u =
       match solver with
       | Cholesky ->
-          let g = plan_weighted_gram plan weights in
+          let g =
+            Trace.with_span tracer "tomogravity.gram" (fun () ->
+                plan_weighted_gram plan weights)
+          in
           let l = Workspace.mat ws "chol.l" m m in
-          let ch = Chol.factorize_ridge_into ~ridge:Chol.default_ridge ~l g in
+          let ch =
+            Trace.with_span tracer "tomogravity.factorize" (fun () ->
+                Chol.factorize_ridge_into ~ridge:Chol.default_ridge ~l g)
+          in
           let u = Workspace.vec ws "u" m in
           Array.blit rhs 0 u 0 m;
-          Chol.solve_into ch u;
+          Trace.with_span tracer "tomogravity.solve" (fun () ->
+              Chol.solve_into ch u);
           u
       | Cg ->
-          let apply v =
-            Sparse.mulv r (Vec.mul weights (Sparse.mulv_t r v))
-          in
-          let u, _stats = Ic_linalg.Cg.solve ~tol:1e-10 apply (Vec.copy rhs) in
-          u
+          Trace.with_span tracer "tomogravity.solve" (fun () ->
+              let apply v =
+                Sparse.mulv r (Vec.mul weights (Sparse.mulv_t r v))
+              in
+              let u, _stats =
+                Ic_linalg.Cg.solve ~tol:1e-10 apply (Vec.copy rhs)
+              in
+              u)
     in
-    let corr = Workspace.vec ws "corr" n_od in
-    Sparse.mulv_t_into r u ~into:corr;
-    let out = Workspace.vec ws "out" n_od in
-    let clamped = ref 0 in
-    for s = 0 to n_od - 1 do
-      let v =
-        Array.unsafe_get x0 s
-        +. (Array.unsafe_get weights s *. Array.unsafe_get corr s)
-      in
-      if v < 0. then incr clamped;
-      Array.unsafe_set out s v
-    done;
-    plan.last_clamp_count <- !clamped;
-    Ic_traffic.Tm.of_vector_clamped n out
+    Trace.with_span tracer "tomogravity.clamp" (fun () ->
+        let corr = Workspace.vec ws "corr" n_od in
+        Sparse.mulv_t_into r u ~into:corr;
+        let out = Workspace.vec ws "out" n_od in
+        let clamped = ref 0 in
+        for s = 0 to n_od - 1 do
+          let v =
+            Array.unsafe_get x0 s
+            +. (Array.unsafe_get weights s *. Array.unsafe_get corr s)
+          in
+          if v < 0. then incr clamped;
+          Array.unsafe_set out s v
+        done;
+        plan.last_clamp_count <- !clamped;
+        Ic_traffic.Tm.of_vector_clamped n out)
   end
 
-let estimate_series ?solver routing ~link_loads ~priors =
+let estimate_series ?solver ?tracer routing ~link_loads ~priors =
   let bins = Array.length link_loads in
   if Array.length priors <> bins then
     invalid_arg "Tomogravity.estimate_series: series length mismatch";
-  let plan = make_plan routing in
+  let plan = make_plan ?tracer routing in
   Array.init bins (fun k ->
       estimate_with_plan ?solver plan ~link_loads:link_loads.(k)
         ~prior:priors.(k))
 
-let estimate_series_par ?solver ~pool routing ~link_loads ~priors =
+let estimate_series_par ?solver ?tracer ~pool routing ~link_loads ~priors =
   let bins = Array.length link_loads in
   if Array.length priors <> bins then
     invalid_arg "Tomogravity.estimate_series_par: series length mismatch";
-  let base = make_plan routing in
+  let base = make_plan ?tracer routing in
   (* One plan per worker slot: the symbolic structure is shared read-only,
      the workspaces are private. Slot 0 reuses the base plan. *)
   let plans =

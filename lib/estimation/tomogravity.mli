@@ -50,14 +50,20 @@ type plan
 (** Routing-dependent precomputation plus reusable scratch buffers. A plan
     is single-threaded state: concurrent estimates must not share one. *)
 
-val make_plan : Ic_topology.Routing.t -> plan
+val make_plan : ?tracer:Ic_obs.Trace.t -> Ic_topology.Routing.t -> plan
+(** [tracer] (default the no-op tracer) receives a [tomogravity.gram] /
+    [tomogravity.factorize] / [tomogravity.solve] / [tomogravity.clamp]
+    span per stage of every {!estimate_with_plan} call through the plan.
+    Tracing only observes — enabled or not, the estimates are bit-identical
+    (qcheck-pinned). *)
 
 val plan_clone : plan -> plan
 (** A plan over the same routing that {e shares} the read-only symbolic
-    structure (the column-compressed view of [R]) but owns a fresh
-    workspace and clamp counter. This is how the parallel paths give every
-    domain its own single-threaded plan without redoing or duplicating the
-    symbolic precomputation. *)
+    structure (the column-compressed view of [R]) and the tracer — span
+    recording is domain-safe — but owns a fresh workspace and clamp
+    counter. This is how the parallel paths give every domain its own
+    single-threaded plan without redoing or duplicating the symbolic
+    precomputation. *)
 
 val plan_routing : plan -> Ic_topology.Routing.t
 (** The routing the plan was built from. *)
@@ -86,6 +92,7 @@ val estimate_with_plan :
 
 val estimate_series :
   ?solver:solver ->
+  ?tracer:Ic_obs.Trace.t ->
   Ic_topology.Routing.t ->
   link_loads:Ic_linalg.Vec.t array ->
   priors:Ic_traffic.Tm.t array ->
@@ -95,6 +102,7 @@ val estimate_series :
 
 val estimate_series_par :
   ?solver:solver ->
+  ?tracer:Ic_obs.Trace.t ->
   pool:Ic_parallel.Pool.t ->
   Ic_topology.Routing.t ->
   link_loads:Ic_linalg.Vec.t array ->

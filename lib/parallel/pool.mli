@@ -33,11 +33,16 @@
 
 type t
 
-val create : ?jobs:int -> ?seed:int -> unit -> t
+val create : ?jobs:int -> ?seed:int -> ?tracer:Ic_obs.Trace.t -> unit -> t
 (** [create ~jobs ~seed ()] builds a pool of [jobs] workers (the caller
     plus [jobs - 1] spawned domains). [jobs] defaults to
     [Domain.recommended_domain_count ()]; [seed] (default 0) seeds the
-    per-slot PRNG streams. Raises [Invalid_argument] if [jobs < 1]. *)
+    per-slot PRNG streams. Raises [Invalid_argument] if [jobs < 1].
+
+    When [tracer] is an enabled tracer, the pool records one [pool.region]
+    span per parallel region and keeps per-slot {!slot_stats} (chunk
+    handout accounting: queue-wait vs run time per domain). With the
+    default no-op tracer, none of that accounting executes. *)
 
 val size : t -> int
 (** Number of worker slots, including the caller. *)
@@ -82,10 +87,23 @@ val map_reduce :
     means [reduce] need not be commutative — float accumulation order is
     fixed, so the result is bit-identical at every pool size. *)
 
+type slot_stats = {
+  chunks : int;  (** chunks this slot ran (attempted ones included) *)
+  run_ns : float;  (** time spent inside chunk bodies *)
+  wait_ns : float;
+      (** time parked on a condition variable: queue wait between regions
+          for workers; end-of-region straggler wait for the caller (slot 0) *)
+}
+
+val stats : t -> slot_stats array
+(** Cumulative per-slot accounting since [create], index = slot. All zeros
+    unless the pool was created with an enabled tracer. Call between
+    regions — reading during a region sees a torn snapshot. *)
+
 val shutdown : t -> unit
 (** Join all worker domains. Idempotent. Further submissions raise
     [Invalid_argument]. *)
 
-val with_pool : ?jobs:int -> ?seed:int -> (t -> 'a) -> 'a
+val with_pool : ?jobs:int -> ?seed:int -> ?tracer:Ic_obs.Trace.t -> (t -> 'a) -> 'a
 (** [with_pool f] runs [f] with a fresh pool and shuts it down afterwards,
     whether [f] returns or raises. *)

@@ -5,6 +5,32 @@ let magic = "ic-runtime-checkpoint v1"
 (* Floats travel as the hex of their bit pattern: exact, NaN-safe. *)
 let hex_of_float f = Printf.sprintf "%016Lx" (Int64.bits_of_float f)
 
+(* Counter names are caller-chosen strings but counter records are
+   whitespace-split lines, so any byte that could split or terminate the
+   record ('%' itself included, as the escape introducer) travels
+   percent-encoded. The empty name — which would vanish entirely under
+   [words] — is a lone "%". Legacy checkpoints never contain '%' in a
+   name, so unescaping is the identity on them. *)
+let escape_counter_name name =
+  if name = "" then "%"
+  else if
+    not
+      (String.exists
+         (fun c -> c = '%' || c = ' ' || c = '\t' || c = '\n' || c = '\r')
+         name)
+  then name
+  else begin
+    let buf = Buffer.create (String.length name + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '%' | ' ' | '\t' | '\n' | '\r' ->
+            Buffer.add_string buf (Printf.sprintf "%%%02x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      name;
+    Buffer.contents buf
+  end
+
 let encode_floats buf vec =
   Array.iter
     (fun v ->
@@ -54,7 +80,9 @@ let encode (s : Engine.snapshot) =
     s.s_consec_missing;
   Buffer.add_char buf '\n';
   line "counters %d" (List.length s.s_counters);
-  List.iter (fun (name, v) -> line "c %s %d" name v) s.s_counters;
+  List.iter
+    (fun (name, v) -> line "c %s %d" (escape_counter_name name) v)
+    s.s_counters;
   line "end";
   Buffer.contents buf
 
@@ -97,11 +125,45 @@ let parse_int w =
   | Some v -> v
   | None -> raise (Bad ("bad integer " ^ w))
 
+let hex_digit w c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> raise (Bad ("bad hex field " ^ w))
+
 let parse_float_hex w =
+  (* Hand-rolled rather than [Int64.of_string ("0x" ^ w)]: that parser
+     accepts '_' separators, which encode never emits. *)
   if String.length w <> 16 then raise (Bad ("bad float field " ^ w));
-  match Int64.of_string_opt ("0x" ^ w) with
-  | Some bits -> Int64.float_of_bits bits
-  | None -> raise (Bad ("bad float field " ^ w))
+  let bits = ref 0L in
+  String.iter
+    (fun c ->
+      bits := Int64.logor (Int64.shift_left !bits 4) (Int64.of_int (hex_digit w c)))
+    w;
+  Int64.float_of_bits !bits
+
+let unescape_counter_name w =
+  if w = "%" then ""
+  else if not (String.contains w '%') then w
+  else begin
+    let n = String.length w in
+    let buf = Buffer.create n in
+    let i = ref 0 in
+    while !i < n do
+      (if w.[!i] <> '%' then begin
+         Buffer.add_char buf w.[!i];
+         incr i
+       end
+       else begin
+         if !i + 2 >= n then raise (Bad ("bad counter name " ^ w));
+         Buffer.add_char buf
+           (Char.chr ((hex_digit w w.[!i + 1] * 16) + hex_digit w w.[!i + 2]));
+         i := !i + 3
+       end)
+    done;
+    Buffer.contents buf
+  end
 
 let parse_floats count rest =
   if List.length rest <> count then raise (Bad "float vector length mismatch");
@@ -203,7 +265,7 @@ let decode_exn text =
   let s_counters =
     List.init n_counters (fun _ ->
         match expect_key "c" (words (next_line cur)) with
-        | [ name; v ] -> (name, parse_int v)
+        | [ name; v ] -> (unescape_counter_name name, parse_int v)
         | _ -> raise (Bad "bad counter record"))
   in
   if next_line cur <> "end" then raise (Bad "missing end marker");

@@ -5,9 +5,12 @@
     The format (version header ["ic-runtime-checkpoint v1"]) is
     line-oriented text with every float written as the hex of its IEEE-754
     bit pattern ([%016Lx] of [Int64.bits_of_float]) — exact round-trips, no
-    decimal rounding, NaN/infinity safe. See DESIGN.md "Runtime
-    architecture" for the full grammar. Timing histograms are not state and
-    are not stored; counters are. *)
+    decimal rounding, NaN/infinity safe. Counter names percent-encode
+    whitespace and ['%'] (the empty name is a lone ["%"]) so arbitrary
+    caller-chosen names survive the whitespace-split records; legacy
+    checkpoints are unaffected since their names contain no ['%']. See
+    DESIGN.md "Runtime architecture" for the full grammar. Timing
+    histograms are not state and are not stored; counters are. *)
 
 val save : path:string -> Engine.t -> unit
 (** Snapshot the engine and write it atomically (temp file + rename).

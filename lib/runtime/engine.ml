@@ -4,6 +4,7 @@ module Series = Ic_traffic.Series
 module Routing = Ic_topology.Routing
 module Tomogravity = Ic_estimation.Tomogravity
 module Ipf = Ic_estimation.Ipf
+module Trace = Ic_obs.Trace
 
 type config = {
   routing : Ic_topology.Routing.t;
@@ -43,6 +44,7 @@ type t = {
   n : int;  (* nodes *)
   m : int;  (* routing rows: links + 2n marginal pseudo-links *)
   tel : Telemetry.t;
+  tracer : Trace.t;
   degrade : Degrade.t;
   ingress_rows : int array;
   egress_rows : int array;
@@ -77,7 +79,7 @@ let validate_config c =
         invalid_arg "Engine: initial preference size mismatch"
   | None -> ()
 
-let create ?telemetry config =
+let create ?telemetry ?(tracer = Trace.noop) config =
   validate_config config;
   let g = config.routing.Routing.graph in
   let n = Ic_topology.Graph.node_count g in
@@ -89,10 +91,11 @@ let create ?telemetry config =
   in
   {
     config;
-    plan = Tomogravity.make_plan config.routing;
+    plan = Tomogravity.make_plan ~tracer config.routing;
     n;
     m;
     tel = (match telemetry with Some t -> t | None -> Telemetry.create ());
+    tracer;
     degrade =
       Degrade.create ~initial:initial_level
         ~recover_after:config.recover_after ();
@@ -146,6 +149,7 @@ let refit t =
         false
       end
       else begin
+        Trace.with_span t.tracer "engine.refit" (fun () ->
         Telemetry.time t.tel "refit" (fun () ->
             let options =
               {
@@ -160,7 +164,7 @@ let refit t =
             let fitted = Ic_core.Fit.fit_stable_fp ~options series in
             t.f <- fitted.params.f;
             t.preference <- Some (Array.copy fitted.params.preference);
-            t.fit_age <- 0);
+            t.fit_age <- 0));
         Telemetry.incr t.tel "refit.count";
         true
       end
@@ -227,11 +231,15 @@ let step t ~loads ~missing =
     invalid_arg "Engine.step: link-load dimension mismatch";
   if Array.length missing <> t.m then
     invalid_arg "Engine.step: missing-flag dimension mismatch";
+  Trace.with_span t.tracer "engine.step"
+    ~attrs:[ ("bin", string_of_int t.bin) ]
+  @@ fun () ->
   Telemetry.incr t.tel "bins";
   Telemetry.add t.tel "polls.total" t.m;
   (* Ingest: flag corrupt polls, impute by carry-forward, track budgets. *)
   let effective = Array.make t.m 0. in
   let n_missing = ref 0 in
+  Trace.with_span t.tracer "engine.ingest" (fun () ->
   Telemetry.time t.tel "ingest" (fun () ->
       for e = 0 to t.m - 1 do
         let v = loads.(e) in
@@ -255,7 +263,7 @@ let step t ~loads ~missing =
           effective.(e) <- v
         end
       done;
-      t.have_last <- true);
+      t.have_last <- true));
   (* Health verdict -> ladder rung. *)
   let miss_frac = float_of_int !n_missing /. float_of_int t.m in
   let over_budget =
@@ -273,25 +281,31 @@ let step t ~loads ~missing =
   let ingress = Array.map (fun r -> effective.(r)) t.ingress_rows in
   let egress = Array.map (fun r -> effective.(r)) t.egress_rows in
   let prior =
-    Telemetry.time t.tel "prior" (fun () -> build_prior t level ~ingress ~egress)
+    Trace.with_span t.tracer "engine.prior"
+      ~attrs:[ ("level", Degrade.level_name level) ]
+      (fun () ->
+        Telemetry.time t.tel "prior" (fun () ->
+            build_prior t level ~ingress ~egress))
   in
   (* Refine against the link constraints, then project onto the measured
      marginals. *)
   let refined =
-    Telemetry.time t.tel "estimate" (fun () ->
-        Tomogravity.estimate_with_plan t.plan ~link_loads:effective ~prior)
+    Trace.with_span t.tracer "engine.estimate" (fun () ->
+        Telemetry.time t.tel "estimate" (fun () ->
+            Tomogravity.estimate_with_plan t.plan ~link_loads:effective ~prior))
   in
   let clamped = Tomogravity.plan_last_clamp_count t.plan in
   Telemetry.add t.tel "estimate.clamped_entries" clamped;
   let estimate =
     if Vec.sum ingress <= 0. then refined
     else
-      Telemetry.time t.tel "ipf" (fun () ->
-          let outcome =
-            Ipf.fit refined ~row_targets:ingress ~col_targets:egress
-          in
-          Telemetry.add t.tel "ipf.iterations" outcome.Ipf.iterations;
-          outcome.Ipf.tm)
+      Trace.with_span t.tracer "engine.ipf" (fun () ->
+          Telemetry.time t.tel "ipf" (fun () ->
+              let outcome =
+                Ipf.fit refined ~row_targets:ingress ~col_targets:egress
+              in
+              Telemetry.add t.tel "ipf.iterations" outcome.Ipf.iterations;
+              outcome.Ipf.tm))
   in
   t.window_buf.(t.bin mod Array.length t.window_buf) <- Some estimate;
   t.bin <- t.bin + 1;
@@ -353,9 +367,9 @@ let snapshot t =
     s_counters = Telemetry.counters t.tel;
   }
 
-let restore ?telemetry config s =
+let restore ?telemetry ?tracer config s =
   validate_config config;
-  let t = create ?telemetry config in
+  let t = create ?telemetry ?tracer config in
   if Array.length s.s_last_loads <> t.m then
     invalid_arg "Engine.restore: link count does not match config";
   if Array.length s.s_consec_missing <> t.m then

@@ -46,9 +46,15 @@ val default_config :
 
 type t
 
-val create : ?telemetry:Telemetry.t -> config -> t
+val create : ?telemetry:Telemetry.t -> ?tracer:Ic_obs.Trace.t -> config -> t
 (** Raises [Invalid_argument] if the routing lacks marginal rows or a
-    config field is out of range. *)
+    config field is out of range.
+
+    [tracer] (default: the no-op tracer) receives one [engine.step] span
+    per bin with [engine.ingest]/[engine.prior]/[engine.estimate]/
+    [engine.ipf] child spans (plus the tomogravity stage spans through the
+    engine's plan) and [engine.refit] around window refits. Tracing only
+    observes: estimates are bit-identical with it on or off. *)
 
 type output = {
   estimate : Ic_traffic.Tm.t;
@@ -107,7 +113,8 @@ type snapshot = {
 
 val snapshot : t -> snapshot
 
-val restore : ?telemetry:Telemetry.t -> config -> snapshot -> t
+val restore :
+  ?telemetry:Telemetry.t -> ?tracer:Ic_obs.Trace.t -> config -> snapshot -> t
 (** Rebuild an engine from a snapshot. The config must structurally match
     the one the snapshot was taken under (same routing shape and window
     size); raises [Invalid_argument] otherwise. *)

@@ -1,4 +1,5 @@
 module Tm = Ic_traffic.Tm
+module Trace = Ic_obs.Trace
 
 type spec = { name : string; config : Engine.config; feed : Feed.t }
 
@@ -18,9 +19,13 @@ type shard = {
   mutable exhausted : bool;
 }
 
-type t = { pool : Ic_parallel.Pool.t; shards : shard array }
+type t = { pool : Ic_parallel.Pool.t; tracer : Trace.t; shards : shard array }
 
-let has_space s = String.exists (fun c -> c = ' ' || c = '\t') s
+(* Shard names key the line-oriented fleet checkpoint, so any character
+   that could split or pad a header line is rejected — including newlines,
+   which would desynchronize the embedded line counts. *)
+let has_space s =
+  String.exists (fun c -> c = ' ' || c = '\t' || c = '\n' || c = '\r') s
 
 let validate_names (specs : spec list) =
   if specs = [] then invalid_arg "Shard.create: empty shard list";
@@ -47,12 +52,14 @@ let of_engine (spec : spec) engine =
     exhausted = false;
   }
 
-let create ~pool specs =
+let create ?(tracer = Trace.noop) ~pool specs =
   validate_names specs;
   let shards =
-    List.map (fun (s : spec) -> of_engine s (Engine.create s.config)) specs
+    List.map
+      (fun (s : spec) -> of_engine s (Engine.create ~tracer s.config))
+      specs
   in
-  { pool; shards = Array.of_list shards }
+  { pool; tracer; shards = Array.of_list shards }
 
 let shard_count t = Array.length t.shards
 
@@ -99,14 +106,21 @@ let run ?max_bins ?(round_bins = 32) t =
     if shard.exhausted then 0 else max 0 cap
   in
   let live () = Array.exists (fun s -> budget s > 0) t.shards in
+  let round = ref 0 in
   while live () do
     (* One multiplexing round: every shard with budget advances
        concurrently, one pool task per shard. *)
-    ignore
-      (Ic_parallel.Pool.map t.pool ~chunk:1 ~n:(Array.length t.shards)
-         (fun ~slot:_ i ->
-           let shard = t.shards.(i) in
-           advance shard (budget shard)))
+    Trace.with_span t.tracer "shard.round"
+      ~attrs:[ ("round", string_of_int !round) ]
+      (fun () ->
+        ignore
+          (Ic_parallel.Pool.map t.pool ~chunk:1 ~n:(Array.length t.shards)
+             (fun ~slot:_ i ->
+               let shard = t.shards.(i) in
+               Trace.with_span t.tracer "shard.advance"
+                 ~attrs:[ ("shard", shard.name) ]
+                 (fun () -> ignore (advance shard (budget shard))))));
+    incr round
   done;
   results t
 
@@ -163,7 +177,7 @@ let save ~path t =
       raise e);
   Sys.rename tmp path
 
-let load ~path ~pool specs =
+let load ?(tracer = Trace.noop) ~path ~pool specs =
   match validate_names specs with
   | exception Invalid_argument msg -> Error ("shards: " ^ msg)
   | () ->
@@ -240,7 +254,7 @@ let load ~path ~pool specs =
                     Error
                       ("shards: no snapshot for shard " ^ spec.name)
                 | Some snap -> begin
-                    match Engine.restore spec.config snap with
+                    match Engine.restore ~tracer spec.config snap with
                     | engine ->
                         let shard = of_engine spec engine in
                         (* The engine already consumed [bins_seen] bins of
@@ -266,6 +280,6 @@ let load ~path ~pool specs =
               match build [] specs with
               | Error e -> Error e
               | Ok shards ->
-                  Ok { pool; shards = Array.of_list shards }
+                  Ok { pool; tracer; shards = Array.of_list shards }
             end
       end

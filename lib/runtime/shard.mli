@@ -33,10 +33,13 @@ type spec = {
 
 type t
 
-val create : pool:Ic_parallel.Pool.t -> spec list -> t
+val create : ?tracer:Ic_obs.Trace.t -> pool:Ic_parallel.Pool.t -> spec list -> t
 (** Build one engine per spec. Raises [Invalid_argument] on an empty spec
-    list, a duplicate/empty/whitespace name, or an invalid engine config
-    (see {!Engine.create}). *)
+    list, a duplicate/empty/whitespace name (whitespace includes newlines —
+    names key the line-oriented fleet checkpoint), or an invalid engine
+    config (see {!Engine.create}). [tracer] is shared by the supervisor
+    ([shard.round]/[shard.advance] spans) and every shard's engine; span
+    recording is domain-safe, so concurrent shards may trace freely. *)
 
 val shard_count : t -> int
 
@@ -74,6 +77,7 @@ val save : path:string -> t -> unit
     rename). Raises [Sys_error] on I/O failure. *)
 
 val load :
+  ?tracer:Ic_obs.Trace.t ->
   path:string ->
   pool:Ic_parallel.Pool.t ->
   spec list ->

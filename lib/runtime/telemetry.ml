@@ -1,66 +1,65 @@
-type hist = {
-  mutable events : int;
-  mutable total_ns : float;
-  mutable max_ns : float;
-  bucket_counts : int array;  (* index = log2(ns), clamped to [0, 62] *)
-}
+module Metrics = Ic_obs.Metrics
+
+(* Per-stage timing state the metrics registry doesn't carry: the running
+   maximum (Prometheus histograms have sum/count but no max) and the
+   handle itself so hot-path recording skips the registry lookup. *)
+type stage_hist = { hist : Metrics.histogram; mutable max_ns : float }
 
 type t = {
   clock : unit -> float;
-  counters : (string, int ref) Hashtbl.t;
-  hists : (string, hist) Hashtbl.t;
+  registry : Metrics.t;
+  stages : (string, stage_hist) Hashtbl.t;
 }
 
+(* Powers of two from 1 ns to 2^62 ns: bucket index i <=> bound 2^i, which
+   is what the timing dump's "2^i:count" notation reads back. *)
+let pow2_bounds = Array.init 63 (fun i -> Float.ldexp 1. i)
+
 let create ?(clock = Sys.time) () =
-  { clock; counters = Hashtbl.create 32; hists = Hashtbl.create 16 }
+  { clock; registry = Metrics.create (); stages = Hashtbl.create 16 }
 
-let counter_ref t name =
-  match Hashtbl.find_opt t.counters name with
-  | Some r -> r
-  | None ->
-      let r = ref 0 in
-      Hashtbl.add t.counters name r;
-      r
+let registry t = t.registry
 
-let incr t name = Stdlib.incr (counter_ref t name)
-
-let add t name v =
-  let r = counter_ref t name in
-  r := !r + v
+let incr t name = Metrics.inc (Metrics.counter t.registry name)
+let add t name v = Metrics.add (Metrics.counter t.registry name) v
 
 let count t name =
-  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+  (* Must not create the counter: reads don't invent series. *)
+  match Metrics.find_counter t.registry name with
+  | Some c -> Metrics.counter_value c
+  | None -> 0
 
-let counters t =
-  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.counters []
-  |> List.sort compare
+let counters t = Metrics.counters t.registry
 
 let set_counters t entries =
-  Hashtbl.reset t.counters;
-  List.iter (fun (name, v) -> Hashtbl.replace t.counters name (ref v)) entries
+  List.iter
+    (fun (name, _) -> Metrics.remove_counter t.registry name)
+    (Metrics.counters t.registry);
+  List.iter
+    (fun (name, v) -> Metrics.set_counter (Metrics.counter t.registry name) v)
+    entries
 
-let bucket_of_ns ns =
-  if ns < 1. then 0
-  else min 62 (int_of_float (Float.log2 ns))
-
-let hist t stage =
-  match Hashtbl.find_opt t.hists stage with
-  | Some h -> h
+let stage_hist t stage =
+  match Hashtbl.find_opt t.stages stage with
+  | Some sh -> sh
   | None ->
-      let h =
-        { events = 0; total_ns = 0.; max_ns = 0.; bucket_counts = Array.make 63 0 }
+      let sh =
+        {
+          hist =
+            Metrics.histogram t.registry ~buckets:pow2_bounds
+              ~help:(Printf.sprintf "wall-clock duration of the %s stage" stage)
+              (stage ^ "_duration_ns");
+          max_ns = 0.;
+        }
       in
-      Hashtbl.add t.hists stage h;
-      h
+      Hashtbl.add t.stages stage sh;
+      sh
 
 let record_ns t stage ns =
   let ns = Float.max ns 0. in
-  let h = hist t stage in
-  h.events <- h.events + 1;
-  h.total_ns <- h.total_ns +. ns;
-  h.max_ns <- Float.max h.max_ns ns;
-  let b = bucket_of_ns ns in
-  h.bucket_counts.(b) <- h.bucket_counts.(b) + 1
+  let sh = stage_hist t stage in
+  sh.max_ns <- Float.max sh.max_ns ns;
+  Metrics.observe sh.hist ns
 
 let time t stage f =
   let t0 = t.clock () in
@@ -79,21 +78,32 @@ type timing = {
 
 let timings t =
   Hashtbl.fold
-    (fun stage h acc ->
+    (fun stage sh acc ->
+      let snap = Metrics.histogram_snapshot sh.hist in
+      (* Cumulative snapshot counts back to sparse per-bucket counts;
+         anything past the last finite bound lands in the top bucket. *)
       let buckets = ref [] in
-      for b = 62 downto 0 do
-        if h.bucket_counts.(b) > 0 then
-          buckets := (b, h.bucket_counts.(b)) :: !buckets
-      done;
+      let prev = ref 0 in
+      List.iteri
+        (fun i (_, cumulative) ->
+          let here = cumulative - !prev in
+          prev := cumulative;
+          if here > 0 then buckets := (i, here) :: !buckets)
+        snap.Metrics.h_buckets;
+      let overflow = snap.Metrics.h_count - !prev in
+      (if overflow > 0 then
+         match !buckets with
+         | (62, c) :: rest -> buckets := (62, c + overflow) :: rest
+         | rest -> buckets := (62, overflow) :: rest);
       {
         stage;
-        events = h.events;
-        total_ns = h.total_ns;
-        max_ns = h.max_ns;
-        buckets = !buckets;
+        events = snap.Metrics.h_count;
+        total_ns = snap.Metrics.h_sum;
+        max_ns = sh.max_ns;
+        buckets = List.rev !buckets;
       }
       :: acc)
-    t.hists []
+    t.stages []
   |> List.sort (fun a b -> compare a.stage b.stage)
 
 let pretty_ns ns =

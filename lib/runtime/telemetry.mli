@@ -27,10 +27,18 @@ val create : ?clock:(unit -> float) -> unit -> t
 (** A fresh telemetry sink. [clock] returns seconds (monotonicity is the
     caller's concern); the default is [Sys.time]. *)
 
+val registry : t -> Ic_obs.Metrics.t
+(** The metrics registry backing this sink. Counters appear as Prometheus
+    counters under their (sanitized) telemetry names; each timing stage
+    appears as a [<stage>_duration_ns] histogram. [Ic_obs.Metrics.expose]
+    on this registry is how [ic-lab metrics] renders a sink. *)
+
 val incr : t -> string -> unit
 (** Add 1 to a named counter (created at 0 on first use). *)
 
 val add : t -> string -> int -> unit
+(** Raises [Invalid_argument] on a negative increment: telemetry counters
+    are monotone (use a [Ic_obs.Metrics] gauge for signed values). *)
 
 val count : t -> string -> int
 (** Current value of a counter; 0 if never touched. *)
@@ -51,7 +59,8 @@ type timing = {
   total_ns : float;
   max_ns : float;
   buckets : (int * int) list;
-      (** (log2 nanosecond bucket, event count), sparse, ascending *)
+      (** (bucket index [i] meaning duration ≤ 2{^i} ns, event count),
+          sparse, ascending; the top bucket (62) also absorbs overflow *)
 }
 
 val timings : t -> timing list

@@ -8,6 +8,13 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+echo "== no build artifacts in git =="
+if [ -n "$(git ls-files _build 2>/dev/null)" ]; then
+  echo "check.sh: _build/ artifacts are tracked by git; run" >&2
+  echo "  git rm -r --cached _build" >&2
+  exit 1
+fi
+
 echo "== dune build =="
 dune build
 

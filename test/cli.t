@@ -139,3 +139,65 @@ fit recovering the generator's parameters:
   generated 288 bins of 8x8 traffic matrices
   gravity independence gap of one bin: 0.140 (0 = gravity-like)
   fitted f = 0.250 (generator used 0.250)
+
+The metrics command replays a faulted stream under a fixed-step clock and
+prints the registry in Prometheus text exposition — fully deterministic,
+including the histogram bucket placement:
+
+  $ ../bin/ic_lab.exe metrics --dataset geant --weeks 1 --bins 24 \
+  >   --drop-rate 0.05 --corrupt-rate 0.02 | head -20
+  # TYPE bins counter
+  bins 24
+  # TYPE bins_at_gravity counter
+  bins_at_gravity 24
+  # TYPE estimate_clamped_entries counter
+  estimate_clamped_entries 671
+  # TYPE ipf_iterations counter
+  ipf_iterations 150
+  # TYPE polls_corrupt counter
+  polls_corrupt 66
+  # TYPE polls_dropped counter
+  polls_dropped 148
+  # TYPE polls_imputed counter
+  polls_imputed 214
+  # TYPE polls_total counter
+  polls_total 2928
+  # HELP estimate_duration_ns wall-clock duration of the estimate stage
+  # TYPE estimate_duration_ns histogram
+  estimate_duration_ns_bucket{le="1048576"} 24
+  estimate_duration_ns_bucket{le="+Inf"} 24
+
+--trace writes the span ring as JSON Lines. Wall-clock timestamps vary,
+but the span taxonomy, counts, and tree shape are pinned by the seed (one
+engine.step per bin with four stage children, a refit every 6 bins, and
+the tomogravity stages under each estimate):
+
+  $ ../bin/ic_lab.exe stream --dataset geant --weeks 1 --bins 12 \
+  >   --refit-every 6 --window 12 --trace spans.jsonl | tail -1
+  wrote 110 spans to spans.jsonl
+  $ cut -d'"' -f4 spans.jsonl | sort | uniq -c
+       12 engine.estimate
+       12 engine.ingest
+       12 engine.ipf
+       12 engine.prior
+        2 engine.refit
+       12 engine.step
+       12 tomogravity.clamp
+       12 tomogravity.factorize
+       12 tomogravity.gram
+       12 tomogravity.solve
+  $ head -1 spans.jsonl | cut -d, -f1-4
+  {"name":"engine.ingest","id":1,"parent":0,"depth":1
+
+The batch path traces too, through the pool region:
+
+  $ ../bin/ic_lab.exe estimate --dataset geant --week 1 --prior stable-fp \
+  >   --stride 24 --jobs 2 --trace est.jsonl | tail -1
+  wrote 338 spans to est.jsonl
+  $ cut -d'"' -f4 est.jsonl | sort | uniq -c
+        1 pipeline.run
+        1 pool.region
+       84 tomogravity.clamp
+       84 tomogravity.factorize
+       84 tomogravity.gram
+       84 tomogravity.solve

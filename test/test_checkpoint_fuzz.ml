@@ -1,0 +1,322 @@
+(* Checkpoint codec fuzzing: random snapshots — including NaN, infinities,
+   negative zero, subnormals, and counter names chosen to break a
+   line-oriented format (spaces, '=', newlines, '%', the empty string) —
+   must round-trip encode -> decode losslessly; corrupted or truncated
+   inputs must be rejected with [Error], never an exception. *)
+
+module Engine = Ic_runtime.Engine
+module Degrade = Ic_runtime.Degrade
+module Checkpoint = Ic_runtime.Checkpoint
+module Tm = Ic_traffic.Tm
+
+let bits = Int64.bits_of_float
+
+(* --- generators ---------------------------------------------------------- *)
+
+let nasty_floats =
+  [|
+    0.;
+    -0.;
+    1.;
+    -1.5;
+    Float.nan;
+    Int64.float_of_bits 0x7ff8000000000001L (* NaN with a payload *);
+    Float.infinity;
+    Float.neg_infinity;
+    Float.min_float;
+    4.9e-324 (* smallest subnormal *);
+    -4.9e-324;
+    1.7976931348623157e308;
+    1e-300;
+    3.141592653589793;
+  |]
+
+let gen_float =
+  QCheck2.Gen.(
+    oneof
+      [
+        (let* i = int_range 0 (Array.length nasty_floats - 1) in
+         return nasty_floats.(i));
+        float;
+        (* arbitrary bit patterns: every IEEE-754 payload must survive *)
+        map Int64.float_of_bits int64;
+      ])
+
+(* Window TMs go through [Tm.of_vector_clamped] on decode, which zeroes
+   strictly-negative entries by design; generate entries that are fixed
+   points of the clamp (non-negative, -0., NaN, +inf) so the round trip
+   must be exact. *)
+let gen_window_float =
+  QCheck2.Gen.(
+    oneof
+      [
+        oneofl [ 0.; -0.; Float.nan; Float.infinity; 4.9e-324; 1e9 ];
+        map Float.abs float;
+      ])
+
+let gen_counter_name =
+  QCheck2.Gen.(
+    oneof
+      [
+        oneofl
+          [
+            "";
+            " ";
+            "a b";
+            "a=b";
+            "line\nbreak";
+            "tab\there";
+            "cr\rhere";
+            "100%";
+            "%";
+            "%%25";
+            "trailing ";
+            " leading";
+            "plain_name";
+          ];
+        string_printable;
+        string_of
+          (oneofl [ ' '; '='; '\n'; '\t'; '%'; '\r'; 'a'; 'Z'; '0'; '\xff' ]);
+      ])
+
+let gen_level = QCheck2.Gen.(map Degrade.level_of_rank (int_range 0 3))
+
+let gen_reason =
+  QCheck2.Gen.oneofl
+    [
+      Degrade.Warmup;
+      Degrade.Fit_stale;
+      Degrade.Polls_missing;
+      Degrade.Imputation_exhausted;
+      Degrade.F_degenerate;
+      Degrade.Recovered;
+    ]
+
+let gen_transition =
+  QCheck2.Gen.(
+    let* bin = int_range 0 10_000 in
+    let* from_ = gen_level in
+    let* to_ = gen_level in
+    let* reason = gen_reason in
+    return { Degrade.bin; from_; to_; reason })
+
+let gen_snapshot =
+  QCheck2.Gen.(
+    let* n = int_range 1 4 in
+    let* rows = int_range 1 8 in
+    let* s_bin = int_range 0 100_000 in
+    let* s_f = gen_float in
+    let* s_preference =
+      oneof
+        [ return None; map Option.some (array_size (return (n * n)) gen_float) ]
+    in
+    let* s_fit_age = oneof [ return max_int; int_range 0 5_000 ] in
+    let* s_level = gen_level in
+    let* s_streak = int_range 0 50 in
+    let* s_transitions = list_size (int_range 0 6) gen_transition in
+    let* window_len = int_range 0 3 in
+    let* window_data =
+      list_size (return window_len) (array_size (return (n * n)) gen_window_float)
+    in
+    let* s_last_loads = array_size (return rows) gen_float in
+    let* s_have_last = bool in
+    let* s_consec_missing = array_size (return rows) (int_range 0 20) in
+    let* s_counters =
+      list_size (int_range 0 8) (pair gen_counter_name (int_range 0 1_000_000))
+    in
+    return
+      {
+        Engine.s_bin;
+        s_f;
+        s_preference;
+        s_fit_age;
+        s_degrade = { Degrade.s_level; s_streak; s_transitions };
+        s_window = Array.of_list (List.map (Tm.of_vector_clamped n) window_data);
+        s_last_loads;
+        s_have_last;
+        s_consec_missing;
+        s_counters;
+      })
+
+(* --- exact snapshot equality (floats compared bitwise) ------------------- *)
+
+let float_array_eq a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun x y -> bits x = bits y) a b
+
+let snapshot_eq (a : Engine.snapshot) (b : Engine.snapshot) =
+  a.s_bin = b.s_bin
+  && bits a.s_f = bits b.s_f
+  && (match (a.s_preference, b.s_preference) with
+     | None, None -> true
+     | Some p, Some q -> float_array_eq p q
+     | _ -> false)
+  && a.s_fit_age = b.s_fit_age
+  && a.s_degrade.Degrade.s_level = b.s_degrade.Degrade.s_level
+  && a.s_degrade.Degrade.s_streak = b.s_degrade.Degrade.s_streak
+  && a.s_degrade.Degrade.s_transitions = b.s_degrade.Degrade.s_transitions
+  && Array.length a.s_window = Array.length b.s_window
+  && Array.for_all2
+       (fun x y -> float_array_eq (Tm.unsafe_data x) (Tm.unsafe_data y))
+       a.s_window b.s_window
+  && float_array_eq a.s_last_loads b.s_last_loads
+  && a.s_have_last = b.s_have_last
+  && a.s_consec_missing = b.s_consec_missing
+  && a.s_counters = b.s_counters
+
+(* --- properties ---------------------------------------------------------- *)
+
+let test_roundtrip_lossless () =
+  let prop s =
+    match Checkpoint.decode (Checkpoint.encode s) with
+    | Ok s' -> snapshot_eq s s'
+    | Error e -> QCheck2.Test.fail_reportf "decode failed: %s" e
+  in
+  QCheck2.Test.check_exn
+    (QCheck2.Test.make ~count:80 ~name:"encode -> decode is lossless"
+       gen_snapshot prop)
+
+let test_encode_canonical () =
+  (* Decoding and re-encoding reproduces the bytes: the codec has one
+     canonical form, so checkpoints can be compared as files. *)
+  let prop s =
+    let text = Checkpoint.encode s in
+    match Checkpoint.decode text with
+    | Ok s' -> Checkpoint.encode s' = text
+    | Error e -> QCheck2.Test.fail_reportf "decode failed: %s" e
+  in
+  QCheck2.Test.check_exn
+    (QCheck2.Test.make ~count:40 ~name:"encode is canonical" gen_snapshot prop)
+
+let base_snapshot ?(counters = [ ("polls_total", 12) ]) () =
+  {
+    Engine.s_bin = 7;
+    s_f = 0.35;
+    s_preference = None;
+    s_fit_age = max_int;
+    s_degrade =
+      { Degrade.s_level = Degrade.Gravity; s_streak = 0; s_transitions = [] };
+    s_window = [||];
+    s_last_loads = [| 1.5; 0. |];
+    s_have_last = true;
+    s_consec_missing = [| 0; 3 |];
+    s_counters = counters;
+  }
+
+let test_adversarial_names_unit () =
+  List.iter
+    (fun name ->
+      let s = base_snapshot ~counters:[ (name, 5); ("plain", 1) ] () in
+      match Checkpoint.decode (Checkpoint.encode s) with
+      | Ok s' ->
+          Alcotest.(check (list (pair string int)))
+            (Printf.sprintf "counter name %S survives" name)
+            [ (name, 5); ("plain", 1) ]
+            s'.Engine.s_counters
+      | Error e -> Alcotest.failf "decode failed for %S: %s" name e)
+    [ ""; " "; "a b"; "a=b"; "x\ny"; "x\ry"; "x\ty"; "100%"; "%"; "%20"; "a % b" ]
+
+let test_legacy_names_unescaped () =
+  (* Plain names must serialize exactly as before the escaping existed:
+     the v1 on-disk format for every checkpoint ever written is stable. *)
+  let s = base_snapshot ~counters:[ ("ipf_iterations", 42) ] () in
+  let text = Checkpoint.encode s in
+  Alcotest.(check bool) "plain name stays a plain token" true
+    (String.split_on_char '\n' text
+    |> List.exists (( = ) "c ipf_iterations 42"));
+  (* And a hand-written legacy-style checkpoint still loads. *)
+  match Checkpoint.decode text with
+  | Ok s' ->
+      Alcotest.(check (list (pair string int)))
+        "legacy decode" [ ("ipf_iterations", 42) ] s'.Engine.s_counters
+  | Error e -> Alcotest.fail e
+
+let test_truncation_rejected () =
+  let text = Checkpoint.encode (base_snapshot ()) in
+  let len = String.length text in
+  (* Every strict prefix except "full text minus the final newline" must
+     be a clean [Error] — and none may raise. *)
+  for k = 0 to len - 2 do
+    match Checkpoint.decode (String.sub text 0 k) with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "truncation at %d of %d accepted" k len
+  done;
+  match Checkpoint.decode (String.sub text 0 (len - 1)) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "missing trailing newline rejected: %s" e
+
+let test_malformed_floats_rejected () =
+  let text = Checkpoint.encode (base_snapshot ()) in
+  let f_hex = Printf.sprintf "%016Lx" (Int64.bits_of_float 0.35) in
+  List.iter
+    (fun bad ->
+      let mangled =
+        String.split_on_char '\n' text
+        |> List.map (fun l -> if l = "f " ^ f_hex then "f " ^ bad else l)
+        |> String.concat "\n"
+      in
+      match Checkpoint.decode mangled with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "bad float field %S accepted" bad)
+    [
+      "00000000000000" (* wrong length *);
+      "0000000_00000000"
+      (* '_' separators: Int64.of_string takes these; ours must not *);
+      "zzzzzzzzzzzzzzzz";
+      "0x00000000000000";
+      "";
+    ]
+
+let test_bad_counter_escapes_rejected () =
+  let s = base_snapshot ~counters:[ ("plain", 1) ] () in
+  let text = Checkpoint.encode s in
+  List.iter
+    (fun bad_name ->
+      let mangled =
+        String.split_on_char '\n' text
+        |> List.map (fun l -> if l = "c plain 1" then "c " ^ bad_name ^ " 1" else l)
+        |> String.concat "\n"
+      in
+      match Checkpoint.decode mangled with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "bad escape %S accepted" bad_name)
+    [ "%2"; "a%"; "a%zz"; "%g0" ]
+
+let test_version_and_garbage_rejected () =
+  List.iter
+    (fun text ->
+      match Checkpoint.decode text with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted %S" text)
+    [
+      "";
+      "not a checkpoint";
+      "ic-runtime-checkpoint v2\nend\n";
+      "ic-runtime-checkpoint v1\n";
+    ]
+
+let () =
+  Alcotest.run "checkpoint-fuzz"
+    [
+      ( "roundtrip",
+        [
+          Alcotest.test_case "lossless (qcheck)" `Quick test_roundtrip_lossless;
+          Alcotest.test_case "canonical encoding (qcheck)" `Quick
+            test_encode_canonical;
+          Alcotest.test_case "adversarial counter names" `Quick
+            test_adversarial_names_unit;
+          Alcotest.test_case "legacy names stay unescaped" `Quick
+            test_legacy_names_unescaped;
+        ] );
+      ( "rejection",
+        [
+          Alcotest.test_case "every truncation is Error" `Quick
+            test_truncation_rejected;
+          Alcotest.test_case "malformed float fields" `Quick
+            test_malformed_floats_rejected;
+          Alcotest.test_case "malformed name escapes" `Quick
+            test_bad_counter_escapes_rejected;
+          Alcotest.test_case "version and garbage" `Quick
+            test_version_and_garbage_rejected;
+        ] );
+    ]

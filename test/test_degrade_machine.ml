@@ -1,0 +1,256 @@
+(* The degradation ladder as a state machine, driven by random fault
+   schedules and checked against an independent reference model plus
+   schedule-free invariants: downward moves are immediate (possibly
+   multi-rung), upward moves are hysteretic single rungs tagged
+   [Recovered], and the transition log records every level change exactly
+   once, in order, with a consistent chain. *)
+
+module Degrade = Ic_runtime.Degrade
+
+let rank = Degrade.rank
+
+(* --- independent reference model ----------------------------------------- *)
+
+type model = { k : int; mutable lvl : int; mutable streak : int }
+
+let model_step m target =
+  if target > m.lvl then begin
+    let tr = Some (m.lvl, target, `Given) in
+    m.lvl <- target;
+    m.streak <- 0;
+    tr
+  end
+  else if target < m.lvl then begin
+    m.streak <- m.streak + 1;
+    if m.streak >= m.k then begin
+      let tr = Some (m.lvl, m.lvl - 1, `Recovered) in
+      m.lvl <- m.lvl - 1;
+      m.streak <- 0;
+      tr
+    end
+    else None
+  end
+  else begin
+    m.streak <- 0;
+    None
+  end
+
+let reasons_pool =
+  [|
+    Degrade.Warmup;
+    Degrade.Fit_stale;
+    Degrade.Polls_missing;
+    Degrade.Imputation_exhausted;
+    Degrade.F_degenerate;
+  |]
+
+let gen_schedule =
+  QCheck2.Gen.(
+    let* k = int_range 1 4 in
+    let* initial = int_range 0 3 in
+    let* steps =
+      list_size (int_range 1 60) (pair (int_range 0 3) (int_range 0 4))
+    in
+    return (k, initial, steps))
+
+let run_schedule (k, initial, steps) =
+  let ladder =
+    Degrade.create ~initial:(Degrade.level_of_rank initial) ~recover_after:k ()
+  in
+  let m = { k; lvl = initial; streak = 0 } in
+  let expected = ref [] in
+  List.iteri
+    (fun bin (target, ri) ->
+      let reason = reasons_pool.(ri) in
+      let got =
+        Degrade.observe ladder ~bin ~target:(Degrade.level_of_rank target)
+          ~reason
+      in
+      (match model_step m target with
+      | Some (from_, to_, kind) ->
+          let want_reason =
+            match kind with `Recovered -> Degrade.Recovered | `Given -> reason
+          in
+          expected :=
+            {
+              Degrade.bin;
+              from_ = Degrade.level_of_rank from_;
+              to_ = Degrade.level_of_rank to_;
+              reason = want_reason;
+            }
+            :: !expected
+      | None -> ());
+      if rank got <> m.lvl then
+        QCheck2.Test.fail_reportf "bin %d: ladder %d, model %d" bin (rank got)
+          m.lvl)
+    steps;
+  (ladder, List.rev !expected)
+
+(* --- properties ---------------------------------------------------------- *)
+
+let test_matches_model () =
+  let prop sched =
+    let ladder, expected = run_schedule sched in
+    Degrade.transitions ladder = expected
+    && Degrade.transition_count ladder = List.length expected
+  in
+  QCheck2.Test.check_exn
+    (QCheck2.Test.make ~count:200
+       ~name:"ladder = reference model (transitions exact)" gen_schedule prop)
+
+let test_invariants () =
+  (* Schedule-free invariants over the recorded log. *)
+  let prop ((_, initial, _) as sched) =
+    let ladder, _ = run_schedule sched in
+    let ts = Degrade.transitions ladder in
+    let chained =
+      (* The log is a chain from the initial level to the final one; a
+         transition recorded twice or dropped would break it. *)
+      let rec walk lvl = function
+        | [] -> rank (Degrade.level ladder) = lvl
+        | tr :: rest ->
+            rank tr.Degrade.from_ = lvl
+            && rank tr.Degrade.to_ <> lvl
+            && walk (rank tr.Degrade.to_) rest
+      in
+      walk initial ts
+    in
+    let directions_ok =
+      List.for_all
+        (fun tr ->
+          let d = rank tr.Degrade.to_ - rank tr.Degrade.from_ in
+          if d < 0 then
+            (* upward: exactly one rung, always tagged Recovered *)
+            d = -1 && tr.Degrade.reason = Degrade.Recovered
+          else
+            (* downward: any distance, never tagged Recovered *)
+            d >= 1 && tr.Degrade.reason <> Degrade.Recovered)
+        ts
+    in
+    let bins_ok =
+      let rec nondecreasing = function
+        | a :: (b :: _ as rest) ->
+            a.Degrade.bin <= b.Degrade.bin && nondecreasing rest
+        | _ -> true
+      in
+      nondecreasing ts
+    in
+    chained && directions_ok && bins_ok
+  in
+  QCheck2.Test.check_exn
+    (QCheck2.Test.make ~count:200 ~name:"transition-log invariants"
+       gen_schedule prop)
+
+let test_snapshot_mid_schedule () =
+  (* Snapshot/restore at a random cut point: the restored ladder must
+     finish the schedule exactly like the uninterrupted one, streak
+     included. *)
+  let gen =
+    QCheck2.Gen.(
+      let* sched = gen_schedule in
+      let* cut = int_range 0 30 in
+      return (sched, cut))
+  in
+  let prop (((k, initial, steps) as sched), cut) =
+    let cut = min cut (List.length steps) in
+    let full, _ = run_schedule sched in
+    let head = List.filteri (fun i _ -> i < cut) steps in
+    let tail = List.filteri (fun i _ -> i >= cut) steps in
+    let first, _ = run_schedule (k, initial, head) in
+    let resumed =
+      Degrade.restore ~recover_after:k (Degrade.snapshot first)
+    in
+    List.iteri
+      (fun i (target, ri) ->
+        ignore
+          (Degrade.observe resumed ~bin:(cut + i)
+             ~target:(Degrade.level_of_rank target)
+             ~reason:reasons_pool.(ri)))
+      tail;
+    Degrade.level resumed = Degrade.level full
+    && Degrade.transitions resumed = Degrade.transitions full
+  in
+  QCheck2.Test.check_exn
+    (QCheck2.Test.make ~count:100 ~name:"snapshot/restore mid-schedule" gen
+       prop)
+
+(* --- directed cases ------------------------------------------------------ *)
+
+let test_hysteresis_climb () =
+  let ladder = Degrade.create ~recover_after:3 () in
+  let observe bin =
+    rank
+      (Degrade.observe ladder ~bin ~target:Degrade.Measured_ic
+         ~reason:Degrade.Warmup)
+  in
+  let levels = List.map observe [ 0; 1; 2; 3; 4; 5; 6; 7; 8 ] in
+  (* One rung per 3 healthy bins: 3,3,2, 2,2,1, 1,1,0. *)
+  Alcotest.(check (list int)) "climb cadence" [ 3; 3; 2; 2; 2; 1; 1; 1; 0 ]
+    levels;
+  Alcotest.(check int) "three recoveries" 3 (Degrade.transition_count ladder);
+  List.iter
+    (fun tr ->
+      Alcotest.(check bool) "tagged Recovered" true
+        (tr.Degrade.reason = Degrade.Recovered))
+    (Degrade.transitions ladder)
+
+let test_immediate_multirung_drop () =
+  let ladder =
+    Degrade.create ~initial:Degrade.Measured_ic ~recover_after:2 ()
+  in
+  let l =
+    Degrade.observe ladder ~bin:5 ~target:Degrade.Gravity
+      ~reason:Degrade.Imputation_exhausted
+  in
+  Alcotest.(check int) "floor in one bin" 3 (rank l);
+  match Degrade.transitions ladder with
+  | [ tr ] ->
+      Alcotest.(check int) "single transition" 3 (rank tr.Degrade.to_);
+      Alcotest.(check int) "from the top" 0 (rank tr.Degrade.from_);
+      Alcotest.(check int) "at the observed bin" 5 tr.Degrade.bin
+  | ts -> Alcotest.failf "expected 1 transition, got %d" (List.length ts)
+
+let test_equal_target_resets_streak () =
+  let ladder = Degrade.create ~recover_after:2 () in
+  let obs target =
+    ignore (Degrade.observe ladder ~bin:0 ~target ~reason:Degrade.Warmup)
+  in
+  (* healthy, flat, healthy, flat ... never accumulates two in a row *)
+  obs Degrade.Measured_ic;
+  obs Degrade.Gravity;
+  obs Degrade.Measured_ic;
+  obs Degrade.Gravity;
+  obs Degrade.Measured_ic;
+  Alcotest.(check int) "still at the floor" 3 (rank (Degrade.level ladder));
+  Alcotest.(check int) "no transitions" 0 (Degrade.transition_count ladder)
+
+let test_validation () =
+  Alcotest.check_raises "recover_after >= 1"
+    (Invalid_argument "Degrade.create: recover_after must be >= 1") (fun () ->
+      ignore (Degrade.create ~recover_after:0 ()));
+  Alcotest.check_raises "rank range"
+    (Invalid_argument "Degrade.level_of_rank: 4") (fun () ->
+      ignore (Degrade.level_of_rank 4))
+
+let () =
+  Alcotest.run "degrade-machine"
+    [
+      ( "properties",
+        [
+          Alcotest.test_case "matches reference model (qcheck)" `Quick
+            test_matches_model;
+          Alcotest.test_case "log invariants (qcheck)" `Quick test_invariants;
+          Alcotest.test_case "snapshot mid-schedule (qcheck)" `Quick
+            test_snapshot_mid_schedule;
+        ] );
+      ( "directed",
+        [
+          Alcotest.test_case "hysteretic climb cadence" `Quick
+            test_hysteresis_climb;
+          Alcotest.test_case "immediate multi-rung drop" `Quick
+            test_immediate_multirung_drop;
+          Alcotest.test_case "equal target resets streak" `Quick
+            test_equal_target_resets_streak;
+          Alcotest.test_case "argument validation" `Quick test_validation;
+        ] );
+    ]

@@ -1,0 +1,165 @@
+(* Differential properties over random topologies: the parallel estimation
+   paths must be bit-identical to the sequential ones on arbitrary graphs,
+   not just the fixtures the other suites use. Topologies are rings (so
+   routing always exists) with random extra chords, random sizes and IGP
+   weights, all derived from a qcheck-supplied seed. *)
+
+module Pool = Ic_parallel.Pool
+module Tomogravity = Ic_estimation.Tomogravity
+module Pipeline = Ic_estimation.Pipeline
+module Graph = Ic_topology.Graph
+module Routing = Ic_topology.Routing
+module Tm = Ic_traffic.Tm
+module Rng = Ic_prng.Rng
+
+(* --- random topology ----------------------------------------------------- *)
+
+let random_graph ~nodes ~chords ~seed =
+  let names = Array.init nodes (fun i -> Printf.sprintf "n%02d" i) in
+  let g = ref (Graph.create ~names) in
+  for i = 0 to nodes - 1 do
+    g := Graph.add_link !g i ((i + 1) mod nodes)
+  done;
+  let rng = Rng.create seed in
+  let added = ref 0 and attempts = ref 0 in
+  while !added < chords && !attempts < 4 * chords + 8 do
+    incr attempts;
+    let u = Rng.int rng nodes and v = Rng.int rng nodes in
+    if u <> v && Graph.find_edge !g ~src:u ~dst:v = None then begin
+      let weight = 1. +. float_of_int (Rng.int rng 3) in
+      g := Graph.add_link ~weight !g u v;
+      incr added
+    end
+  done;
+  !g
+
+let synth_on graph ~bins ~seed =
+  let spec =
+    {
+      Ic_core.Synth.default_spec with
+      nodes = Graph.node_count graph;
+      binning = Ic_timeseries.Timebin.five_min;
+      bins;
+      mean_total_bytes = 5e8;
+    }
+  in
+  (Ic_core.Synth.generate spec (Rng.create seed)).Ic_core.Synth.series
+
+let tm_bits tm = Array.map Int64.bits_of_float (Tm.to_vector tm)
+
+(* One random instance: graph, routing, per-bin loads and priors. *)
+let instance ~nodes ~chords ~bins ~seed =
+  let graph = random_graph ~nodes ~chords ~seed in
+  let routing = Routing.build graph in
+  let truth = synth_on graph ~bins ~seed:(seed + 1) in
+  let prior = Ic_gravity.Gravity.of_series truth in
+  let link_loads =
+    Array.init bins (fun k ->
+        Routing.link_loads routing (Tm.to_vector (Ic_traffic.Series.tm truth k)))
+  in
+  let priors = Array.init bins (fun k -> Ic_traffic.Series.tm prior k) in
+  (routing, truth, prior, link_loads, priors)
+
+(* --- properties ---------------------------------------------------------- *)
+
+(* (nodes, chords, (bins, seed), jobs) *)
+let gen_topology_case =
+  QCheck2.Gen.(
+    quad (int_range 3 8) (int_range 0 6)
+      (pair (int_range 1 12) (int_range 0 10_000))
+      (oneofl [ 1; 2; 4 ]))
+
+let test_series_par_differential () =
+  let prop (nodes, chords, (bins, seed), jobs) =
+    let routing, _, _, link_loads, priors = instance ~nodes ~chords ~bins ~seed in
+    let seq = Tomogravity.estimate_series routing ~link_loads ~priors in
+    let par =
+      Pool.with_pool ~jobs (fun pool ->
+          Tomogravity.estimate_series_par ~pool routing ~link_loads ~priors)
+    in
+    Array.length seq = Array.length par
+    && Array.for_all2 (fun a b -> tm_bits a = tm_bits b) seq par
+  in
+  QCheck2.Test.check_exn
+    (QCheck2.Test.make ~count:12
+       ~name:"estimate_series_par = estimate_series on random topologies"
+       gen_topology_case prop)
+
+let test_pipeline_par_differential () =
+  let prop (nodes, chords, (bins, seed), jobs) =
+    let routing, truth, prior, _, _ = instance ~nodes ~chords ~bins ~seed in
+    let config = Pipeline.default_config routing in
+    let seq = Pipeline.run config ~truth ~prior in
+    let par =
+      Pool.with_pool ~jobs (fun pool ->
+          Pipeline.run_par ~pool config ~truth ~prior)
+    in
+    let bits series =
+      Array.init bins (fun k -> tm_bits (Ic_traffic.Series.tm series k))
+    in
+    bits seq.Pipeline.estimate = bits par.Pipeline.estimate
+    && seq.Pipeline.per_bin_error = par.Pipeline.per_bin_error
+    && seq.Pipeline.clamped_entries = par.Pipeline.clamped_entries
+  in
+  QCheck2.Test.check_exn
+    (QCheck2.Test.make ~count:8
+       ~name:"Pipeline.run_par = Pipeline.run on random topologies"
+       gen_topology_case prop)
+
+let test_jobs_cross_agreement () =
+  (* All pool sizes agree with each other, not just with the sequential
+     path, on one awkward topology (odd node count, several chords). *)
+  let routing, _, _, link_loads, priors =
+    instance ~nodes:7 ~chords:4 ~bins:9 ~seed:4242
+  in
+  let run jobs =
+    Pool.with_pool ~jobs (fun pool ->
+        Tomogravity.estimate_series_par ~pool routing ~link_loads ~priors)
+    |> Array.map tm_bits
+  in
+  let j1 = run 1 in
+  List.iter
+    (fun jobs ->
+      let jn = run jobs in
+      Alcotest.(check int)
+        (Printf.sprintf "jobs=%d length" jobs)
+        (Array.length j1) (Array.length jn);
+      Array.iteri
+        (fun k a ->
+          Alcotest.(check (array int64))
+            (Printf.sprintf "jobs=%d bin %d" jobs k)
+            a jn.(k))
+        j1)
+    [ 2; 3; 4 ]
+
+let test_random_graph_sane () =
+  (* The generator itself: rings stay connected, chords never duplicate
+     edges, and routing construction succeeds across the size range. *)
+  let prop (nodes, chords, (_, seed), _) =
+    let g = random_graph ~nodes ~chords ~seed in
+    Graph.is_connected g
+    && Graph.edge_count g >= 2 * nodes
+    && Routing.row_count (Routing.build g) > 0
+  in
+  QCheck2.Test.check_exn
+    (QCheck2.Test.make ~count:25 ~name:"random topology generator is sane"
+       gen_topology_case prop)
+
+let () =
+  Alcotest.run "differential"
+    [
+      ( "bit-identity",
+        [
+          Alcotest.test_case "estimate_series_par (random topologies)" `Slow
+            test_series_par_differential;
+          Alcotest.test_case "Pipeline.run_par (random topologies)" `Slow
+            test_pipeline_par_differential;
+          Alcotest.test_case "pool sizes agree pairwise" `Quick
+            test_jobs_cross_agreement;
+        ] );
+      ( "generator",
+        [
+          Alcotest.test_case "random graph sanity" `Quick
+            test_random_graph_sane;
+        ] );
+    ]
