@@ -4,9 +4,18 @@
    All inputs are precomputed so the staged closures measure only the kernel
    under study. Run with: dune exec bench/main.exe
 
+   Every benchmark runs one discarded warmup measurement (JIT-free OCaml
+   still wants hot caches, primed branch predictors, and a grown minor heap)
+   followed by [--repeat N] (default 3) recorded measurements, reporting the
+   per-test MINIMUM — the noise-robust estimator for deterministic kernels.
+   Before this, a single 0.4 s OLS pass could rank traced-on above
+   traced-off on an idle machine; min-of-N makes such inversions
+   reproducible noise rather than reportable results.
+
    Pass [--json <path>] to also write the results as a machine-readable
    BENCH_<label>.json (test name -> ns/run) so the performance trajectory can
-   be tracked across PRs; see "Performance architecture" in DESIGN.md. *)
+   be tracked across PRs; see "Performance architecture" in DESIGN.md and
+   scripts/bench_diff.sh for comparing two such files. *)
 
 open Bechamel
 module Instance = Toolkit.Instance
@@ -186,6 +195,18 @@ let batch_tests =
                Ic_estimation.Tomogravity.estimate routing ~link_loads:y
                  ~prior:p)
              series_link_loads series_priors));
+    (* Shared frozen weights across the series: one factorization, then
+       interleaved multi-RHS triangular solves (Chol.solve_many_into). *)
+    Test.make ~name:"batch/tomogravity-series-shared-weights"
+      (Staged.stage
+         (let weights =
+            Ic_linalg.Vec.clamp_nonneg
+              (Ic_traffic.Tm.to_vector (Ic_traffic.Series.tm fit_series 0))
+          in
+          let plan = Ic_estimation.Tomogravity.make_plan routing in
+          fun () ->
+            Ic_estimation.Tomogravity.estimate_many ~weights plan
+              ~link_loads:series_link_loads ~priors:series_priors));
   ]
 
 (* Streaming engine: per-bin serving cost (prior + tomogravity + IPF over a
@@ -213,6 +234,20 @@ let stream_tests =
     Test.make ~name:"stream/engine-per-bin"
       (Staged.stage
          (let engine = Ic_runtime.Engine.create stream_config in
+          let k = ref 0 in
+          fun () ->
+            let loads, missing = stream_observations.(!k) in
+            ignore (Ic_runtime.Engine.step engine ~loads ~missing);
+            k := (!k + 1) mod Array.length stream_observations));
+    (* The same serving loop with the fast path disabled: per-bin prior
+       weights, a fresh Gram + factorization every bin, uncached activity
+       recovery. The gap to stream/engine-per-bin is the fast path's win. *)
+    Test.make ~name:"stream/engine-per-bin-unfrozen"
+      (Staged.stage
+         (let engine =
+            Ic_runtime.Engine.create
+              { stream_config with Ic_runtime.Engine.fast_path = false }
+          in
           let k = ref 0 in
           fun () ->
             let loads, missing = stream_observations.(!k) in
@@ -321,6 +356,47 @@ let substrate_tests =
       (Staged.stage
          (let l = Ic_linalg.Mat.create 122 122 in
           fun () -> Ic_linalg.Chol.factorize_into ~l spd_122));
+    (* One rank-1 update + downdate pair on a held factor: the matrix
+       returns to itself, so the factor cannot drift across runs. This is
+       the per-carrier cost of the tomogravity rank-k update tier. *)
+    Test.make ~name:"linalg/chol-update-downdate-122"
+      (Staged.stage
+         (let ch =
+            match Ic_linalg.Chol.factorize spd_122 with
+            | Ok ch -> ch
+            | Error _ -> assert false
+          in
+          let rng = Ic_prng.Rng.create 12 in
+          let x =
+            Array.init 122 (fun _ -> Ic_prng.Rng.float_range rng (-1.) 1.)
+          in
+          let buf = Array.make 122 0. in
+          fun () ->
+            Array.blit x 0 buf 0 122;
+            Ic_linalg.Chol.update ch buf;
+            Array.blit x 0 buf 0 122;
+            match Ic_linalg.Chol.downdate ch buf with
+            | Ok () -> ()
+            | Error _ -> assert false));
+    Test.make ~name:"linalg/chol-solve-many-16x122"
+      (Staged.stage
+         (let ch =
+            match Ic_linalg.Chol.factorize spd_122 with
+            | Ok ch -> ch
+            | Error _ -> assert false
+          in
+          let lt = Ic_linalg.Mat.create 122 122 in
+          let () = Ic_linalg.Chol.transpose_into ch ~lt in
+          let rng = Ic_prng.Rng.create 13 in
+          let rhss =
+            Array.init 16 (fun _ ->
+                Array.init 122 (fun _ ->
+                    Ic_prng.Rng.float_range rng (-1.) 1.))
+          in
+          let bufs = Array.map Array.copy rhss in
+          fun () ->
+            Array.iteri (fun i b -> Array.blit rhss.(i) 0 b 0 122) bufs;
+            Ic_linalg.Chol.solve_many_into ~lt ch bufs));
     Test.make ~name:"linalg/svd-44x22"
       (Staged.stage (fun () -> Ic_linalg.Svd.decompose qr_tall));
     Test.make ~name:"linalg/eig-60"
@@ -369,7 +445,7 @@ let substrate_tests =
 (* Harness                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let run_group label tests =
+let run_group ~repeat label tests =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
   in
@@ -377,21 +453,40 @@ let run_group label tests =
   let cfg =
     Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.4) ~kde:None ()
   in
+  let warmup_cfg =
+    Benchmark.cfg ~limit:250 ~quota:(Time.second 0.1) ~kde:None ()
+  in
+  let measure cfg test =
+    let raw = Benchmark.all cfg instances test in
+    let analyzed = Analyze.all ols Instance.monotonic_clock raw in
+    Hashtbl.fold
+      (fun name ols_result acc ->
+        let ns =
+          match Analyze.OLS.estimates ols_result with
+          | Some (t :: _) -> t
+          | _ -> Float.nan
+        in
+        (name, ns) :: acc)
+      analyzed []
+  in
   Printf.printf "== %s ==\n%!" label;
   let results =
     List.concat_map
       (fun test ->
-        let raw = Benchmark.all cfg instances test in
-        let analyzed = Analyze.all ols Instance.monotonic_clock raw in
-        Hashtbl.fold
-          (fun name ols_result acc ->
-            let ns =
-              match Analyze.OLS.estimates ols_result with
-              | Some (t :: _) -> t
-              | _ -> Float.nan
-            in
-            (name, ns) :: acc)
-          analyzed [])
+        (* One discarded pass primes caches, branch predictors, and the
+           minor heap; then min-of-[repeat] recorded passes. *)
+        ignore (measure warmup_cfg test);
+        let reps = List.init (max 1 repeat) (fun _ -> measure cfg test) in
+        List.fold_left
+          (fun acc rep ->
+            List.map
+              (fun (name, best) ->
+                match List.assoc_opt name rep with
+                | Some ns when Float.is_finite ns ->
+                    (name, if Float.is_finite best then Float.min best ns else ns)
+                | _ -> (name, best))
+              acc)
+          (List.hd reps) (List.tl reps))
       tests
   in
   (* Hashtbl order is nondeterministic: sort by test name so the report is
@@ -436,6 +531,7 @@ let write_json path results =
 let () =
   let json_path = ref None in
   let jobs = ref 1 in
+  let repeat = ref 3 in
   let group_filter = ref None in
   let argv = Sys.argv in
   let i = ref 1 in
@@ -447,18 +543,23 @@ let () =
     | "--jobs" when !i + 1 < Array.length argv ->
         incr i;
         jobs := int_of_string argv.(!i)
+    | "--repeat" when !i + 1 < Array.length argv ->
+        incr i;
+        repeat := int_of_string argv.(!i)
     | "--group" when !i + 1 < Array.length argv ->
         incr i;
         group_filter := Some argv.(!i)
     | arg ->
         Printf.eprintf
-          "usage: %s [--json <path>] [--jobs <n>] [--group <prefix>] \
-           (unknown argument %s)\n"
+          "usage: %s [--json <path>] [--jobs <n>] [--repeat <n>] \
+           [--group <prefix>[,<prefix>...]] (unknown argument %s)\n"
           argv.(0) arg;
         exit 2);
     incr i
   done;
-  Printf.printf "IC traffic-matrix benchmarks (bechamel), --jobs %d\n%!" !jobs;
+  Printf.printf
+    "IC traffic-matrix benchmarks (bechamel), --jobs %d, min of %d\n%!" !jobs
+    !repeat;
   Ic_parallel.Pool.with_pool ~jobs:!jobs (fun pool ->
       let groups =
         [
@@ -476,9 +577,13 @@ let () =
         match !group_filter with
         | None -> groups
         | Some g ->
+            let prefixes = String.split_on_char ',' g in
             let hits =
               List.filter
-                (fun (label, _) -> String.starts_with ~prefix:g label)
+                (fun (label, _) ->
+                  List.exists
+                    (fun p -> p <> "" && String.starts_with ~prefix:p label)
+                    prefixes)
                 groups
             in
             if hits = [] then begin
@@ -488,7 +593,9 @@ let () =
             hits
       in
       let all =
-        List.concat_map (fun (label, tests) -> run_group label tests) selected
+        List.concat_map
+          (fun (label, tests) -> run_group ~repeat:!repeat label tests)
+          selected
       in
       Option.iter (fun path -> write_json path all) !json_path);
   print_endline "done."

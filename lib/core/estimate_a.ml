@@ -25,6 +25,40 @@ let activities ~f ~preference ~ingress ~egress =
   let b = Array.append ingress egress in
   Ic_linalg.Nnls.solve design b
 
+(* The design and its Gram depend only on (f, preference) — for a streaming
+   engine those are frozen between refits, so per bin only the right-hand
+   side changes. A cache freezes both and answers each bin with one
+   [mulv_t] plus an interior-first NNLS (see [Nnls.solve_gram_full_first];
+   within solver tolerance of [activities], and exactly it whenever the
+   active-set path would end with every coordinate passive). *)
+type cache = {
+  c_n : int;
+  c_design : Mat.t;
+  c_gram : Mat.t;
+  c_factor : Ic_linalg.Chol.t;
+      (* Factor of [c_gram]'s full normal system: the interior fast path of
+         [solve_gram_full_first] then skips the per-bin refactorization with
+         bit-identical results (see [Nnls.full_factor]). *)
+}
+
+let make_cache ~f ~preference =
+  let design = design_matrix ~f ~preference in
+  let gram = Mat.gram design in
+  {
+    c_n = Array.length preference;
+    c_design = design;
+    c_gram = gram;
+    c_factor = Ic_linalg.Nnls.full_factor gram;
+  }
+
+let activities_cached cache ~ingress ~egress =
+  let n = cache.c_n in
+  if Array.length ingress <> n || Array.length egress <> n then
+    invalid_arg "Estimate_a.activities_cached: dimension mismatch";
+  let b = Array.append ingress egress in
+  Ic_linalg.Nnls.solve_gram_full_first ~factor:cache.c_factor cache.c_gram
+    (Mat.mulv_t cache.c_design b)
+
 let prior_series ~f ~preference series =
   let n = Ic_traffic.Series.size series in
   if Array.length preference <> n then

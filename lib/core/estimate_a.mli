@@ -24,6 +24,27 @@ val activities :
 (** Least-squares, non-negative estimate of one bin's activities from its
     marginal counts. *)
 
+type cache
+(** The (f, preference)-dependent half of {!activities} — design matrix,
+    its Gram, and the Gram's ridged Cholesky factor — precomputed once and
+    reused for every bin sharing those parameters. This is the streaming
+    engine's measured-ic prior fast path: between refits [(f, P)] are
+    frozen, so per bin only the marginal right-hand side changes and the
+    interior solve needs no factorization at all. *)
+
+val make_cache : f:float -> preference:Ic_linalg.Vec.t -> cache
+
+val activities_cached :
+  cache ->
+  ingress:Ic_linalg.Vec.t ->
+  egress:Ic_linalg.Vec.t ->
+  Ic_linalg.Vec.t
+(** {!activities} through a cache: one [designᵀ b] product plus an
+    interior-first NNLS ({!Ic_linalg.Nnls.solve_gram_full_first}). Agrees
+    with {!activities} to solver tolerance, and bit-exactly whenever the
+    active-set iteration would terminate with every coordinate passive —
+    the overwhelmingly common case for traffic marginals. *)
+
 val prior_series :
   f:float ->
   preference:Ic_linalg.Vec.t ->

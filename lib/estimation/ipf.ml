@@ -72,7 +72,10 @@ let fit ?(max_iter = 200) ?(tol = 1e-9) tm ~row_targets ~col_targets =
     !err
   in
   let iterations = ref 0 in
-  let continue_ = ref (marginal_error () > tol) in
+  (* [last_err] carries the most recent convergence-check value so the
+     returned error needs no extra full sweep. *)
+  let last_err = ref (marginal_error ()) in
+  let continue_ = ref (!last_err > tol) in
   while !continue_ && !iterations < max_iter do
     incr iterations;
     (* row scaling *)
@@ -103,6 +106,7 @@ let fit ?(max_iter = 200) ?(tol = 1e-9) tm ~row_targets ~col_targets =
         done
       end
     done;
-    if marginal_error () <= tol then continue_ := false
+    last_err := marginal_error ();
+    if !last_err <= tol then continue_ := false
   done;
-  { tm = x; iterations = !iterations; max_marginal_error = marginal_error () }
+  { tm = x; iterations = !iterations; max_marginal_error = !last_err }

@@ -50,12 +50,50 @@ type plan
 (** Routing-dependent precomputation plus reusable scratch buffers. A plan
     is single-threaded state: concurrent estimates must not share one. *)
 
-val make_plan : ?tracer:Ic_obs.Trace.t -> Ic_topology.Routing.t -> plan
+val make_plan :
+  ?tracer:Ic_obs.Trace.t ->
+  ?rank_update_limit:int ->
+  Ic_topology.Routing.t ->
+  plan
 (** [tracer] (default the no-op tracer) receives a [tomogravity.gram] /
-    [tomogravity.factorize] / [tomogravity.solve] / [tomogravity.clamp]
-    span per stage of every {!estimate_with_plan} call through the plan.
-    Tracing only observes — enabled or not, the estimates are bit-identical
-    (qcheck-pinned). *)
+    [tomogravity.factorize] / [tomogravity.update] / [tomogravity.solve] /
+    [tomogravity.clamp] span per stage of every {!estimate_with_plan} call
+    through the plan. Tracing only observes — enabled or not, the estimates
+    are bit-identical (qcheck-pinned).
+
+    [rank_update_limit] (default [0]) is the rank-k crossover of the factor
+    cache: when the weights of a new bin differ from the cached factor's
+    weights in at most this many coordinates, the cached Cholesky factor is
+    adjusted by that many rank-1 update/downdate passes (O(k·m²)) instead of
+    rebuilt (O(m³/3) plus Gram assembly). [0] disables the update tier
+    entirely, leaving only the bit-exact tiers (cache hit on bitwise-equal
+    weights, full refactorization otherwise); see {!rank_update_tol} for the
+    accuracy contract of the update tier. *)
+
+val rank_update_tol : float
+(** [1e-6] — documented relative tolerance of the rank-k update tier:
+    estimates produced through updated factors agree with fully
+    refactorized ones to within this relative error (suite 25 pins it; the
+    expected error is [O(k · eps · cond)], far below this bound on the
+    library's ridge-regularized systems). The hit and refactorize tiers are
+    bit-exact and not covered by this tolerance. *)
+
+type fastpath_stats = { hits : int; updates : int; refactorizes : int }
+(** Cumulative tier counts of a plan's factor cache: [hits] served with the
+    cached factor untouched, [updates] served through rank-k adjustment,
+    [refactorizes] full Gram + Cholesky rebuilds. *)
+
+val plan_fastpath_stats : plan -> fastpath_stats
+
+val plan_invalidate : plan -> unit
+(** Drop the plan's cached factor; the next Cholesky-path estimate through
+    the plan refactorizes unconditionally. Hosts call this when the process
+    that produces the weights changes regime (the streaming engine does so
+    on refits and degradation-level transitions). *)
+
+val plan_set_rank_update_limit : plan -> int -> unit
+(** Adjust the rank-k crossover after construction (see {!make_plan}).
+    Raises [Invalid_argument] on a negative limit. *)
 
 val plan_clone : plan -> plan
 (** A plan over the same routing that {e shares} the read-only symbolic
@@ -83,26 +121,56 @@ val plan_weighted_gram : plan -> Ic_linalg.Vec.t -> Ic_linalg.Mat.t
 
 val estimate_with_plan :
   ?solver:solver ->
+  ?weights:Ic_linalg.Vec.t ->
   plan ->
   link_loads:Ic_linalg.Vec.t ->
   prior:Ic_traffic.Tm.t ->
   Ic_traffic.Tm.t
 (** {!estimate} using the plan's precomputed structure and buffers. Raises
-    the same [Invalid_argument] errors as {!estimate}. *)
+    the same [Invalid_argument] errors as {!estimate}.
+
+    [weights] overrides the least-squares weight vector [W = diag w]
+    (default: the clamped prior, exactly {!estimate}'s behavior). The link
+    constraints [R x = Y] hold at the solution for {e any} psd [W] — the
+    weights only choose which least-norm geometry the correction uses — so
+    hosts may freeze the weights across bins to make consecutive calls hit
+    the plan's factor cache: with bitwise-identical [weights] the Gram
+    assembly and factorization are skipped and the result is bit-identical
+    to the uncached call (tier-1 hit; the factorization is a deterministic
+    function of the weights). Must have one entry per OD pair. *)
+
+val estimate_many :
+  ?solver:solver ->
+  ?weights:Ic_linalg.Vec.t ->
+  plan ->
+  link_loads:Ic_linalg.Vec.t array ->
+  priors:Ic_traffic.Tm.t array ->
+  Ic_traffic.Tm.t array
+(** A batch of bins through one plan. With the Cholesky solver and shared
+    [weights], the factor is ensured once and the per-bin triangular solves
+    run interleaved across the batch ({!Ic_linalg.Chol.solve_many_into}), so
+    the factor streams through cache once per substitution step instead of
+    once per bin. Bit-identical per bin to calling {!estimate_with_plan} in
+    a loop with the same arguments. After the call,
+    {!plan_last_clamp_count} is the {e sum} of clamped entries over the
+    batch. *)
 
 val estimate_series :
   ?solver:solver ->
   ?tracer:Ic_obs.Trace.t ->
+  ?weights:Ic_linalg.Vec.t ->
   Ic_topology.Routing.t ->
   link_loads:Ic_linalg.Vec.t array ->
   priors:Ic_traffic.Tm.t array ->
   Ic_traffic.Tm.t array
-(** Estimate one TM per bin, building the plan once. [link_loads] and
-    [priors] must have equal lengths (one entry per bin). *)
+(** Estimate one TM per bin, building the plan once ({!estimate_many} under
+    the hood). [link_loads] and [priors] must have equal lengths (one entry
+    per bin). *)
 
 val estimate_series_par :
   ?solver:solver ->
   ?tracer:Ic_obs.Trace.t ->
+  ?weights:Ic_linalg.Vec.t ->
   pool:Ic_parallel.Pool.t ->
   Ic_topology.Routing.t ->
   link_loads:Ic_linalg.Vec.t array ->

@@ -1,6 +1,8 @@
 type stats = { iterations : int; residual : float }
 
-let solve ?max_iter ?(tol = 1e-10) apply b =
+let default_tol = 1e-10
+
+let solve ?max_iter ?(tol = default_tol) apply b =
   let n = Array.length b in
   let max_iter = match max_iter with Some k -> k | None -> 10 * n in
   let x = Array.make n 0. in

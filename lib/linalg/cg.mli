@@ -4,6 +4,12 @@
 
 type stats = { iterations : int; residual : float }
 
+val default_tol : float
+(** [1e-10] — the standard relative-residual target for the tomogravity
+    normal equations, matching {!Chol.default_ridge}'s role on the direct
+    path: callers that mean "the library default" name this constant
+    instead of repeating the literal. *)
+
 val solve :
   ?max_iter:int ->
   ?tol:float ->

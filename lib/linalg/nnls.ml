@@ -91,6 +91,34 @@ let solve_gram ?max_iter ?(tol = 1e-10) g c =
   done;
   Vec.clamp_nonneg x
 
+(* Interior-optimum fast path. Activity recovery (Estimate_a) lands on an
+   all-positive solution almost every bin — traffic marginals keep every
+   coordinate active — in which case the unconstrained normal solve IS the
+   NNLS optimum and the Lawson–Hanson machinery above only rediscovers it
+   through ~n incremental sub-factorizations. Try one full solve first and
+   keep it iff strictly positive; fall back to the active-set solver
+   otherwise. When Lawson–Hanson would terminate with every coordinate
+   passive its final solve is the same full system, so the two paths agree
+   to solver tolerance (and exactly when the iteration order is moot). *)
+let solve_gram_full_first ?max_iter ?tol ?factor g c =
+  let z =
+    match factor with
+    | Some ch ->
+        (* Caller-supplied factor of the full system. With the full passive
+           set [solve_passive_ls] copies [g] verbatim before factorizing, so
+           a factor precomputed from the same Gram bits (with the same 1e-12
+           ridge) yields bit-identical solves — and skips the per-call copy
+           and O(n^3/3) refactorization entirely. *)
+        Chol.solve ch c
+    | None ->
+        let n = Array.length c in
+        solve_passive_ls g c (Array.init n (fun i -> i))
+  in
+  if Array.for_all (fun zi -> zi > 0.) z then z
+  else solve_gram ?max_iter ?tol g c
+
+let full_factor g = Chol.factorize_ridge ~ridge:1e-12 g
+
 let solve ?max_iter ?tol a b =
   let g = Mat.gram a in
   let c = Mat.mulv_t a b in

@@ -16,6 +16,30 @@ val solve_gram : ?max_iter:int -> ?tol:float -> Mat.t -> Vec.t -> Vec.t
     but its Gram matrix is cheap to accumulate, as in the per-bin activity
     subproblem of the model fit. *)
 
+val solve_gram_full_first :
+  ?max_iter:int -> ?tol:float -> ?factor:Chol.t -> Mat.t -> Vec.t -> Vec.t
+(** {!solve_gram} with an interior-optimum fast path: one unconstrained
+    normal solve up front, kept iff strictly positive (it is then the NNLS
+    optimum). Falls back to the active-set iteration otherwise. When the
+    active-set method would terminate with every coordinate passive, its
+    final solve is this same full system, so the paths agree to solver
+    tolerance; the streaming engine's per-bin activity recovery uses this
+    entry point because traffic marginals make the interior case the
+    overwhelmingly common one (an order-of-magnitude per-bin saving).
+
+    [factor], when given, must be {!full_factor}[ g] for this same [g]: the
+    interior solve then reuses it instead of refactorizing per call, with
+    bit-identical results (the full-passive-set subproblem copies [g]
+    verbatim, so the factorization input is the same bits). Callers that
+    hold [g] fixed across many right-hand sides — the streaming engine's
+    per-regime activity cache — get an O(n^3/3)-per-call saving. *)
+
+val full_factor : Mat.t -> Chol.t
+(** The ridged Cholesky factor of the full normal system that
+    {!solve_gram_full_first} computes internally (ridge [1e-12], matching
+    the active-set subproblem solver). Precompute once per Gram matrix and
+    pass as [?factor]. *)
+
 val kkt_violation : Mat.t -> Vec.t -> Vec.t -> float
 (** [kkt_violation a b x] measures how far [x] is from satisfying the NNLS
     KKT conditions for [min ||a x - b||, x >= 0]: the maximum of (i) negative

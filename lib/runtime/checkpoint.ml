@@ -79,6 +79,13 @@ let encode (s : Engine.snapshot) =
     (fun c -> Buffer.add_string buf (Printf.sprintf " %d" c))
     s.s_consec_missing;
   Buffer.add_char buf '\n';
+  (match s.s_frozen with
+  | None -> line "frozen none"
+  | Some (lvl, w) ->
+      Buffer.add_string buf
+        (Printf.sprintf "frozen %d %d" (Degrade.rank lvl) (Array.length w));
+      encode_floats buf w;
+      Buffer.add_char buf '\n');
   line "counters %d" (List.length s.s_counters);
   List.iter
     (fun (name, v) -> line "c %s %d" (escape_counter_name name) v)
@@ -256,6 +263,27 @@ let decode_exn text =
         Array.of_list (List.map parse_int rest)
     | [] -> raise (Bad "bad consec record")
   in
+  (* v1 checkpoints written before the fast path carry no frozen record;
+     peek and treat its absence as "unfrozen" so they keep loading. *)
+  let s_frozen =
+    match words (next_line cur) with
+    | "frozen" :: rest -> begin
+        match rest with
+        | [ "none" ] -> None
+        | rank :: count :: floats ->
+            let lvl =
+              match Degrade.level_of_rank (parse_int rank) with
+              | lvl -> lvl
+              | exception Invalid_argument _ ->
+                  raise (Bad ("bad frozen level rank " ^ rank))
+            in
+            Some (lvl, parse_floats (parse_int count) floats)
+        | _ -> raise (Bad "bad frozen record")
+      end
+    | _ ->
+        cur.pos <- cur.pos - 1;
+        None
+  in
   let n_counters =
     match expect_key "counters" (words (next_line cur)) with
     | [ v ] -> parse_int v
@@ -280,6 +308,7 @@ let decode_exn text =
     s_have_last;
     s_consec_missing;
     s_counters;
+    s_frozen;
   }
 
 let decode text =

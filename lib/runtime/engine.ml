@@ -19,6 +19,7 @@ type config = {
   recover_after : int;
   fallback_f : float;
   initial_params : (float * Ic_linalg.Vec.t) option;
+  fast_path : bool;
 }
 
 let default_config routing binning =
@@ -36,6 +37,7 @@ let default_config routing binning =
     recover_after = 12;
     fallback_f = 0.35;
     initial_params = None;
+    fast_path = true;
   }
 
 type t = {
@@ -56,6 +58,19 @@ type t = {
   last_loads : float array;  (* last trusted poll per link *)
   mutable have_last : bool;
   consec_missing : int array;
+  (* Fast-path state (all derived or regime-scoped; see [step]). The frozen
+     weights are the only piece that is genuine engine state — they survive
+     checkpoints so kill/resume is bit-identical. *)
+  mutable frozen_weights : (Degrade.level * Vec.t) option;
+  mutable prior_cache : Ic_core.Estimate_a.cache option;
+  mutable fp_hits : int;
+  mutable fp_updates : int;
+  mutable fp_refactorizes : int;
+  (* Arena buffers reused across bins: [step] fully overwrites each before
+     reading and no callee retains them. *)
+  effective_buf : float array;
+  ingress_buf : Vec.t;
+  egress_buf : Vec.t;
 }
 
 let validate_config c =
@@ -109,6 +124,14 @@ let create ?telemetry ?(tracer = Trace.noop) config =
     last_loads = Array.make m 0.;
     have_last = false;
     consec_missing = Array.make m 0;
+    frozen_weights = None;
+    prior_cache = None;
+    fp_hits = 0;
+    fp_updates = 0;
+    fp_refactorizes = 0;
+    effective_buf = Array.make m 0.;
+    ingress_buf = Array.make n 0.;
+    egress_buf = Array.make n 0.;
   }
 
 type output = {
@@ -212,7 +235,22 @@ let build_prior t level ~ingress ~egress =
           | None -> invalid_arg "Engine: IC rung without a fit (bug)"
         in
         let activity =
-          Ic_core.Estimate_a.activities ~f:t.f ~preference ~ingress ~egress
+          if t.config.fast_path then begin
+            (* The activity design and its Gram depend only on the frozen
+               (f, preference); the cache is dropped on refit. *)
+            let cache =
+              match t.prior_cache with
+              | Some c -> c
+              | None ->
+                  let c =
+                    Ic_core.Estimate_a.make_cache ~f:t.f ~preference
+                  in
+                  t.prior_cache <- Some c;
+                  c
+            in
+            Ic_core.Estimate_a.activities_cached cache ~ingress ~egress
+          end
+          else Ic_core.Estimate_a.activities ~f:t.f ~preference ~ingress ~egress
         in
         Ic_core.Model.simplified ~f:t.f ~activity ~preference
     | Closed_form -> begin
@@ -237,7 +275,7 @@ let step t ~loads ~missing =
   Telemetry.incr t.tel "bins";
   Telemetry.add t.tel "polls.total" t.m;
   (* Ingest: flag corrupt polls, impute by carry-forward, track budgets. *)
-  let effective = Array.make t.m 0. in
+  let effective = t.effective_buf in
   let n_missing = ref 0 in
   Trace.with_span t.tracer "engine.ingest" (fun () ->
   Telemetry.time t.tel "ingest" (fun () ->
@@ -278,8 +316,11 @@ let step t ~loads ~missing =
     Telemetry.incr t.tel "degrade.up";
   Telemetry.incr t.tel ("bins.at." ^ Degrade.level_name level);
   (* Prior from this bin's marginal counts, at the chosen rung. *)
-  let ingress = Array.map (fun r -> effective.(r)) t.ingress_rows in
-  let egress = Array.map (fun r -> effective.(r)) t.egress_rows in
+  let ingress = t.ingress_buf and egress = t.egress_buf in
+  for i = 0 to t.n - 1 do
+    ingress.(i) <- effective.(t.ingress_rows.(i));
+    egress.(i) <- effective.(t.egress_rows.(i))
+  done;
   let prior =
     Trace.with_span t.tracer "engine.prior"
       ~attrs:[ ("level", Degrade.level_name level) ]
@@ -287,15 +328,54 @@ let step t ~loads ~missing =
         Telemetry.time t.tel "prior" (fun () ->
             build_prior t level ~ingress ~egress))
   in
+  (* Weight freezing: the link constraints hold at the tomogravity solution
+     for any psd weight matrix — the weights only pick the least-norm
+     geometry of the correction — so between regime changes (refits and
+     ladder transitions) the weights are frozen at the first bin's prior.
+     Consecutive bins then hit the plan's factor cache bitwise and skip the
+     Gram assembly and Cholesky factorization entirely. *)
+  let weights =
+    if not t.config.fast_path then None
+    else begin
+      (match t.frozen_weights with
+      | Some (lvl, _) when lvl = level -> ()
+      | _ ->
+          t.frozen_weights <- None;
+          Tomogravity.plan_invalidate t.plan;
+          let data = Tm.unsafe_data prior in
+          let n_od = Array.length data in
+          let w = Array.make n_od 0. in
+          let sum = ref 0. in
+          for s = 0 to n_od - 1 do
+            let x = data.(s) in
+            let x = if x < 0. then 0. else x in
+            w.(s) <- x;
+            sum := !sum +. x
+          done;
+          (* A degenerate (all-zero) bin must not pin zero weights for the
+             rest of the regime; leave unfrozen and retry next bin. *)
+          if !sum > 0. then t.frozen_weights <- Some (level, w));
+      Option.map snd t.frozen_weights
+    end
+  in
   (* Refine against the link constraints, then project onto the measured
      marginals. *)
   let refined =
     Trace.with_span t.tracer "engine.estimate" (fun () ->
         Telemetry.time t.tel "estimate" (fun () ->
-            Tomogravity.estimate_with_plan t.plan ~link_loads:effective ~prior))
+            Tomogravity.estimate_with_plan ?weights t.plan
+              ~link_loads:effective ~prior))
   in
   let clamped = Tomogravity.plan_last_clamp_count t.plan in
   Telemetry.add t.tel "estimate.clamped_entries" clamped;
+  let fp = Tomogravity.plan_fastpath_stats t.plan in
+  Telemetry.add t.tel "fastpath.hit" (fp.Tomogravity.hits - t.fp_hits);
+  Telemetry.add t.tel "fastpath.update" (fp.Tomogravity.updates - t.fp_updates);
+  Telemetry.add t.tel "fastpath.refactorize"
+    (fp.Tomogravity.refactorizes - t.fp_refactorizes);
+  t.fp_hits <- fp.Tomogravity.hits;
+  t.fp_updates <- fp.Tomogravity.updates;
+  t.fp_refactorizes <- fp.Tomogravity.refactorizes;
   let estimate =
     if Vec.sum ingress <= 0. then refined
     else
@@ -310,7 +390,14 @@ let step t ~loads ~missing =
   t.window_buf.(t.bin mod Array.length t.window_buf) <- Some estimate;
   t.bin <- t.bin + 1;
   if t.fit_age < max_int then t.fit_age <- t.fit_age + 1;
-  if t.bin mod t.config.refit_every = 0 then ignore (refit t);
+  if t.bin mod t.config.refit_every = 0 then
+    if refit t then begin
+      (* New (f, preference): the prior cache is stale and the next bin's
+         weights must refreeze against the new regime's prior. *)
+      t.prior_cache <- None;
+      t.frozen_weights <- None;
+      Tomogravity.plan_invalidate t.plan
+    end;
   { estimate; level; clamped }
 
 (* --- accessors ---------------------------------------------------------- *)
@@ -343,6 +430,7 @@ type snapshot = {
   s_have_last : bool;
   s_consec_missing : int array;
   s_counters : (string * int) list;
+  s_frozen : (Degrade.level * Ic_linalg.Vec.t) option;
 }
 
 let snapshot t =
@@ -365,6 +453,8 @@ let snapshot t =
     s_have_last = t.have_last;
     s_consec_missing = Array.copy t.consec_missing;
     s_counters = Telemetry.counters t.tel;
+    s_frozen =
+      Option.map (fun (lvl, w) -> (lvl, Array.copy w)) t.frozen_weights;
   }
 
 let restore ?telemetry ?tracer config s =
@@ -379,6 +469,10 @@ let restore ?telemetry ?tracer config s =
   (match s.s_preference with
   | Some p when Array.length p <> t.n ->
       invalid_arg "Engine.restore: preference size mismatch"
+  | _ -> ());
+  (match s.s_frozen with
+  | Some (_, w) when Array.length w <> t.n * t.n ->
+      invalid_arg "Engine.restore: frozen weight size mismatch"
   | _ -> ());
   Array.iter
     (fun tm ->
@@ -408,4 +502,10 @@ let restore ?telemetry ?tracer config s =
   Array.blit s.s_consec_missing 0 t.consec_missing 0 t.m;
   t.have_last <- s.s_have_last;
   Telemetry.set_counters t.tel s.s_counters;
+  (* Frozen weights are restored verbatim so the first post-resume bins use
+     exactly the weights the interrupted run froze (kill/resume
+     bit-identity); the factor and prior caches are derived state and
+     rebuild deterministically on the next step. *)
+  t.frozen_weights <-
+    Option.map (fun (lvl, w) -> (lvl, Array.copy w)) s.s_frozen;
   t

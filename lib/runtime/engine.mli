@@ -36,13 +36,27 @@ type config = {
   initial_params : (float * Ic_linalg.Vec.t) option;
       (** a pre-calibrated [(f, preference)], treated as a fit completed at
           bin 0 (the engine starts at [Measured_ic]) *)
+  fast_path : bool;
+      (** enable the per-bin fast path (default [true]): the tomogravity
+          weights are frozen at the first bin of each regime (refit /
+          ladder-transition epoch) so consecutive bins reuse the cached
+          Cholesky factor, and the measured-ic prior reuses a cached
+          activity design and Gram with an interior-first NNLS. The link
+          constraints hold at the solution for any psd weight matrix, so
+          frozen weights change only the least-norm geometry of the
+          correction (second order; the marginals are reimposed by IPF
+          regardless). [false] restores the pre-fast-path per-bin
+          arithmetic bit-for-bit. Either setting, the engine stays
+          deterministic and kill/resume bit-identical — frozen weights are
+          checkpointed state. *)
 }
 
 val default_config :
   Ic_topology.Routing.t -> Ic_timeseries.Timebin.t -> config
 (** Daily refit window and period, 6 warm sweeps, staleness at two refit
     periods, soft/hard missing thresholds 0.2/0.5, imputation budget 2,
-    recovery after 12 healthy bins, fallback [f] 0.35, cold start. *)
+    recovery after 12 healthy bins, fallback [f] 0.35, cold start, fast
+    path enabled. *)
 
 type t
 
@@ -109,6 +123,11 @@ type snapshot = {
   s_have_last : bool;
   s_consec_missing : int array;
   s_counters : (string * int) list;
+  s_frozen : (Degrade.level * Ic_linalg.Vec.t) option;
+      (** the fast path's frozen tomogravity weights and the ladder rung
+          they were frozen at; [None] when unfrozen (fast path off, warmup,
+          or a degenerate freeze bin). Checkpointed so kill/resume
+          reproduces the uninterrupted stream bit-for-bit. *)
 }
 
 val snapshot : t -> snapshot

@@ -1,0 +1,88 @@
+#!/bin/sh
+# bench_diff.sh BASELINE.json AFTER.json [--threshold PCT] [--only PREFIX]
+#
+# Diff two BENCH_*.json files written by `bench/main.exe --json` and print a
+# per-benchmark speedup table (baseline_ns / after_ns: >1 is faster). Exits
+# non-zero if any benchmark present in BOTH files regressed by more than
+# PCT percent (default 10). Benchmarks present in only one file are listed
+# but never fail the gate — PRs add and retire benchmarks routinely.
+#
+# POSIX sh + awk only; no jq dependency. The JSON is the flat, one-entry-
+# per-line format bench/main.exe emits, which a line-oriented parser reads
+# reliably.
+set -eu
+
+threshold=10
+only=""
+base=""
+after=""
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --threshold)
+      [ $# -ge 2 ] || { echo "bench_diff.sh: --threshold needs a value" >&2; exit 2; }
+      threshold=$2; shift 2 ;;
+    --only)
+      [ $# -ge 2 ] || { echo "bench_diff.sh: --only needs a prefix" >&2; exit 2; }
+      only=$2; shift 2 ;;
+    -*)
+      echo "bench_diff.sh: unknown option $1" >&2; exit 2 ;;
+    *)
+      if [ -z "$base" ]; then base=$1
+      elif [ -z "$after" ]; then after=$1
+      else echo "bench_diff.sh: too many arguments" >&2; exit 2
+      fi
+      shift ;;
+  esac
+done
+[ -n "$base" ] && [ -n "$after" ] || {
+  echo "usage: bench_diff.sh BASELINE.json AFTER.json [--threshold PCT] [--only PREFIX]" >&2
+  exit 2
+}
+[ -r "$base" ] || { echo "bench_diff.sh: cannot read $base" >&2; exit 2; }
+[ -r "$after" ] || { echo "bench_diff.sh: cannot read $after" >&2; exit 2; }
+
+awk -v base="$base" -v after="$after" -v threshold="$threshold" -v only="$only" '
+  function parse(path, into,    line, name, value) {
+    while ((getline line < path) > 0) {
+      # entries look like:  "group/name": 1234.567,
+      if (line !~ /^[ \t]*"[^"]+\/[^"]*":[ \t]*[0-9]/) continue
+      name = line
+      sub(/^[ \t]*"/, "", name); sub(/".*$/, "", name)
+      value = line
+      sub(/^[^:]*:[ \t]*/, "", value); sub(/[,\s]*$/, "", value)
+      into[name] = value + 0
+    }
+    close(path)
+  }
+  BEGIN {
+    parse(base, b); parse(after, a)
+    printf "%-44s %14s %14s %9s\n", "benchmark", "baseline ns", "after ns", "speedup"
+    regressions = 0; compared = 0
+    n = 0
+    for (k in b) names[n++] = k
+    for (k in a) if (!(k in b)) names[n++] = k
+    # insertion sort for POSIX awk portability
+    for (i = 1; i < n; i++) {
+      v = names[i]
+      for (j = i - 1; j >= 0 && names[j] > v; j--) names[j + 1] = names[j]
+      names[j + 1] = v
+    }
+    for (i = 0; i < n; i++) {
+      k = names[i]
+      if (only != "" && index(k, only) != 1) continue
+      if (!(k in b)) { printf "%-44s %14s %14.1f %9s\n", k, "-", a[k], "new"; continue }
+      if (!(k in a)) { printf "%-44s %14.1f %14s %9s\n", k, b[k], "-", "gone"; continue }
+      if (a[k] <= 0) { printf "%-44s %14.1f %14.1f %9s\n", k, b[k], a[k], "?"; continue }
+      ratio = b[k] / a[k]
+      flag = ""
+      if (ratio < 1 - threshold / 100) { flag = "  REGRESSED"; regressions++ }
+      compared++
+      printf "%-44s %14.1f %14.1f %8.2fx%s\n", k, b[k], a[k], ratio, flag
+    }
+    printf "\n%d benchmarks compared, regression threshold %s%%\n", compared, threshold
+    if (regressions > 0) {
+      printf "bench_diff.sh: %d benchmark(s) regressed beyond %s%%\n", regressions, threshold
+      exit 1
+    }
+  }
+'

@@ -22,10 +22,42 @@ echo "== dune runtest =="
 dune runtest
 
 echo "== bench smoke (--jobs 1) =="
-dune exec bench/main.exe -- --jobs 1 --json /dev/null
+dune exec bench/main.exe -- --jobs 1 --repeat 1 --json /dev/null
 
 echo "== bench smoke (--jobs 4, parallel group) =="
-dune exec bench/main.exe -- --jobs 4 --group parallel --json /dev/null
+dune exec bench/main.exe -- --jobs 4 --repeat 1 --group parallel --json /dev/null
+
+echo "== per-bin fast-path gates =="
+# Measure the streaming and observability groups in ONE bench process
+# (min-of-3 per test) so every ratio sees the same heap and machine
+# conditions, then gate:
+#   1. the traced-off observability budget: a bin runs 6 with_span calls
+#      through the noop tracer, so 6 x obs/noop-span is the per-bin cost
+#      the observability layer adds when tracing is off. It must stay
+#      under 3% of stream/engine-per-bin (DESIGN.md "Performance
+#      architecture"). The engine-vs-engine pair (traced-off vs
+#      stream/engine-per-bin) is the same code path twice and its gap is
+#      scheduler noise, so it is printed but not gated.
+#   2. no regression beyond 25% against the committed per-PR snapshot
+#      results/BENCH_pr6_after.json (generous: absorbs machine-to-machine
+#      variance while still catching a lost fast path, which is >5x).
+fastpath_json=$(mktemp)
+trap 'rm -f "$fastpath_json"' EXIT
+dune exec bench/main.exe -- --group stream,obs --json "$fastpath_json"
+perbin=$(awk -F': ' '/"stream\/engine-per-bin"/ { gsub(/[ ,]/, "", $2); print $2; exit }' "$fastpath_json")
+noop_span=$(awk -F': ' '/"obs\/noop-span"/ { gsub(/[ ,]/, "", $2); print $2; exit }' "$fastpath_json")
+if [ -z "$perbin" ] || [ -z "$noop_span" ]; then
+  echo "check.sh: per-bin benchmarks missing from bench output" >&2
+  exit 1
+fi
+if ! awk -v span="$noop_span" -v bin="$perbin" \
+    'BEGIN { exit !(6 * span <= bin * 0.03) }'; then
+  echo "check.sh: traced-off span overhead (6 x ${noop_span} ns) exceeds" >&2
+  echo "  3% of stream/engine-per-bin (${perbin} ns)" >&2
+  exit 1
+fi
+echo "traced-off overhead OK: 6 x ${noop_span} ns spans vs ${perbin} ns per bin"
+scripts/bench_diff.sh results/BENCH_pr6_after.json "$fastpath_json" --threshold 25
 
 echo "== CLI parallel smoke =="
 out1=$(dune exec bin/ic_lab.exe -- estimate --dataset geant --week 1 \

@@ -53,7 +53,10 @@ every degradation transition (counters-only telemetry is deterministic):
     bins.at.stale-fp                 7
     degrade.down                     1
     degrade.up                       5
-    estimate.clamped_entries         1071
+    estimate.clamped_entries         1155
+    fastpath.hit                     29
+    fastpath.refactorize             11
+    fastpath.update                  0
     ipf.iterations                   256
     polls.corrupt                    106
     polls.dropped                    234
@@ -81,8 +84,11 @@ bit-identically per shard, and the merged telemetry dump is deterministic
   merged counters:
     bins                             36
     bins.at.gravity                  36
-    estimate.clamped_entries         1004
-    ipf.iterations                   222
+    estimate.clamped_entries         1124
+    fastpath.hit                     30
+    fastpath.refactorize             6
+    fastpath.update                  0
+    ipf.iterations                   223
     polls.corrupt                    92
     polls.dropped                    252
     polls.imputed                    344
@@ -91,7 +97,10 @@ bit-identically per shard, and the merged telemetry dump is deterministic
   shard geant-0:
     bins                             12
     bins.at.gravity                  12
-    estimate.clamped_entries         398
+    estimate.clamped_entries         423
+    fastpath.hit                     10
+    fastpath.refactorize             2
+    fastpath.update                  0
     ipf.iterations                   76
     polls.corrupt                    30
     polls.dropped                    77
@@ -101,8 +110,11 @@ bit-identically per shard, and the merged telemetry dump is deterministic
   shard geant-1:
     bins                             12
     bins.at.gravity                  12
-    estimate.clamped_entries         264
-    ipf.iterations                   73
+    estimate.clamped_entries         279
+    fastpath.hit                     10
+    fastpath.refactorize             2
+    fastpath.update                  0
+    ipf.iterations                   75
     polls.corrupt                    35
     polls.dropped                    78
     polls.imputed                    113
@@ -111,8 +123,11 @@ bit-identically per shard, and the merged telemetry dump is deterministic
   shard geant-2:
     bins                             12
     bins.at.gravity                  12
-    estimate.clamped_entries         342
-    ipf.iterations                   73
+    estimate.clamped_entries         422
+    fastpath.hit                     10
+    fastpath.refactorize             2
+    fastpath.update                  0
+    ipf.iterations                   72
     polls.corrupt                    27
     polls.dropped                    97
     polls.imputed                    124
@@ -145,15 +160,21 @@ prints the registry in Prometheus text exposition — fully deterministic,
 including the histogram bucket placement:
 
   $ ../bin/ic_lab.exe metrics --dataset geant --weeks 1 --bins 24 \
-  >   --drop-rate 0.05 --corrupt-rate 0.02 | head -20
+  >   --drop-rate 0.05 --corrupt-rate 0.02 | head -26
   # TYPE bins counter
   bins 24
   # TYPE bins_at_gravity counter
   bins_at_gravity 24
   # TYPE estimate_clamped_entries counter
-  estimate_clamped_entries 671
+  estimate_clamped_entries 736
+  # TYPE fastpath_hit counter
+  fastpath_hit 23
+  # TYPE fastpath_refactorize counter
+  fastpath_refactorize 1
+  # TYPE fastpath_update counter
+  fastpath_update 0
   # TYPE ipf_iterations counter
-  ipf_iterations 150
+  ipf_iterations 149
   # TYPE polls_corrupt counter
   polls_corrupt 66
   # TYPE polls_dropped counter
@@ -174,7 +195,7 @@ the tomogravity stages under each estimate):
 
   $ ../bin/ic_lab.exe stream --dataset geant --weeks 1 --bins 12 \
   >   --refit-every 6 --window 12 --trace spans.jsonl | tail -1
-  wrote 110 spans to spans.jsonl
+  wrote 90 spans to spans.jsonl
   $ cut -d'"' -f4 spans.jsonl | sort | uniq -c
        12 engine.estimate
        12 engine.ingest
@@ -183,8 +204,8 @@ the tomogravity stages under each estimate):
         2 engine.refit
        12 engine.step
        12 tomogravity.clamp
-       12 tomogravity.factorize
-       12 tomogravity.gram
+        2 tomogravity.factorize
+        2 tomogravity.gram
        12 tomogravity.solve
   $ head -1 spans.jsonl | cut -d, -f1-4
   {"name":"engine.ingest","id":1,"parent":0,"depth":1

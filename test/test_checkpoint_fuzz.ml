@@ -124,6 +124,15 @@ let gen_snapshot =
     let* s_counters =
       list_size (int_range 0 8) (pair gen_counter_name (int_range 0 1_000_000))
     in
+    let* s_frozen =
+      oneof
+        [
+          return None;
+          (let* lvl = gen_level in
+           let* w = array_size (return (n * n)) gen_float in
+           return (Some (lvl, w)));
+        ]
+    in
     return
       {
         Engine.s_bin;
@@ -136,6 +145,7 @@ let gen_snapshot =
         s_have_last;
         s_consec_missing;
         s_counters;
+        s_frozen;
       })
 
 (* --- exact snapshot equality (floats compared bitwise) ------------------- *)
@@ -163,6 +173,10 @@ let snapshot_eq (a : Engine.snapshot) (b : Engine.snapshot) =
   && a.s_have_last = b.s_have_last
   && a.s_consec_missing = b.s_consec_missing
   && a.s_counters = b.s_counters
+  && (match (a.s_frozen, b.s_frozen) with
+     | None, None -> true
+     | Some (la, wa), Some (lb, wb) -> la = lb && float_array_eq wa wb
+     | _ -> false)
 
 (* --- properties ---------------------------------------------------------- *)
 
@@ -201,6 +215,7 @@ let base_snapshot ?(counters = [ ("polls_total", 12) ]) () =
     s_have_last = true;
     s_consec_missing = [| 0; 3 |];
     s_counters = counters;
+    s_frozen = Some (Degrade.Closed_form, [| 0.5; 1.25 |]);
   }
 
 let test_adversarial_names_unit () =
@@ -229,6 +244,22 @@ let test_legacy_names_unescaped () =
   | Ok s' ->
       Alcotest.(check (list (pair string int)))
         "legacy decode" [ ("ipf_iterations", 42) ] s'.Engine.s_counters
+  | Error e -> Alcotest.fail e
+
+let test_legacy_no_frozen_record () =
+  (* Checkpoints written before the fast path carry no "frozen" record;
+     they must keep decoding, as unfrozen. *)
+  let s = { (base_snapshot ()) with Engine.s_frozen = None } in
+  let legacy =
+    Checkpoint.encode s
+    |> String.split_on_char '\n'
+    |> List.filter (fun l -> l <> "frozen none")
+    |> String.concat "\n"
+  in
+  match Checkpoint.decode legacy with
+  | Ok s' ->
+      Alcotest.(check bool) "legacy decodes unfrozen" true
+        (s'.Engine.s_frozen = None && snapshot_eq s s')
   | Error e -> Alcotest.fail e
 
 let test_truncation_rejected () =
@@ -307,6 +338,8 @@ let () =
             test_adversarial_names_unit;
           Alcotest.test_case "legacy names stay unescaped" `Quick
             test_legacy_names_unescaped;
+          Alcotest.test_case "legacy checkpoint without frozen record" `Quick
+            test_legacy_no_frozen_record;
         ] );
       ( "rejection",
         [
