@@ -442,6 +442,130 @@ let substrate_tests =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Serving plane (custom harness)                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The serving benchmarks need a live acceptor/worker pool, warm client
+   connections, and a load generator in flight — a shape bechamel's staged
+   closures cannot hold. A small custom harness measures them with the
+   same estimator (one discarded warmup pass, then min of [--repeat]
+   recorded passes) and merges into the same results list, so the JSON
+   trajectory and scripts/bench_diff.sh treat them uniformly.
+
+   Units: serve/request-roundtrip is ns per request on one quiet
+   connection. serve/qps-sustained is stored as ns per answered query
+   under an unpaced multi-connection blast — lower is better, so the
+   bench_diff regression gate applies unchanged, and the "sustains
+   >= 10k queries/s" acceptance bar is exactly "<= 100000".
+   serve/p99-latency-us is the 99th-percentile round-trip under that same
+   blast, in MICROSECONDS (the one non-ns entry; the name carries the
+   unit). *)
+
+(* One serving worker per loadgen connection, one such pair per pair of
+   available cores: a worker and its client ping-pong in lockstep, so
+   each pair wants a core to itself. Oversubscribing a small host
+   measures the kernel scheduler instead of the serving plane (on a
+   1-CPU host 4/4 sustains ~8.6k qps where 1/1 sustains ~18k). *)
+let serve_workers = max 1 (min 4 (Domain.recommended_domain_count () / 2))
+
+let with_serve_server f =
+  let sock =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ic-bench-serve-%d.sock" (Unix.getpid ()))
+  in
+  let listen = Ic_serve.Server.Unix_path sock in
+  let source = Ic_serve.Source.create routing in
+  Ic_serve.Source.publish source ~bin:0 ~level:0 one_bin;
+  let handler = Ic_serve.Handler.create [ ("bench", source) ] in
+  let config =
+    {
+      (Ic_serve.Server.default_config listen) with
+      Ic_serve.Server.workers = serve_workers;
+      max_inflight = 256;
+    }
+  in
+  let server = Ic_serve.Server.start config handler in
+  Fun.protect
+    ~finally:(fun () ->
+      Ic_serve.Server.stop server;
+      Ic_serve.Server.wait server)
+    (fun () -> f listen)
+
+let serve_roundtrip_ns listen =
+  let fd = Ic_serve.Server.connect listen in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let reader = Ic_serve.Wire.reader fd in
+      let exchange req =
+        Ic_serve.Wire.write_all fd (Ic_serve.Wire.encode_request req);
+        match Ic_serve.Wire.read_response reader with
+        | `Response (Ic_serve.Wire.Error { message; _ }) ->
+            failwith ("serve bench: error response: " ^ message)
+        | `Response _ -> ()
+        | _ -> failwith "serve bench: connection died mid-roundtrip"
+      in
+      let iters = 2000 in
+      let t0 = Unix.gettimeofday () in
+      for k = 1 to iters do
+        exchange
+          (if k land 1 = 0 then Ic_serve.Wire.Ping (Int64.of_int k)
+           else Ic_serve.Wire.Latest_tm { tenant = "bench" })
+      done;
+      (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int iters)
+
+(* Keep connections <= workers: a worker owns a connection until its
+   client closes it, so more loadgen connections than workers would
+   measure accept-queue wait, not serving throughput. *)
+let serve_blast listen =
+  let config =
+    {
+      (Ic_serve.Loadgen.default_config listen) with
+      Ic_serve.Loadgen.queries = 4000;
+      connections = serve_workers;
+      tenant = "bench";
+    }
+  in
+  let outcome =
+    Ic_serve.Loadgen.run ~probe:(Ic_traffic.Tm.size one_bin) config
+  in
+  if outcome.Ic_serve.Loadgen.transport_failures > 0 then
+    failwith "serve bench: loadgen lost connections";
+  let per_query_ns = 1e9 /. Ic_serve.Loadgen.qps outcome in
+  let p99_us = Ic_serve.Loadgen.percentile outcome 99. in
+  (per_query_ns, p99_us, outcome.Ic_serve.Loadgen.shed, outcome.sent)
+
+let serve_results ~repeat () =
+  Printf.printf "== serve plane ==\n%!";
+  let min_of xs = Array.fold_left Float.min xs.(0) xs in
+  let passes f =
+    ignore (f ());
+    (* discarded warmup, as for the bechamel groups *)
+    Array.init (max 1 repeat) (fun _ -> f ())
+  in
+  with_serve_server (fun listen ->
+      let roundtrip = min_of (passes (fun () -> serve_roundtrip_ns listen)) in
+      let blasts = passes (fun () -> serve_blast listen) in
+      let per_query = min_of (Array.map (fun (q, _, _, _) -> q) blasts) in
+      let p99 = min_of (Array.map (fun (_, p, _, _) -> p) blasts) in
+      let shed, sent =
+        Array.fold_left
+          (fun (s, n) (_, _, shed, sent) -> (s + shed, n + sent))
+          (0, 0) blasts
+      in
+      Printf.printf "  %-36s %8.3f us/run\n%!" "serve/request-roundtrip"
+        (roundtrip /. 1e3);
+      Printf.printf "  %-36s %8.3f us/query (%.1fk qps sustained)\n%!"
+        "serve/qps-sustained" (per_query /. 1e3) (1e6 /. per_query);
+      Printf.printf "  %-36s %8.3f us p99, shed rate %d/%d\n%!"
+        "serve/p99-latency-us" p99 shed sent;
+      [
+        ("serve/p99-latency-us", p99);
+        ("serve/qps-sustained", per_query);
+        ("serve/request-roundtrip", roundtrip);
+      ])
+
+(* ------------------------------------------------------------------ *)
 (* Harness                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -573,29 +697,31 @@ let () =
           ("substrates", substrate_tests);
         ]
       in
-      let selected =
+      (* "serve plane" is a custom-harness group (live server + load
+         generator), selected by the same prefix filter as the bechamel
+         groups. *)
+      let matches label =
         match !group_filter with
-        | None -> groups
+        | None -> true
         | Some g ->
-            let prefixes = String.split_on_char ',' g in
-            let hits =
-              List.filter
-                (fun (label, _) ->
-                  List.exists
-                    (fun p -> p <> "" && String.starts_with ~prefix:p label)
-                    prefixes)
-                groups
-            in
-            if hits = [] then begin
-              Printf.eprintf "no benchmark group matches %S\n" g;
-              exit 2
-            end;
-            hits
+            List.exists
+              (fun p -> p <> "" && String.starts_with ~prefix:p label)
+              (String.split_on_char ',' g)
       in
+      let selected = List.filter (fun (label, _) -> matches label) groups in
+      let serve_selected = matches "serve plane" in
+      if selected = [] && not serve_selected then begin
+        Printf.eprintf "no benchmark group matches %S\n"
+          (Option.value ~default:"" !group_filter);
+        exit 2
+      end;
       let all =
         List.concat_map
           (fun (label, tests) -> run_group ~repeat:!repeat label tests)
           selected
+      in
+      let all =
+        if serve_selected then all @ serve_results ~repeat:!repeat () else all
       in
       Option.iter (fun path -> write_json path all) !json_path);
   print_endline "done."

@@ -380,9 +380,9 @@ let run_stream_sharded which series routing config ~shards ~jobs ~total
         final;
       print_string (Ic_runtime.Shard.merged_dump fleet))
 
-let run_stream which weeks seed bins drop_rate corrupt_rate noise kill_after
-    resume checkpoint_path refit_every window recover_after telemetry_mode
-    shards jobs trace verbose =
+let run_stream which weeks seed bins drop_rate corrupt_rate noise open_loop
+    kill_after resume checkpoint_path refit_every window recover_after
+    telemetry_mode shards jobs trace verbose =
   setup_logs verbose;
   let tracer = make_tracer trace in
   let ds = load_dataset (dataset_of_string which) weeks seed in
@@ -406,16 +406,36 @@ let run_stream which weeks seed bins drop_rate corrupt_rate noise kill_after
     | None -> c
   in
   let feed_seed = Option.value ~default:7 seed in
-  let fresh_feed () =
-    Ic_runtime.Feed.create ~noise_sigma:noise ~drop_rate ~corrupt_rate routing
-      series ~seed:feed_seed
-  in
   let total =
     let len = Ic_traffic.Series.length series in
     match bins with Some b -> min b len | None -> len
   in
+  let openloop =
+    match open_loop with
+    | None -> None
+    | Some rate ->
+        let duration =
+          float_of_int total
+          *. float_of_int binning.Ic_timeseries.Timebin.width_s
+        in
+        let events =
+          Ic_runtime.Feed.Openloop.schedule ~rate ~duration ~seed:feed_seed ()
+        in
+        Printf.printf
+          "open-loop overlay: %d Poisson arrivals at %.3g/s over %.0f s\n"
+          (Array.length events) rate duration;
+        Some events
+  in
+  let fresh_feed () =
+    Ic_runtime.Feed.create ~noise_sigma:noise ~drop_rate ~corrupt_rate
+      ?openloop routing series ~seed:feed_seed
+  in
   if shards < 1 then invalid_arg "stream: shards must be >= 1";
   if jobs < 1 then invalid_arg "stream: jobs must be >= 1";
+  if openloop <> None && shards > 1 then
+    invalid_arg
+      "stream: --open-loop applies to the single-shard path (shard feeds \
+       re-bin time from their own origin)";
   if shards > 1 then begin
     run_stream_sharded which series routing config ~shards ~jobs ~total
       ~feed_seed ~noise ~drop_rate ~corrupt_rate ~kill_after ~resume
@@ -510,7 +530,8 @@ let run_stream which weeks seed bins drop_rate corrupt_rate noise kill_after
    a fake clock that advances 1 ms per reading, so every histogram — not
    just the counters — is a pure function of the observation stream and the
    output can be pinned byte-for-byte in the cram suite. *)
-let run_metrics which weeks seed bins drop_rate corrupt_rate noise =
+let run_metrics which weeks seed bins drop_rate corrupt_rate noise
+    serve_queries =
   let ds = load_dataset (dataset_of_string which) weeks seed in
   let series = ds.Ic_datasets.Dataset.series in
   let routing = Ic_topology.Routing.build ds.Ic_datasets.Dataset.graph in
@@ -533,9 +554,214 @@ let run_metrics which weeks seed bins drop_rate corrupt_rate noise =
     let len = Ic_traffic.Series.length series in
     match bins with Some b -> min b len | None -> len
   in
-  ignore (Ic_runtime.Replay.run ~max_bins:total engine feed);
+  let res = Ic_runtime.Replay.run ~max_bins:total engine feed in
+  (* The serving plane shares the engine's registry, so --serve-queries
+     makes one exposition show both planes; the handler gets the same
+     deterministic clock, so the request-duration histogram is as pinnable
+     as the engine's stage timings. *)
+  if serve_queries > 0 then begin
+    let source = Ic_serve.Source.create routing in
+    let bins_run = Array.length res.Ic_runtime.Replay.estimates in
+    if bins_run > 0 then
+      Ic_serve.Source.publish source ~bin:(bins_run - 1)
+        ~level:
+          (Ic_runtime.Degrade.rank
+             res.Ic_runtime.Replay.levels.(bins_run - 1))
+        res.Ic_runtime.Replay.estimates.(bins_run - 1);
+    let handler =
+      Ic_serve.Handler.create ~clock
+        ~registry:(Ic_runtime.Telemetry.registry telemetry)
+        [ (which, source) ]
+    in
+    let n = Ic_traffic.Series.size series in
+    for k = 0 to serve_queries - 1 do
+      let req =
+        match k mod 5 with
+        | 0 -> Ic_serve.Wire.Ping (Int64.of_int k)
+        | 1 -> Ic_serve.Wire.Latest_tm { tenant = "" }
+        | 2 ->
+            Ic_serve.Wire.Od_flow
+              { tenant = ""; src = k mod n; dst = (k + 1) mod n }
+        | 3 -> Ic_serve.Wire.Topology { tenant = "" }
+        | _ -> Ic_serve.Wire.Whatif { tenant = ""; scale = 1.5 }
+      in
+      ignore (Ic_serve.Handler.handle handler req)
+    done
+  end;
   print_string
     (Ic_obs.Metrics.expose (Ic_runtime.Telemetry.registry telemetry))
+
+(* --- serve ---------------------------------------------------------------- *)
+
+(* Estimation-as-a-service: replay [bins] through the engine with a
+   deterministic bin clock — publishing each bin's estimate to the serving
+   source as it lands — then open the socket and answer queries until
+   [stop_after] requests are served or a signal arrives. The replay runs
+   to completion before the first accept, so every query against a given
+   (dataset, seed, bins) triple sees the same estimate: the property the
+   cram suite pins. *)
+let run_serve which weeks seed bins socket port workers queue_cap max_inflight
+    stop_after read_timeout kill_after resume checkpoint_path trace verbose =
+  setup_logs verbose;
+  let tracer = make_tracer trace in
+  let ds = load_dataset (dataset_of_string which) weeks seed in
+  let series = ds.Ic_datasets.Dataset.series in
+  let routing = Ic_topology.Routing.build ds.Ic_datasets.Dataset.graph in
+  let config =
+    Ic_runtime.Engine.default_config routing series.Ic_traffic.Series.binning
+  in
+  let feed_seed = Option.value ~default:7 seed in
+  let fresh_feed () = Ic_runtime.Feed.create routing series ~seed:feed_seed in
+  let total =
+    let len = Ic_traffic.Series.length series in
+    match bins with Some b -> min b len | None -> len
+  in
+  let registry = Ic_obs.Metrics.create () in
+  let telemetry = Ic_runtime.Telemetry.create ~registry () in
+  let source = Ic_serve.Source.create routing in
+  let publish ~bin (out : Ic_runtime.Engine.output) =
+    Ic_serve.Source.publish source ~bin
+      ~level:(Ic_runtime.Degrade.rank out.Ic_runtime.Engine.level)
+      out.Ic_runtime.Engine.estimate
+  in
+  Printf.printf "replaying %s: %d bins x %d nodes\n" which total
+    (Ic_traffic.Series.size series);
+  let engine =
+    match kill_after with
+    | Some k when k > 0 && k < total ->
+        (* Kill/resume under load: checkpoint mid-replay, restore, finish,
+           and require the served estimates bit-identical to an
+           uninterrupted replay before opening the socket. *)
+        let engine0 = Ic_runtime.Engine.create ~telemetry ~tracer config in
+        let head =
+          Ic_runtime.Replay.run ~max_bins:k ~on_bin:publish engine0
+            (fresh_feed ())
+        in
+        Ic_runtime.Checkpoint.save ~path:checkpoint_path engine0;
+        Printf.printf "killed after %d bins; checkpoint written to %s\n" k
+          checkpoint_path;
+        if not resume then engine0
+        else begin
+          match Ic_runtime.Checkpoint.load ~path:checkpoint_path ~config with
+          | Error e ->
+              prerr_endline e;
+              exit 1
+          | Ok engine1 ->
+              let feed = fresh_feed () in
+              Ic_runtime.Feed.skip feed k;
+              let tail =
+                Ic_runtime.Replay.run ~max_bins:(total - k) ~on_bin:publish
+                  engine1 feed
+              in
+              let shadow =
+                let e = Ic_runtime.Engine.create config in
+                Ic_runtime.Replay.run ~max_bins:total e (fresh_feed ())
+              in
+              let identical =
+                Ic_runtime.Replay.bit_identical
+                  (Array.append head.Ic_runtime.Replay.estimates
+                     tail.Ic_runtime.Replay.estimates)
+                  shadow.Ic_runtime.Replay.estimates
+              in
+              Printf.printf
+                "resume check: served estimates bit-identical to \
+                 uninterrupted run: %s\n"
+                (if identical then "yes" else "NO");
+              if not identical then exit 1;
+              engine1
+        end
+    | _ ->
+        let engine = Ic_runtime.Engine.create ~telemetry ~tracer config in
+        ignore
+          (Ic_runtime.Replay.run ~max_bins:total ~on_bin:publish engine
+             (fresh_feed ()));
+        engine
+  in
+  (match Ic_serve.Source.latest source with
+  | Some p ->
+      Printf.printf "published bin %d at rung %s\n" p.Ic_serve.Source.bin
+        (Ic_runtime.Degrade.level_name
+           (Ic_runtime.Degrade.level_of_rank p.Ic_serve.Source.level))
+  | None -> print_endline "no bins replayed; serving without an estimate");
+  let handler =
+    Ic_serve.Handler.create ~tracer ~registry [ (which, source) ]
+  in
+  let listen =
+    match socket with
+    | Some path -> Ic_serve.Server.Unix_path path
+    | None -> Ic_serve.Server.Tcp ("127.0.0.1", port)
+  in
+  let server_config =
+    {
+      (Ic_serve.Server.default_config listen) with
+      Ic_serve.Server.workers;
+      queue_cap;
+      max_inflight;
+      read_timeout;
+      stop_after;
+    }
+  in
+  let on_drain () =
+    match checkpoint_path with
+    | "" -> ()
+    | path ->
+        Ic_runtime.Checkpoint.save ~path engine;
+        Printf.printf "checkpoint flushed to %s\n" path
+  in
+  let server = Ic_serve.Server.start ~on_drain server_config handler in
+  (match listen with
+  | Ic_serve.Server.Unix_path path ->
+      Printf.printf "serving on unix:%s (%d workers)\n%!" path workers
+  | Ic_serve.Server.Tcp (host, _) ->
+      let port =
+        match Ic_serve.Server.address server with
+        | Unix.ADDR_INET (_, p) -> p
+        | _ -> 0
+      in
+      Printf.printf "serving on %s:%d (%d workers)\n%!" host port workers);
+  let stop _ = Ic_serve.Server.stop server in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+  Ic_serve.Server.wait server;
+  Printf.printf "drained after %d answered requests\n"
+    (Ic_serve.Server.answered server);
+  print_endline "serve counters:";
+  List.iter
+    (fun (name, v) ->
+      if String.length name >= 6 && String.sub name 0 6 = "serve." then
+        Printf.printf "  %-24s %d\n" name v)
+    (Ic_serve.Handler.counters handler);
+  export_trace tracer trace
+
+(* --- loadgen -------------------------------------------------------------- *)
+
+let run_loadgen socket host port queries rate connections seed json paced
+    report_mode =
+  let listen =
+    match socket with
+    | Some path -> Ic_serve.Server.Unix_path path
+    | None -> Ic_serve.Server.Tcp (host, port)
+  in
+  let config =
+    {
+      (Ic_serve.Loadgen.default_config listen) with
+      Ic_serve.Loadgen.queries;
+      rate;
+      connections;
+      seed;
+      json;
+      paced;
+    }
+  in
+  let timings =
+    match report_mode with
+    | "counts" -> false
+    | "full" -> true
+    | s -> invalid_arg ("unknown report mode " ^ s ^ " (counts|full)")
+  in
+  let outcome = Ic_serve.Loadgen.run config in
+  print_string (Ic_serve.Loadgen.report ~timings outcome);
+  if outcome.Ic_serve.Loadgen.transport_failures > 0 then exit 1
 
 (* --- topology ------------------------------------------------------------ *)
 
@@ -772,6 +998,16 @@ let stream_cmd =
     in
     Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N" ~doc)
   in
+  let open_loop =
+    let doc =
+      "Overlay an open-loop connection workload on the SNMP feed: Poisson \
+       arrivals at RATE per second, each carrying a flow size from the \
+       built-in empirical CDF, binned onto the link loads. Deterministic \
+       for a given --seed (the same schedule the loadgen verb uses)."
+    in
+    Arg.(
+      value & opt (some float) None & info [ "open-loop" ] ~docv:"RATE" ~doc)
+  in
   let verbose =
     Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Verbose logging.")
   in
@@ -783,9 +1019,9 @@ let stream_cmd =
   Cmd.v (Cmd.info "stream" ~doc)
     Term.(
       const run_stream $ dataset_arg $ weeks_arg $ seed_arg $ bins $ drop_rate
-      $ corrupt_rate $ noise $ kill_after $ resume $ checkpoint $ refit_every
-      $ window $ recover_after $ telemetry $ shards $ jobs_arg $ trace_out_arg
-      $ verbose)
+      $ corrupt_rate $ noise $ open_loop $ kill_after $ resume $ checkpoint
+      $ refit_every $ window $ recover_after $ telemetry $ shards $ jobs_arg
+      $ trace_out_arg $ verbose)
 
 let metrics_cmd =
   let bins =
@@ -804,6 +1040,16 @@ let metrics_cmd =
     let doc = "SNMP multiplicative noise sigma." in
     Arg.(value & opt float 0.01 & info [ "noise" ] ~docv:"SIGMA" ~doc)
   in
+  let serve_queries =
+    let doc =
+      "After the replay, answer N deterministic serving-plane queries \
+       (cycling ping/latest-tm/od-flow/topology/what-if) against the final \
+       estimate through a handler sharing the engine's registry, so the \
+       exposition shows serve counters and the request-duration histogram \
+       next to engine telemetry."
+    in
+    Arg.(value & opt int 0 & info [ "serve-queries" ] ~docv:"N" ~doc)
+  in
   let doc =
     "Replay a dataset through the streaming engine and print its metrics \
      registry in Prometheus text exposition format (counters and per-stage \
@@ -813,7 +1059,147 @@ let metrics_cmd =
   Cmd.v (Cmd.info "metrics" ~doc)
     Term.(
       const run_metrics $ dataset_arg $ weeks_arg $ seed_arg $ bins
-      $ drop_rate $ corrupt_rate $ noise)
+      $ drop_rate $ corrupt_rate $ noise $ serve_queries)
+
+let socket_arg =
+  let doc = "Unix-domain socket path (preferred for local serving)." in
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let serve_cmd =
+  let bins =
+    let doc = "Replay BINS bins before serving (full replay if omitted)." in
+    Arg.(value & opt (some int) None & info [ "bins" ] ~docv:"BINS" ~doc)
+  in
+  let port =
+    let doc = "TCP port on 127.0.0.1 when no --socket is given (0 = ephemeral)." in
+    Arg.(value & opt int 4317 & info [ "port" ] ~docv:"PORT" ~doc)
+  in
+  let workers =
+    let doc = "Worker domains serving connections." in
+    Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N" ~doc)
+  in
+  let queue_cap =
+    let doc =
+      "Accepted connections allowed to wait for a worker; beyond it new \
+       connections are shed with an explicit frame."
+    in
+    Arg.(value & opt int 64 & info [ "queue-cap" ] ~docv:"N" ~doc)
+  in
+  let max_inflight =
+    let doc =
+      "Requests processed concurrently across workers; beyond it requests \
+       are shed with an explicit frame."
+    in
+    Arg.(value & opt int 64 & info [ "max-inflight" ] ~docv:"N" ~doc)
+  in
+  let stop_after =
+    let doc =
+      "Drain and exit after N answered requests (run until SIGINT/SIGTERM \
+       if omitted) — the deterministic shutdown tests rely on."
+    in
+    Arg.(value & opt (some int) None & info [ "stop-after" ] ~docv:"N" ~doc)
+  in
+  let read_timeout =
+    let doc = "Per-connection read timeout in seconds." in
+    Arg.(value & opt float 5. & info [ "read-timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let kill_after =
+    let doc =
+      "Kill the replay after BINS bins and write a checkpoint before \
+       serving (with --resume: restore, finish, verify bit-identity)."
+    in
+    Arg.(value & opt (some int) None & info [ "kill-after" ] ~docv:"BINS" ~doc)
+  in
+  let resume =
+    let doc =
+      "After --kill-after, restore from the checkpoint, finish the replay, \
+       and verify the published estimates are bit-identical to an \
+       uninterrupted run before opening the socket."
+    in
+    Arg.(value & flag & info [ "resume" ] ~doc)
+  in
+  let checkpoint =
+    let doc =
+      "Checkpoint file: written by --kill-after and flushed again on \
+       graceful drain (empty string disables the drain flush)."
+    in
+    Arg.(
+      value
+      & opt string "ic-engine.ckpt"
+      & info [ "checkpoint" ] ~docv:"FILE" ~doc)
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Verbose logging.")
+  in
+  let doc =
+    "Serve the streaming engine's estimates over a socket: latest-TM, \
+     per-OD-flow, topology and what-if queries over a length-prefixed \
+     binary protocol with a JSON fallback, plus GET /metrics in Prometheus \
+     text format. Overload sheds explicitly; shutdown drains gracefully \
+     and flushes the checkpoint."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run_serve $ dataset_arg $ weeks_arg $ seed_arg $ bins $ socket_arg
+      $ port $ workers $ queue_cap $ max_inflight $ stop_after $ read_timeout
+      $ kill_after $ resume $ checkpoint $ trace_out_arg $ verbose)
+
+let loadgen_cmd =
+  let host =
+    let doc = "Server host when connecting over TCP." in
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc)
+  in
+  let port =
+    let doc = "Server TCP port when no --socket is given." in
+    Arg.(value & opt int 4317 & info [ "port" ] ~docv:"PORT" ~doc)
+  in
+  let queries =
+    let doc = "Number of queries to send." in
+    Arg.(value & opt int 1000 & info [ "queries"; "n" ] ~docv:"N" ~doc)
+  in
+  let rate =
+    let doc = "Open-loop Poisson arrival rate, queries per second." in
+    Arg.(value & opt float 10000. & info [ "rate" ] ~docv:"QPS" ~doc)
+  in
+  let connections =
+    let doc = "Concurrent client connections." in
+    Arg.(value & opt int 2 & info [ "connections"; "c" ] ~docv:"N" ~doc)
+  in
+  let seed =
+    let doc =
+      "Workload seed: arrival gaps, flow sizes and the query mix are a \
+       pure function of it."
+    in
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Speak the JSON fallback instead of binary.")
+  in
+  let paced =
+    let doc =
+      "Honor the Poisson arrival times in wall-clock (open-loop pacing) \
+       instead of sending as fast as the server answers."
+    in
+    Arg.(value & flag & info [ "paced" ] ~doc)
+  in
+  let report =
+    let doc =
+      "Report detail: counts (deterministic: sent/answered taxonomy) or \
+       full (adds qps and latency percentiles)."
+    in
+    Arg.(value & opt string "full" & info [ "report" ] ~docv:"MODE" ~doc)
+  in
+  let doc =
+    "Generate an open-loop query workload against 'ic-lab serve': Poisson \
+     arrivals x empirical flow-size CDF x weighted query mix, with \
+     explicit shed/error accounting and latency percentiles."
+  in
+  Cmd.v (Cmd.info "loadgen" ~doc)
+    Term.(
+      const run_loadgen $ socket_arg $ host $ port $ queries $ rate
+      $ connections $ seed $ json $ paced $ report)
 
 let topology_cmd =
   let topo_name =
@@ -834,7 +1220,7 @@ let main_cmd =
      (Erramilli, Crovella, Taft; IMC 2006)"
   in
   Cmd.group (Cmd.info "ic-lab" ~version:"1.0.0" ~doc)
-    [ experiment_cmd; gen_cmd; fit_cmd; estimate_cmd; stream_cmd; trace_cmd;
-      metrics_cmd; whatif_cmd; topology_cmd ]
+    [ experiment_cmd; gen_cmd; fit_cmd; estimate_cmd; stream_cmd; serve_cmd;
+      loadgen_cmd; trace_cmd; metrics_cmd; whatif_cmd; topology_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

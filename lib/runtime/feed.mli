@@ -13,18 +13,70 @@
     inputs replays the identical stream — which is how a resumed engine is
     fed the exact observations it would have seen had it never died. *)
 
+(** Open-loop workload schedules: Poisson arrivals (exponential
+    inter-arrival times) marked with flow sizes drawn from an empirical
+    CDF by inverse piecewise-linear interpolation — the standard open-loop
+    datacenter load-generator recipe. One schedule seed derives three
+    jump-ahead {!Ic_prng.Rng.split} substreams (inter-arrivals, sizes, and
+    a consumer stream for OD assignment), so replays are deterministic and
+    the three processes never perturb each other. Shared by the feed's
+    [?openloop] overlay ([ic-lab stream --open-loop]) and the serving
+    layer's load generator ([ic-lab loadgen]). *)
+module Openloop : sig
+  type cdf
+
+  val make_cdf : (float * float) list -> cdf
+  (** [(size_bytes, cumulative_prob)] points, sizes non-decreasing, probs
+      strictly increasing from exactly 0 to exactly 1. Raises
+      [Invalid_argument] otherwise. *)
+
+  val dctcp : cdf
+  (** The DCTCP empirical flow-size CDF (1M-sample production trace): 15%
+      of flows under 10 kB, a heavy tail out to 30 MB. *)
+
+  val quantile : cdf -> float -> float
+  (** Inverse-CDF by linear interpolation; raises [Invalid_argument]
+      outside [0, 1]. *)
+
+  val mean_size : cdf -> float
+  (** Mean flow size of the piecewise-linear distribution, bytes. *)
+
+  type event = { time : float;  (** seconds since schedule start *)
+                 size : float  (** flow size, bytes *) }
+
+  val arrivals : ?cdf:cdf -> rate:float -> count:int -> seed:int -> unit -> event array
+  (** Exactly [count] Poisson arrivals at [rate] per second (open-ended
+      duration). [cdf] defaults to {!dctcp}. *)
+
+  val schedule : ?cdf:cdf -> rate:float -> duration:float -> seed:int -> unit -> event array
+  (** All arrivals falling in [[0, duration)] seconds. *)
+
+  val consumer_stream : int -> Ic_prng.Rng.t
+  (** The reserved consumer substream of a schedule seed (substream 2; the
+      feed overlay draws OD pairs from it, the load generator its query
+      mix). Independent of the arrival and size substreams. *)
+end
+
 type t
 
 val create :
   ?noise_sigma:float ->
   ?drop_rate:float ->
   ?corrupt_rate:float ->
+  ?openloop:Openloop.event array ->
   Ic_topology.Routing.t ->
   Ic_traffic.Series.t ->
   seed:int ->
   t
-(** Defaults: 1% noise, no drops, no corruption. Raises [Invalid_argument]
-    on rates out of range or a series that does not match the routing. *)
+(** Defaults: 1% noise, no drops, no corruption, no open-loop overlay.
+    [openloop] adds each scheduled flow's bytes to the bin its arrival time
+    falls into, on an OD pair drawn uniformly (distinct src/dst) from the
+    schedule's consumer substream, routed through the same matrix as the
+    base traffic — extra open-loop load the engine must absorb. The base
+    fault streams are unchanged by the overlay, so a feed with [openloop =
+    Some [||]] replays byte-identically to one without. Raises
+    [Invalid_argument] on rates out of range or a series that does not
+    match the routing. *)
 
 val length : t -> int
 (** Total bins in the replay. *)

@@ -15,8 +15,11 @@ type t = {
    is what the timing dump's "2^i:count" notation reads back. *)
 let pow2_bounds = Array.init 63 (fun i -> Float.ldexp 1. i)
 
-let create ?(clock = Sys.time) () =
-  { clock; registry = Metrics.create (); stages = Hashtbl.create 16 }
+let create ?(clock = Sys.time) ?registry () =
+  let registry =
+    match registry with Some r -> r | None -> Metrics.create ()
+  in
+  { clock; registry; stages = Hashtbl.create 16 }
 
 let registry t = t.registry
 

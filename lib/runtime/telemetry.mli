@@ -23,9 +23,14 @@
 
 type t
 
-val create : ?clock:(unit -> float) -> unit -> t
+val create : ?clock:(unit -> float) -> ?registry:Ic_obs.Metrics.t -> unit -> t
 (** A fresh telemetry sink. [clock] returns seconds (monotonicity is the
-    caller's concern); the default is [Sys.time]. *)
+    caller's concern); the default is [Sys.time]. [registry] (default: a
+    fresh one) lets a host share one metrics registry between the engine's
+    telemetry and its own instruments — the serving layer registers its
+    per-query counters next to the engine's so one scrape shows both
+    planes. The single-writer rule applies per instrument, not per
+    registry; the registry itself is domain-safe. *)
 
 val registry : t -> Ic_obs.Metrics.t
 (** The metrics registry backing this sink. Counters appear as Prometheus

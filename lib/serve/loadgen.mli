@@ -1,0 +1,67 @@
+(** The open-loop load generator matching the serving plane.
+
+    Arrival times come from {!Ic_runtime.Feed.Openloop.arrivals} — Poisson
+    gaps at [rate], each arrival carrying a flow size drawn from the
+    empirical size CDF — and the query for each arrival is drawn from the
+    weighted [mix]. Everything that determines {e which} requests are sent
+    is a pure function of [seed] (via {!Ic_prng.Rng.split} substreams:
+    gaps, sizes, and a consumer stream for kind/OD/scale draws), computed
+    before any socket I/O; thread interleaving and wall-clock only affect
+    the timing measurements. The deterministic half of an {!outcome}
+    (counts, response taxonomy) is therefore cram-pinnable while the
+    timing half (qps, percentiles) is not.
+
+    What-if queries embed the drawn flow size as a load scale
+    ([size / mean_size], capped at 100): heavier flows in the size CDF
+    probe proportionally heavier reprovisioning scenarios. *)
+
+type config = {
+  listen : Server.listen;
+  queries : int;
+  rate : float;  (** target arrival rate, queries/second *)
+  connections : int;  (** concurrent client connections (one domain each) *)
+  seed : int;
+  json : bool;  (** speak the JSON fallback instead of binary *)
+  paced : bool;
+      (** honor arrival times in wall-clock (open-loop pacing); [false]
+          sends as fast as the server answers — the throughput probe *)
+  mix : (string * float) list;
+      (** query kind -> weight; kinds are [ping], [latest_tm], [od_flow],
+          [topology], [whatif] *)
+  cdf : Ic_runtime.Feed.Openloop.cdf;
+  tenant : string;
+}
+
+val default_mix : (string * float) list
+(** 10% ping, 35% latest-tm, 35% od-flow, 5% topology, 15% what-if. *)
+
+val default_config : Server.listen -> config
+(** 1000 queries at 10k/s over 2 connections, seed 42, binary, unpaced,
+    {!default_mix}, DCTCP sizes, default tenant. *)
+
+type outcome = {
+  sent : int;
+  answered : (string * int) list;
+      (** response kind -> count, sorted by kind — the response taxonomy *)
+  shed : int;  (** explicit [Shed] responses received *)
+  errors : int;  (** [Error] responses plus malformed replies *)
+  transport_failures : int;  (** closed/timed-out connections *)
+  elapsed_s : float;
+  latencies_us : float array;  (** per-request round-trip, sorted *)
+}
+
+val qps : outcome -> float
+
+val percentile : outcome -> float -> float
+(** Nearest-rank percentile of the round-trip latencies, microseconds. *)
+
+val run : ?probe:int -> config -> outcome
+(** Execute the workload. First probes the server with a [Topology] query
+    to learn the PoP count (so OD draws are in range) — one extra request
+    the server's [stop_after] budget must include — unless [probe] is
+    given as a known PoP count. Raises [Failure] if the probe is refused
+    and [Invalid_argument] on a bad config. *)
+
+val report : ?timings:bool -> outcome -> string
+(** Human-readable summary. [timings:false] omits qps and percentiles —
+    the deterministic form cram tests pin. *)

@@ -1,0 +1,29 @@
+module Routing = Ic_topology.Routing
+module Graph = Ic_topology.Graph
+module Tm = Ic_traffic.Tm
+
+type published = { bin : int; level : int; tm : Tm.t }
+
+type t = {
+  routing : Routing.t;
+  lock : Mutex.t;
+  mutable latest : published option;
+}
+
+let create routing = { routing; lock = Mutex.create (); latest = None }
+
+let routing t = t.routing
+
+let graph t = t.routing.Routing.graph
+
+let publish t ~bin ~level tm =
+  if level < 0 || level > 255 then invalid_arg "Source.publish: bad level";
+  Mutex.lock t.lock;
+  t.latest <- Some { bin; level; tm };
+  Mutex.unlock t.lock
+
+let latest t =
+  Mutex.lock t.lock;
+  let v = t.latest in
+  Mutex.unlock t.lock;
+  v

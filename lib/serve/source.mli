@@ -1,0 +1,33 @@
+(** The bridge between an estimation engine and the serving plane: a
+    single-writer, many-reader slot holding the latest published estimate
+    for one tenant.
+
+    The drive loop (whatever steps the {!Ic_runtime.Engine} — the CLI's
+    replay loop, a stream ingester, a shard supervisor) calls {!publish}
+    once per bin; server workers call {!latest} per query. The slot is a
+    mutex-protected option, so readers always see a complete
+    (bin, level, tm) triple — never a torn estimate. *)
+
+type published = {
+  bin : int;  (** bin index the estimate belongs to *)
+  level : int;  (** degrade-ladder rank ({!Ic_runtime.Degrade.rank}) *)
+  tm : Ic_traffic.Tm.t;
+}
+
+type t
+
+val create : Ic_topology.Routing.t -> t
+(** A source with no estimate yet (queries answer [No_estimate] until the
+    first {!publish}). The routing answers topology and what-if queries. *)
+
+val routing : t -> Ic_topology.Routing.t
+
+val graph : t -> Ic_topology.Graph.t
+
+val publish : t -> bin:int -> level:int -> Ic_traffic.Tm.t -> unit
+(** Replace the latest estimate. Single writer by convention (the drive
+    loop); raises [Invalid_argument] if [level] is outside [0..255] (it
+    travels as a [u8]). The [tm] is published by reference — the caller
+    must not mutate it afterwards. *)
+
+val latest : t -> published option

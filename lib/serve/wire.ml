@@ -1,0 +1,839 @@
+(* The serving layer's wire protocol. See wire.mli for the format. *)
+
+let magic = "ICP1"
+
+let header_len = 9
+
+let default_max_frame = 4 * 1024 * 1024
+
+type error_code =
+  | Bad_request
+  | Unknown_tenant
+  | No_estimate
+  | Bad_od
+  | Frame_too_large
+  | Draining
+
+let error_code_name = function
+  | Bad_request -> "bad-request"
+  | Unknown_tenant -> "unknown-tenant"
+  | No_estimate -> "no-estimate"
+  | Bad_od -> "bad-od"
+  | Frame_too_large -> "frame-too-large"
+  | Draining -> "draining"
+
+let error_code_tag = function
+  | Bad_request -> 1
+  | Unknown_tenant -> 2
+  | No_estimate -> 3
+  | Bad_od -> 4
+  | Frame_too_large -> 5
+  | Draining -> 6
+
+let error_code_of_tag = function
+  | 1 -> Some Bad_request
+  | 2 -> Some Unknown_tenant
+  | 3 -> Some No_estimate
+  | 4 -> Some Bad_od
+  | 5 -> Some Frame_too_large
+  | 6 -> Some Draining
+  | _ -> None
+
+type shed_scope = Connection | Request
+
+type request =
+  | Ping of int64
+  | Latest_tm of { tenant : string }
+  | Od_flow of { tenant : string; src : int; dst : int }
+  | Topology of { tenant : string }
+  | Whatif of { tenant : string; scale : float }
+
+type response =
+  | Pong of int64
+  | Tm of { bin : int; level : int; n : int; values : float array }
+  | Flow of { bin : int; level : int; value : float }
+  | Topology_info of { nodes : string array; links : int }
+  | Whatif_load of { bin : int; scale : float; loads : float array }
+  | Shed of shed_scope
+  | Error of { code : error_code; message : string }
+
+let request_kind = function
+  | Ping _ -> "ping"
+  | Latest_tm _ -> "latest_tm"
+  | Od_flow _ -> "od_flow"
+  | Topology _ -> "topology"
+  | Whatif _ -> "whatif"
+
+let response_kind = function
+  | Pong _ -> "pong"
+  | Tm _ -> "tm"
+  | Flow _ -> "flow"
+  | Topology_info _ -> "topo"
+  | Whatif_load _ -> "whatif"
+  | Shed _ -> "shed"
+  | Error _ -> "error"
+
+(* --- binary encoding --------------------------------------------------- *)
+
+let add_u8 buf v = Buffer.add_char buf (Char.chr (v land 0xff))
+
+let add_u16 buf v =
+  if v < 0 || v > 0xffff then invalid_arg "Wire: u16 field out of range";
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr (v land 0xff))
+
+let add_u32 buf v =
+  if v < 0 || v > 0xffffffff then invalid_arg "Wire: u32 field out of range";
+  add_u16 buf ((v lsr 16) land 0xffff);
+  add_u16 buf (v land 0xffff)
+
+let add_i64 buf (v : int64) =
+  for shift = 7 downto 0 do
+    Buffer.add_char buf
+      (Char.chr (Int64.to_int (Int64.shift_right_logical v (shift * 8)) land 0xff))
+  done
+
+let add_f64 buf v = add_i64 buf (Int64.bits_of_float v)
+
+let add_str buf s =
+  if String.length s > 0xffff then invalid_arg "Wire: string field too long";
+  add_u16 buf (String.length s);
+  Buffer.add_string buf s
+
+(* Frames are framed [magic | tag u8 | payload length u32 | payload]; the
+   header is written after the payload is sized. *)
+let frame tag payload =
+  let buf = Buffer.create (header_len + String.length payload) in
+  Buffer.add_string buf magic;
+  add_u8 buf tag;
+  add_u32 buf (String.length payload);
+  Buffer.add_string buf payload;
+  Buffer.contents buf
+
+let encode_request r =
+  let buf = Buffer.create 32 in
+  let tag =
+    match r with
+    | Ping token ->
+        add_i64 buf token;
+        0x01
+    | Latest_tm { tenant } ->
+        add_str buf tenant;
+        0x02
+    | Od_flow { tenant; src; dst } ->
+        add_str buf tenant;
+        add_u16 buf src;
+        add_u16 buf dst;
+        0x03
+    | Topology { tenant } ->
+        add_str buf tenant;
+        0x04
+    | Whatif { tenant; scale } ->
+        add_str buf tenant;
+        add_f64 buf scale;
+        0x05
+  in
+  frame tag (Buffer.contents buf)
+
+let encode_response r =
+  let buf = Buffer.create 64 in
+  let tag =
+    match r with
+    | Pong token ->
+        add_i64 buf token;
+        0x81
+    | Tm { bin; level; n; values } ->
+        if Array.length values <> n * n then
+          invalid_arg "Wire: Tm frame needs n*n values";
+        add_u32 buf bin;
+        add_u8 buf level;
+        add_u16 buf n;
+        Array.iter (add_f64 buf) values;
+        0x82
+    | Flow { bin; level; value } ->
+        add_u32 buf bin;
+        add_u8 buf level;
+        add_f64 buf value;
+        0x83
+    | Topology_info { nodes; links } ->
+        add_u16 buf (Array.length nodes);
+        add_u32 buf links;
+        Array.iter (add_str buf) nodes;
+        0x84
+    | Whatif_load { bin; scale; loads } ->
+        add_u32 buf bin;
+        add_f64 buf scale;
+        add_u32 buf (Array.length loads);
+        Array.iter (add_f64 buf) loads;
+        0x85
+    | Shed scope ->
+        add_u8 buf (match scope with Connection -> 0 | Request -> 1);
+        0x90
+    | Error { code; message } ->
+        add_u8 buf (error_code_tag code);
+        add_str buf message;
+        0x91
+  in
+  frame tag (Buffer.contents buf)
+
+(* --- binary decoding --------------------------------------------------- *)
+
+exception Bad of string
+
+type cursor = { s : string; mutable pos : int; limit : int }
+
+let need c n =
+  if c.pos + n > c.limit then raise (Bad "truncated payload")
+
+let get_u8 c =
+  need c 1;
+  let v = Char.code c.s.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let get_u16 c =
+  let hi = get_u8 c in
+  let lo = get_u8 c in
+  (hi lsl 8) lor lo
+
+let get_u32 c =
+  let hi = get_u16 c in
+  let lo = get_u16 c in
+  (hi lsl 16) lor lo
+
+let get_i64 c =
+  need c 8;
+  let v = ref 0L in
+  for _ = 1 to 8 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (get_u8 c))
+  done;
+  !v
+
+let get_f64 c = Int64.float_of_bits (get_i64 c)
+
+let get_str c =
+  let len = get_u16 c in
+  need c len;
+  let s = String.sub c.s c.pos len in
+  c.pos <- c.pos + len;
+  s
+
+let get_floats c count =
+  (* The count was validated against the payload length by the caller, so
+     this allocation is bounded by the frame size limit. *)
+  need c (8 * count);
+  Array.init count (fun _ -> get_f64 c)
+
+let split_frame s =
+  if String.length s < header_len then Result.error "truncated header"
+  else if String.sub s 0 4 <> magic then Result.error "bad magic"
+  else begin
+    let c = { s; pos = 4; limit = String.length s } in
+    let tag = get_u8 c in
+    let len = get_u32 c in
+    if String.length s - header_len <> len then
+      Result.error "frame length mismatch"
+    else Result.ok (tag, { s; pos = header_len; limit = String.length s })
+  end
+
+let finish c v =
+  if c.pos <> c.limit then Result.error "trailing bytes in payload"
+  else Result.ok v
+
+let decode_request s =
+  match split_frame s with
+  | Error e -> Result.error e
+  | Ok (tag, c) -> begin
+      try
+        match tag with
+        | 0x01 -> finish c (Ping (get_i64 c))
+        | 0x02 -> finish c (Latest_tm { tenant = get_str c })
+        | 0x03 ->
+            let tenant = get_str c in
+            let src = get_u16 c in
+            let dst = get_u16 c in
+            finish c (Od_flow { tenant; src; dst })
+        | 0x04 -> finish c (Topology { tenant = get_str c })
+        | 0x05 ->
+            let tenant = get_str c in
+            let scale = get_f64 c in
+            finish c (Whatif { tenant; scale })
+        | _ -> Result.error "unknown request tag"
+      with Bad e -> Result.error e
+    end
+
+let decode_response s =
+  match split_frame s with
+  | Error e -> Result.error e
+  | Ok (tag, c) -> begin
+      try
+        match tag with
+        | 0x81 -> finish c (Pong (get_i64 c))
+        | 0x82 ->
+            let bin = get_u32 c in
+            let level = get_u8 c in
+            let n = get_u16 c in
+            if c.limit - c.pos <> 8 * n * n then
+              Result.error "tm frame size mismatch"
+            else finish c (Tm { bin; level; n; values = get_floats c (n * n) })
+        | 0x83 ->
+            let bin = get_u32 c in
+            let level = get_u8 c in
+            let value = get_f64 c in
+            finish c (Flow { bin; level; value })
+        | 0x84 ->
+            let count = get_u16 c in
+            let links = get_u32 c in
+            let nodes = Array.init count (fun _ -> get_str c) in
+            finish c (Topology_info { nodes; links })
+        | 0x85 ->
+            let bin = get_u32 c in
+            let scale = get_f64 c in
+            let count = get_u32 c in
+            if c.limit - c.pos <> 8 * count then
+              Result.error "whatif frame size mismatch"
+            else
+              finish c (Whatif_load { bin; scale; loads = get_floats c count })
+        | 0x90 -> begin
+            match get_u8 c with
+            | 0 -> finish c (Shed Connection)
+            | 1 -> finish c (Shed Request)
+            | _ -> Result.error "bad shed scope"
+          end
+        | 0x91 -> begin
+            let tag = get_u8 c in
+            let message = get_str c in
+            match error_code_of_tag tag with
+            | Some code -> finish c (Error { code; message })
+            | None -> Result.error "bad error code"
+          end
+        | _ -> Result.error "unknown response tag"
+      with Bad e -> Result.error e
+    end
+
+(* --- JSON fallback ----------------------------------------------------- *)
+
+module Json = struct
+  type v =
+    | S of string
+    | N of float
+    | B of bool
+    | Null
+    | A of v list  (* arrays of scalars only *)
+
+  let buf_escape buf s =
+    Buffer.add_char buf '"';
+    String.iter
+      (fun ch ->
+        match ch with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"'
+
+  let buf_float buf f =
+    (* JSON has no literal for non-finite numbers; the binary protocol is
+       the canonical codec, the JSON fallback maps them to strings. *)
+    if Float.is_nan f then Buffer.add_string buf "\"nan\""
+    else if f = Float.infinity then Buffer.add_string buf "\"inf\""
+    else if f = Float.neg_infinity then Buffer.add_string buf "\"-inf\""
+    else Buffer.add_string buf (Printf.sprintf "%.17g" f)
+
+  let rec buf_v buf = function
+    | S s -> buf_escape buf s
+    | N f -> buf_float buf f
+    | B b -> Buffer.add_string buf (if b then "true" else "false")
+    | Null -> Buffer.add_string buf "null"
+    | A vs ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i v ->
+            if i > 0 then Buffer.add_char buf ',';
+            buf_v buf v)
+          vs;
+        Buffer.add_char buf ']'
+
+  let obj fields =
+    let buf = Buffer.create 64 in
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        buf_escape buf k;
+        Buffer.add_char buf ':';
+        buf_v buf v)
+      fields;
+    Buffer.add_char buf '}';
+    Buffer.contents buf
+
+  (* A deliberately small parser: one flat object whose values are strings,
+     numbers, booleans, null, or arrays of those. Nested objects are
+     rejected — the fallback protocol never produces them. *)
+  exception Bad_json of string
+
+  type p = { src : string; mutable i : int }
+
+  let peek p = if p.i < String.length p.src then Some p.src.[p.i] else None
+
+  let advance p = p.i <- p.i + 1
+
+  let skip_ws p =
+    let continue = ref true in
+    while !continue do
+      match peek p with
+      | Some (' ' | '\t' | '\n' | '\r') -> advance p
+      | _ -> continue := false
+    done
+
+  let expect p ch =
+    skip_ws p;
+    match peek p with
+    | Some c when c = ch -> advance p
+    | Some c -> raise (Bad_json (Printf.sprintf "expected %c, got %c" ch c))
+    | None -> raise (Bad_json (Printf.sprintf "expected %c, got end" ch))
+
+  let utf8_of_code buf code =
+    if code < 0x80 then Buffer.add_char buf (Char.chr code)
+    else if code < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xc0 lor (code lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xe0 lor (code lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3f)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
+    end
+
+  let parse_string p =
+    expect p '"';
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      match peek p with
+      | None -> raise (Bad_json "unterminated string")
+      | Some '"' -> advance p
+      | Some '\\' -> begin
+          advance p;
+          (match peek p with
+          | Some '"' -> Buffer.add_char buf '"'; advance p
+          | Some '\\' -> Buffer.add_char buf '\\'; advance p
+          | Some '/' -> Buffer.add_char buf '/'; advance p
+          | Some 'b' -> Buffer.add_char buf '\b'; advance p
+          | Some 'f' -> Buffer.add_char buf '\012'; advance p
+          | Some 'n' -> Buffer.add_char buf '\n'; advance p
+          | Some 'r' -> Buffer.add_char buf '\r'; advance p
+          | Some 't' -> Buffer.add_char buf '\t'; advance p
+          | Some 'u' ->
+              advance p;
+              if p.i + 4 > String.length p.src then
+                raise (Bad_json "bad \\u escape");
+              let hex = String.sub p.src p.i 4 in
+              let code =
+                try int_of_string ("0x" ^ hex)
+                with _ -> raise (Bad_json "bad \\u escape")
+              in
+              p.i <- p.i + 4;
+              utf8_of_code buf code
+          | _ -> raise (Bad_json "bad escape"));
+          loop ()
+        end
+      | Some c ->
+          advance p;
+          Buffer.add_char buf c;
+          loop ()
+    in
+    loop ();
+    Buffer.contents buf
+
+  let parse_literal p lit v =
+    if
+      p.i + String.length lit <= String.length p.src
+      && String.sub p.src p.i (String.length lit) = lit
+    then begin
+      p.i <- p.i + String.length lit;
+      v
+    end
+    else raise (Bad_json ("bad literal near " ^ lit))
+
+  let parse_number p =
+    let start = p.i in
+    let continue = ref true in
+    while !continue do
+      match peek p with
+      | Some ('0' .. '9' | '-' | '+' | '.' | 'e' | 'E') -> advance p
+      | _ -> continue := false
+    done;
+    if p.i = start then raise (Bad_json "expected a number");
+    match float_of_string_opt (String.sub p.src start (p.i - start)) with
+    | Some f -> f
+    | None -> raise (Bad_json "malformed number")
+
+  let rec parse_value ~depth p =
+    skip_ws p;
+    match peek p with
+    | Some '"' -> S (parse_string p)
+    | Some 't' -> parse_literal p "true" (B true)
+    | Some 'f' -> parse_literal p "false" (B false)
+    | Some 'n' -> parse_literal p "null" Null
+    | Some '[' ->
+        if depth > 0 then raise (Bad_json "nested arrays rejected");
+        advance p;
+        skip_ws p;
+        if peek p = Some ']' then begin
+          advance p;
+          A []
+        end
+        else begin
+          let items = ref [ parse_value ~depth:(depth + 1) p ] in
+          let continue = ref true in
+          while !continue do
+            skip_ws p;
+            match peek p with
+            | Some ',' ->
+                advance p;
+                items := parse_value ~depth:(depth + 1) p :: !items
+            | Some ']' ->
+                advance p;
+                continue := false
+            | _ -> raise (Bad_json "bad array")
+          done;
+          A (List.rev !items)
+        end
+    | Some '{' -> raise (Bad_json "nested objects rejected")
+    | Some ('0' .. '9' | '-') -> N (parse_number p)
+    | _ -> raise (Bad_json "bad value")
+
+  let parse_obj s =
+    try
+      let p = { src = s; i = 0 } in
+      expect p '{';
+      skip_ws p;
+      let fields = ref [] in
+      (if peek p = Some '}' then advance p
+       else begin
+         let continue = ref true in
+         while !continue do
+           skip_ws p;
+           let k = parse_string p in
+           expect p ':';
+           let v = parse_value ~depth:0 p in
+           fields := (k, v) :: !fields;
+           skip_ws p;
+           match peek p with
+           | Some ',' -> advance p
+           | Some '}' ->
+               advance p;
+               continue := false
+           | _ -> raise (Bad_json "bad object")
+         done
+       end);
+      skip_ws p;
+      if p.i <> String.length p.src then Result.error "trailing JSON bytes"
+      else Result.ok (List.rev !fields)
+    with Bad_json e -> Result.error e
+end
+
+let json_find fields k = List.assoc_opt k fields
+
+let json_string fields k =
+  match json_find fields k with Some (Json.S s) -> Some s | _ -> None
+
+let json_number fields k =
+  match json_find fields k with
+  | Some (Json.N f) -> Some f
+  | Some (Json.S "nan") -> Some Float.nan
+  | Some (Json.S "inf") -> Some Float.infinity
+  | Some (Json.S "-inf") -> Some Float.neg_infinity
+  | _ -> None
+
+let json_int fields k =
+  match json_number fields k with
+  | Some f when Float.is_integer f && Float.abs f < 1e9 -> Some (int_of_float f)
+  | _ -> None
+
+let request_of_json line =
+  match Json.parse_obj line with
+  | Error e -> Result.error e
+  | Ok fields -> begin
+      let tenant = Option.value ~default:"" (json_string fields "tenant") in
+      match json_string fields "t" with
+      | Some "ping" -> begin
+          (* The token is an exact decimal string: a JSON number would
+             round through float and corrupt tokens above 2^53. *)
+          match json_string fields "token" with
+          | Some s -> (
+              match Int64.of_string_opt s with
+              | Some token -> Result.ok (Ping token)
+              | None -> Result.error "ping token must be a decimal int64")
+          | None -> Result.ok (Ping 0L)
+        end
+      | Some "latest-tm" -> Result.ok (Latest_tm { tenant })
+      | Some "od" -> begin
+          match (json_int fields "src", json_int fields "dst") with
+          | Some src, Some dst when src >= 0 && dst >= 0 && src <= 0xffff && dst <= 0xffff ->
+              Result.ok (Od_flow { tenant; src; dst })
+          | _ -> Result.error "od needs integer src and dst"
+        end
+      | Some "topo" -> Result.ok (Topology { tenant })
+      | Some "whatif" -> begin
+          match json_number fields "scale" with
+          | Some scale -> Result.ok (Whatif { tenant; scale })
+          | None -> Result.error "whatif needs a scale"
+        end
+      | Some t -> Result.error ("unknown request type " ^ t)
+      | None -> Result.error "missing request type field \"t\""
+    end
+
+let json_of_request r =
+  let open Json in
+  (match r with
+  | Ping token -> [ ("t", S "ping"); ("token", S (Int64.to_string token)) ]
+  | Latest_tm { tenant } -> [ ("t", S "latest-tm"); ("tenant", S tenant) ]
+  | Od_flow { tenant; src; dst } ->
+      [
+        ("t", S "od");
+        ("tenant", S tenant);
+        ("src", N (float_of_int src));
+        ("dst", N (float_of_int dst));
+      ]
+  | Topology { tenant } -> [ ("t", S "topo"); ("tenant", S tenant) ]
+  | Whatif { tenant; scale } ->
+      [ ("t", S "whatif"); ("tenant", S tenant); ("scale", N scale) ])
+  |> obj
+
+let json_of_response r =
+  let open Json in
+  (match r with
+  | Pong token -> [ ("t", S "pong"); ("token", S (Int64.to_string token)) ]
+  | Tm { bin; level; n; values } ->
+      [
+        ("t", S "tm");
+        ("bin", N (float_of_int bin));
+        ("level", N (float_of_int level));
+        ("n", N (float_of_int n));
+        ("values", A (Array.to_list (Array.map (fun v -> N v) values)));
+      ]
+  | Flow { bin; level; value } ->
+      [
+        ("t", S "flow");
+        ("bin", N (float_of_int bin));
+        ("level", N (float_of_int level));
+        ("value", N value);
+      ]
+  | Topology_info { nodes; links } ->
+      [
+        ("t", S "topo");
+        ("nodes", A (Array.to_list (Array.map (fun s -> S s) nodes)));
+        ("links", N (float_of_int links));
+      ]
+  | Whatif_load { bin; scale; loads } ->
+      [
+        ("t", S "whatif");
+        ("bin", N (float_of_int bin));
+        ("scale", N scale);
+        ("loads", A (Array.to_list (Array.map (fun v -> N v) loads)));
+      ]
+  | Shed scope ->
+      [
+        ("t", S "shed");
+        ("scope", S (match scope with Connection -> "connection" | Request -> "request"));
+      ]
+  | Error { code; message } ->
+      [
+        ("t", S "error");
+        ("code", S (error_code_name code));
+        ("message", S message);
+      ])
+  |> obj
+
+let response_kind_of_json line =
+  match Json.parse_obj line with
+  | Error e -> Result.error e
+  | Ok fields -> begin
+      match json_string fields "t" with
+      | Some t -> Result.ok t
+      | None -> Result.error "missing response type"
+    end
+
+(* --- HTTP (metrics endpoint) ------------------------------------------- *)
+
+let http_response ~status ~body =
+  let reason = match status with 200 -> "OK" | 404 -> "Not Found" | _ -> "Error" in
+  Printf.sprintf
+    "HTTP/1.0 %d %s\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+    status reason (String.length body) body
+
+(* --- buffered connection reader ---------------------------------------- *)
+
+type reader = {
+  fd : Unix.file_descr;
+  buf : Bytes.t;
+  mutable start : int;
+  mutable len : int;
+}
+
+let reader fd = { fd; buf = Bytes.create 65536; start = 0; len = 0 }
+
+type incoming =
+  | Bin_request of request
+  | Json_request of request
+  | Http_get of string
+  | Closed
+  | Timed_out
+  | Too_large
+  | Malformed of string
+  | Json_malformed of string
+
+exception Conn_closed
+exception Conn_timeout
+
+let refill r =
+  if r.start > 0 then begin
+    Bytes.blit r.buf r.start r.buf 0 r.len;
+    r.start <- 0
+  end;
+  if r.len >= Bytes.length r.buf then raise (Bad "read buffer overflow");
+  let n =
+    try Unix.read r.fd r.buf r.len (Bytes.length r.buf - r.len) with
+    | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        raise Conn_timeout
+    | Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+        raise Conn_closed
+  in
+  if n = 0 then raise Conn_closed;
+  r.len <- r.len + n
+
+let peek_byte r =
+  if r.len = 0 then refill r;
+  Bytes.get r.buf r.start
+
+let read_exact r n =
+  while r.len < n do
+    refill r
+  done;
+  let s = Bytes.sub_string r.buf r.start n in
+  r.start <- r.start + n;
+  r.len <- r.len - n;
+  s
+
+(* Read up to and including a '\n', bounded. *)
+let read_line r ~max =
+  let rec find_nl from =
+    let rec scan i =
+      if i >= r.start + r.len then None
+      else if Bytes.get r.buf i = '\n' then Some (i - r.start)
+      else scan (i + 1)
+    in
+    match scan (r.start + from) with
+    | Some off -> off
+    | None ->
+        if r.len > max then raise (Bad "line too long");
+        let before = r.len in
+        refill r;
+        find_nl before
+  in
+  let off = find_nl 0 in
+  if off > max then raise (Bad "line too long");
+  read_exact r (off + 1)
+
+let next ?(max_frame = default_max_frame) r =
+  try
+    match peek_byte r with
+    | 'G' -> begin
+        (* "GET <path> HTTP/1.x" then headers until a blank line. *)
+        let line = read_line r ~max:1024 in
+        match String.split_on_char ' ' (String.trim line) with
+        | "GET" :: path :: _ ->
+            let rec drain_headers budget =
+              if budget <= 0 then raise (Bad "header block too long");
+              let h = String.trim (read_line r ~max:1024) in
+              if h <> "" then drain_headers (budget - 1)
+            in
+            drain_headers 64;
+            Http_get path
+        | _ -> Malformed "bad http request line"
+      end
+    | '{' -> begin
+        let line = read_line r ~max:65536 in
+        match request_of_json (String.trim line) with
+        | Ok req -> Json_request req
+        | Error e -> Json_malformed ("bad json request: " ^ e)
+      end
+    | 'I' -> begin
+        let header = read_exact r header_len in
+        if String.sub header 0 4 <> magic then Malformed "bad magic"
+        else begin
+          let byte i = Char.code header.[i] in
+          let tag = byte 4 in
+          let len =
+            (byte 5 lsl 24) lor (byte 6 lsl 16) lor (byte 7 lsl 8) lor byte 8
+          in
+          (* The length is checked against the cap BEFORE any allocation
+             proportional to it: an adversarial 4 GB declaration costs the
+             server one header read, not a heap spike. *)
+          if len > max_frame then Too_large
+          else begin
+            let payload = read_exact r len in
+            match decode_request (frame tag payload) with
+            | Ok req -> Bin_request req
+            | Error e -> Malformed e
+          end
+        end
+      end
+    | _ -> Malformed "bad magic"
+  with
+  | Conn_closed -> Closed
+  | Conn_timeout -> Timed_out
+  | Bad e -> Malformed e
+
+(* Client-side: read one response (binary or JSON kind tag only). *)
+let read_response ?(max_frame = default_max_frame) r =
+  try
+    match peek_byte r with
+    | '{' -> begin
+        let line = read_line r ~max:(max_frame + 1024) in
+        match response_kind_of_json (String.trim line) with
+        | Ok kind -> `Json kind
+        | Error e -> `Malformed e
+      end
+    | 'I' -> begin
+        let header = read_exact r header_len in
+        if String.sub header 0 4 <> magic then `Malformed "bad magic"
+        else begin
+          let byte i = Char.code header.[i] in
+          let tag = byte 4 in
+          let len =
+            (byte 5 lsl 24) lor (byte 6 lsl 16) lor (byte 7 lsl 8) lor byte 8
+          in
+          if len > max_frame then `Malformed "oversized response"
+          else begin
+            let payload = read_exact r len in
+            match decode_response (frame tag payload) with
+            | Ok resp -> `Response resp
+            | Error e -> `Malformed e
+          end
+        end
+      end
+    | _ -> `Malformed "bad magic"
+  with
+  | Conn_closed -> `Closed
+  | Conn_timeout -> `Timed_out
+  | Bad e -> `Malformed e
+
+(* --- writing ----------------------------------------------------------- *)
+
+let write_all fd s =
+  let len = String.length s in
+  let b = Bytes.unsafe_of_string s in
+  let rec go off =
+    if off < len then begin
+      let n = Unix.write fd b off (len - off) in
+      go (off + n)
+    end
+  in
+  go 0

@@ -59,6 +59,67 @@ fi
 echo "traced-off overhead OK: 6 x ${noop_span} ns spans vs ${perbin} ns per bin"
 scripts/bench_diff.sh results/BENCH_pr6_after.json "$fastpath_json" --threshold 25
 
+echo "== serving plane gates =="
+# Measure the serve group (live server + open-loop loadgen, min-of-3) and
+# gate:
+#   1. the absolute acceptance bar: serve/qps-sustained is stored as ns
+#      per answered query, so "sustains >= 10k queries/s" is exactly
+#      "<= 100000".
+#   2. no regression beyond 75% against the committed per-PR snapshot
+#      results/BENCH_pr7_after.json (i.e. fail above 4x). The serve
+#      numbers are wall-clock over a live socket on a possibly-shared
+#      host, so run-to-run variance is far above the compute kernels' —
+#      the generous threshold absorbs it while still catching a lost
+#      fast path (an accidental O(n^2) encode or a serialization
+#      bottleneck shows up as far more than 4x).
+serve_json=$(mktemp)
+trap 'rm -f "$fastpath_json" "$serve_json"' EXIT
+dune exec bench/main.exe -- --group serve --json "$serve_json"
+qps_ns=$(awk -F': ' '/"serve\/qps-sustained"/ { gsub(/[ ,]/, "", $2); print $2; exit }' "$serve_json")
+if [ -z "$qps_ns" ]; then
+  echo "check.sh: serve/qps-sustained missing from bench output" >&2
+  exit 1
+fi
+if ! awk -v ns="$qps_ns" 'BEGIN { exit !(ns <= 100000) }'; then
+  echo "check.sh: serving plane sustains under 10k queries/s" >&2
+  echo "  (serve/qps-sustained = ${qps_ns} ns/query, bar is 100000)" >&2
+  exit 1
+fi
+echo "sustained throughput OK: ${qps_ns} ns/query (bar: 100000 = 10k qps)"
+scripts/bench_diff.sh results/BENCH_pr7_after.json "$serve_json" \
+  --only serve/ --threshold 75
+
+echo "== serve CLI smoke =="
+# One deterministic serve+loadgen exchange over a Unix socket: the server
+# replays 6 bins, answers exactly 31 requests (30 queries + the topology
+# probe), drains, and flushes a resumable checkpoint.
+serve_dir=$(mktemp -d)
+trap 'rm -f "$fastpath_json" "$serve_json"; rm -rf "$serve_dir"' EXIT
+dune exec bin/ic_lab.exe -- serve --dataset geant --weeks 1 --bins 6 \
+  --socket "$serve_dir/serve.sock" --stop-after 31 \
+  --checkpoint "$serve_dir/serve.ckpt" > "$serve_dir/serve.out" 2>&1 &
+serve_pid=$!
+i=0
+while [ ! -S "$serve_dir/serve.sock" ] && [ "$i" -lt 100 ]; do
+  sleep 0.1; i=$((i + 1))
+done
+loadgen_out=$(dune exec bin/ic_lab.exe -- loadgen \
+  --socket "$serve_dir/serve.sock" --queries 30 --seed 42 --report counts)
+wait "$serve_pid"
+for line in 'shed +0' 'errors +0' 'transport +0'; do
+  if ! printf '%s\n' "$loadgen_out" | grep -qE "^$line\$"; then
+    echo "check.sh: serve smoke shed or lost queries:" >&2
+    echo "$loadgen_out" >&2
+    exit 1
+  fi
+done
+if ! grep -q "drained after 31 answered requests" "$serve_dir/serve.out"; then
+  echo "check.sh: serve smoke did not drain cleanly:" >&2
+  cat "$serve_dir/serve.out" >&2
+  exit 1
+fi
+echo "serve smoke OK: 31 answered, clean drain"
+
 echo "== CLI parallel smoke =="
 out1=$(dune exec bin/ic_lab.exe -- estimate --dataset geant --week 1 \
   --prior stable-fp --stride 24 --jobs 1 | tail -1)

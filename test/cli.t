@@ -222,3 +222,94 @@ The batch path traces too, through the pool region:
        84 tomogravity.factorize
        84 tomogravity.gram
        84 tomogravity.solve
+
+The serving plane: 'serve' replays a deterministic bin clock (all bins
+land before the first accept), publishes the latest estimate, and answers
+queries over a Unix socket until --stop-after requests drain it; 'loadgen'
+drives it with a seeded open-loop workload. Which queries are sent — and
+therefore the whole response taxonomy and every serve counter — is a pure
+function of the seed (the one extra request is the loadgen's topology
+probe). The drain flushes the engine checkpoint:
+
+  $ ../bin/ic_lab.exe serve --dataset geant --weeks 1 --bins 6 \
+  >   --socket serve.sock --stop-after 31 --checkpoint serve.ckpt \
+  >   > serve.out 2>&1 &
+  $ for i in $(seq 1 300); do [ -S serve.sock ] && break; sleep 0.1; done
+  $ ../bin/ic_lab.exe loadgen --socket serve.sock --queries 30 --seed 42 \
+  >   --report counts
+  sent      30
+    flow     7
+    pong     4
+    tm       13
+    topo     1
+    whatif   5
+  shed      0
+  errors    0
+  transport 0
+  $ wait
+  $ cat serve.out
+  replaying geant: 6 bins x 22 nodes
+  published bin 5 at rung gravity
+  serving on unix:serve.sock (2 workers)
+  checkpoint flushed to serve.ckpt
+  drained after 31 answered requests
+  serve counters:
+    serve.connections        3
+    serve.malformed          0
+    serve.query.latest_tm    13
+    serve.query.metrics      0
+    serve.query.od_flow      7
+    serve.query.ping         4
+    serve.query.topology     2
+    serve.query.whatif       5
+    serve.requests           31
+    serve.shed.connection    0
+    serve.shed.request       0
+    serve.timeout            0
+  $ head -1 serve.ckpt
+  ic-runtime-checkpoint v1
+
+The JSON fallback speaks the same taxonomy (same seed, same mix — only the
+encoding changes):
+
+  $ ../bin/ic_lab.exe serve --dataset geant --weeks 1 --bins 6 \
+  >   --socket serve.sock --stop-after 21 --checkpoint '' \
+  >   > serve2.out 2>&1 &
+  $ for i in $(seq 1 300); do [ -S serve.sock ] && break; sleep 0.1; done
+  $ ../bin/ic_lab.exe loadgen --socket serve.sock --queries 20 --seed 7 \
+  >   --json --report counts
+  sent      20
+    flow     5
+    pong     1
+    tm       7
+    topo     3
+    whatif   4
+  shed      0
+  errors    0
+  transport 0
+  $ wait
+
+metrics --serve-queries answers a deterministic query cycle through a
+handler sharing the engine's registry, so one exposition carries both
+planes — the serve counters and the request-duration histogram are as
+pinnable as the engine's (every request takes exactly one fake-clock
+millisecond):
+
+  $ ../bin/ic_lab.exe metrics --dataset geant --weeks 1 --bins 6 \
+  >   --serve-queries 10 | grep -E "^serve_[a-z_]+ [0-9]|^serve_request_duration_ns_(bucket|count)"
+  serve_connections 0
+  serve_malformed 0
+  serve_query_latest_tm 2
+  serve_query_metrics 0
+  serve_query_od_flow 2
+  serve_query_ping 2
+  serve_query_topology 2
+  serve_query_whatif 2
+  serve_requests 10
+  serve_shed_connection 0
+  serve_shed_request 0
+  serve_timeout 0
+  serve_request_duration_ns_bucket{le="1048576"} 10
+  serve_request_duration_ns_bucket{le="+Inf"} 10
+  serve_request_duration_ns_sum 1e+07
+  serve_request_duration_ns_count 10
