@@ -348,6 +348,96 @@ let extension_tests =
           fun () -> Ic_timeseries.Cyclo_fit.fit binning xs));
   ]
 
+(* Scenario layer: the cost of reacting to a topology event (a full
+   constant-shape route recompute on the Géant-like graph), compiling a
+   day-scale adversarial timeline, and the steady-state per-bin cost of
+   replaying through the scenario runner (engine step + boundary scan). *)
+let scenario_tests =
+  let graph = geant_graph in
+  let link_ids (e : Ic_topology.Graph.edge) =
+    List.filter_map
+      (fun (s, d) ->
+        Option.map
+          (fun (x : Ic_topology.Graph.edge) -> x.id)
+          (Ic_topology.Graph.find_edge graph ~src:s ~dst:d))
+      [ (e.src, e.dst); (e.dst, e.src) ]
+  in
+  let down =
+    (* first link whose loss keeps the graph connected *)
+    let rec go = function
+      | [] -> failwith "scenario bench: every link is a bridge"
+      | e :: rest -> (
+          match Ic_topology.Routing.rebuild ~down:(link_ids e) routing with
+          | _ -> link_ids e
+          | exception Invalid_argument _ -> go rest)
+    in
+    go (Ic_topology.Graph.edges graph)
+  in
+  let e0 =
+    List.find
+      (fun (e : Ic_topology.Graph.edge) -> e.id = List.hd down)
+      (Ic_topology.Graph.edges graph)
+  in
+  let bins = 48 in
+  let spec =
+    {
+      Ic_core.Tm_family.default_spec with
+      Ic_core.Tm_family.nodes = Ic_topology.Graph.node_count graph;
+      bins;
+    }
+  in
+  let base =
+    Ic_core.Tm_family.generate Ic_core.Tm_family.Ic spec
+      (Ic_prng.Rng.create 11)
+  in
+  let schedule =
+    {
+      Ic_scenario.Schedule.seed = 11;
+      events =
+        [
+          Ic_scenario.Schedule.Link_fail
+            {
+              a = Ic_topology.Graph.name graph e0.src;
+              b = Ic_topology.Graph.name graph e0.dst;
+              at = 12;
+              duration = Some 12;
+            };
+          Ic_scenario.Schedule.Ddos
+            { victim = "ie"; at = 24; duration = 6; magnitude = 12. };
+          Ic_scenario.Schedule.Flash_crowd
+            { node = "be"; at = 36; duration = 6; boost = 3. };
+        ];
+    }
+  in
+  let tl = Ic_scenario.Timeline.compile ~graph ~base schedule in
+  let scenario_config =
+    let c =
+      Ic_runtime.Engine.default_config
+        (Ic_scenario.Timeline.base_routing tl)
+        binning
+    in
+    { c with Ic_runtime.Engine.refit_every = 8; window = 32; recover_after = 4 }
+  in
+  [
+    Test.make ~name:"scenario/route-recompute"
+      (Staged.stage (fun () ->
+           ignore (Ic_topology.Routing.rebuild ~down routing)));
+    Test.make ~name:"scenario/timeline-compile"
+      (Staged.stage (fun () ->
+           ignore (Ic_scenario.Timeline.compile ~graph ~base schedule)));
+    Test.make ~name:"scenario/overlay-per-bin"
+      (Staged.stage
+         (let engine = ref (Ic_runtime.Engine.create scenario_config) in
+          let feed = ref (Ic_scenario.Runner.feed tl ~seed:11) in
+          fun () ->
+            if Ic_runtime.Feed.position !feed >= bins then begin
+              engine := Ic_runtime.Engine.create scenario_config;
+              feed := Ic_scenario.Runner.feed tl ~seed:11
+            end;
+            let upto = Ic_runtime.Feed.position !feed + 1 in
+            ignore (Ic_scenario.Runner.play ~upto !engine !feed tl)));
+  ]
+
 let substrate_tests =
   [
     Test.make ~name:"linalg/cholesky-122"
@@ -694,6 +784,7 @@ let () =
           ("parallel", parallel_tests ~pool);
           ("observability", obs_tests);
           ("extensions", extension_tests);
+          ("scenario", scenario_tests);
           ("substrates", substrate_tests);
         ]
       in

@@ -426,9 +426,12 @@ let run_stream which weeks seed bins drop_rate corrupt_rate noise open_loop
           (Array.length events) rate duration;
         Some events
   in
-  let fresh_feed () =
+  (* Each engine counts its own feed's fault outcomes: the feed is built
+     against the engine's telemetry sink so feed.* counters land next to
+     the engine/fastpath counters in one dump. *)
+  let fresh_feed ?telemetry () =
     Ic_runtime.Feed.create ~noise_sigma:noise ~drop_rate ~corrupt_rate
-      ?openloop routing series ~seed:feed_seed
+      ?openloop ?telemetry routing series ~seed:feed_seed
   in
   if shards < 1 then invalid_arg "stream: shards must be >= 1";
   if jobs < 1 then invalid_arg "stream: jobs must be >= 1";
@@ -449,7 +452,10 @@ let run_stream which weeks seed bins drop_rate corrupt_rate noise open_loop
     (100. *. drop_rate) (100. *. corrupt_rate) (100. *. noise);
   let run_uninterrupted () =
     let engine = Ic_runtime.Engine.create config in
-    let res = Ic_runtime.Replay.run ~max_bins:total engine (fresh_feed ()) in
+    let feed =
+      fresh_feed ~telemetry:(Ic_runtime.Engine.telemetry engine) ()
+    in
+    let res = Ic_runtime.Replay.run ~max_bins:total engine feed in
     (engine, res)
   in
   let engine, estimates =
@@ -457,7 +463,8 @@ let run_stream which weeks seed bins drop_rate corrupt_rate noise open_loop
     | Some k when k > 0 && k < total ->
         let engine0 = Ic_runtime.Engine.create ~tracer config in
         let head =
-          Ic_runtime.Replay.run ~max_bins:k engine0 (fresh_feed ())
+          Ic_runtime.Replay.run ~max_bins:k engine0
+            (fresh_feed ~telemetry:(Ic_runtime.Engine.telemetry engine0) ())
         in
         Ic_runtime.Checkpoint.save ~path:checkpoint_path engine0;
         Printf.printf "killed after %d bins; checkpoint written to %s\n" k
@@ -471,7 +478,12 @@ let run_stream which weeks seed bins drop_rate corrupt_rate noise open_loop
               prerr_endline e;
               exit 1
           | Ok engine1 ->
-              let feed = fresh_feed () in
+              (* The restored sink already carries the head's feed.*
+                 counts, and skip counts nothing, so resumed totals equal
+                 the uninterrupted run's. *)
+              let feed =
+                fresh_feed ~telemetry:(Ic_runtime.Engine.telemetry engine1) ()
+              in
               Ic_runtime.Feed.skip feed k;
               let tail =
                 Ic_runtime.Replay.run ~max_bins:(total - k) engine1 feed
@@ -496,7 +508,8 @@ let run_stream which weeks seed bins drop_rate corrupt_rate noise open_loop
     | _ ->
         let engine = Ic_runtime.Engine.create ~tracer config in
         let res =
-          Ic_runtime.Replay.run ~max_bins:total engine (fresh_feed ())
+          Ic_runtime.Replay.run ~max_bins:total engine
+            (fresh_feed ~telemetry:(Ic_runtime.Engine.telemetry engine) ())
         in
         (engine, res.Ic_runtime.Replay.estimates)
   in
@@ -546,8 +559,8 @@ let run_metrics which weeks seed bins drop_rate corrupt_rate noise
   let telemetry = Ic_runtime.Telemetry.create ~clock () in
   let engine = Ic_runtime.Engine.create ~telemetry config in
   let feed =
-    Ic_runtime.Feed.create ~noise_sigma:noise ~drop_rate ~corrupt_rate routing
-      series
+    Ic_runtime.Feed.create ~noise_sigma:noise ~drop_rate ~corrupt_rate
+      ~telemetry routing series
       ~seed:(Option.value ~default:7 seed)
   in
   let total =
@@ -590,6 +603,300 @@ let run_metrics which weeks seed bins drop_rate corrupt_rate noise
   end;
   print_string
     (Ic_obs.Metrics.expose (Ic_runtime.Telemetry.registry telemetry))
+
+(* --- scenario ------------------------------------------------------------ *)
+
+let scenario_graph = function
+  | "geant" -> Ic_topology.Topologies.geant_like ()
+  | "totem" -> Ic_topology.Topologies.totem_like ()
+  | "abilene" -> Ic_topology.Topologies.abilene_like ()
+  | s ->
+      invalid_arg ("unknown topology " ^ s ^ " (expected geant|totem|abilene)")
+
+let split_once c s =
+  match String.index_opt s c with
+  | None -> (s, None)
+  | Some i ->
+      (String.sub s 0 i, Some (String.sub s (i + 1) (String.length s - i - 1)))
+
+(* TARGET@AT[+DUR][*X] — the shared grammar of every scenario event flag. *)
+let parse_event_spec ~flag s =
+  let bad () =
+    invalid_arg
+      (Printf.sprintf "bad --%s spec %S (expected TARGET@AT[+DUR][*X])" flag s)
+  in
+  match split_once '@' s with
+  | _, None -> bad ()
+  | target, Some rest ->
+      let rest, x = split_once '*' rest in
+      let at_s, dur_s = split_once '+' rest in
+      let int_of v =
+        match int_of_string_opt v with Some i -> i | None -> bad ()
+      in
+      let float_of v =
+        match float_of_string_opt v with Some f -> f | None -> bad ()
+      in
+      (target, int_of at_s, Option.map int_of dur_s, Option.map float_of x)
+
+let parse_link ~flag s =
+  match split_once '-' s with
+  | a, Some b when a <> "" && b <> "" -> (a, b)
+  | _ -> invalid_arg (Printf.sprintf "bad --%s link %S (expected A-B)" flag s)
+
+let require_dur ~flag = function
+  | Some d -> d
+  | None -> invalid_arg (Printf.sprintf "--%s spec needs a +DUR" flag)
+
+(* Default schedule: fail the first non-bridge link for a quarter of the
+   run, DDoS one PoP, flash-crowd another — so a bare `ic-lab scenario`
+   exercises a route recomputation, an attack and a demand surge. *)
+let default_events graph bins =
+  let base = Ic_topology.Routing.build ~with_marginals:false graph in
+  let link_ids (e : Ic_topology.Graph.edge) =
+    List.filter_map
+      (fun (s, d) ->
+        Option.map
+          (fun (x : Ic_topology.Graph.edge) -> x.id)
+          (Ic_topology.Graph.find_edge graph ~src:s ~dst:d))
+      [ (e.src, e.dst); (e.dst, e.src) ]
+  in
+  let rec first_safe = function
+    | [] -> invalid_arg "scenario: every link is a bridge; pass --fail"
+    | (e : Ic_topology.Graph.edge) :: rest -> (
+        match Ic_topology.Routing.rebuild ~down:(link_ids e) base with
+        | _ -> e
+        | exception Invalid_argument _ -> first_safe rest)
+  in
+  let e = first_safe (Ic_topology.Graph.edges graph) in
+  let name i = Ic_topology.Graph.name graph i in
+  let n = Ic_topology.Graph.node_count graph in
+  let q = max 1 (bins / 4) in
+  let burst = max 1 (bins / 8) in
+  [
+    Ic_scenario.Schedule.Link_fail
+      { a = name e.src; b = name e.dst; at = q; duration = Some q };
+    Ic_scenario.Schedule.Ddos
+      { victim = name (n / 2); at = bins / 2; duration = burst;
+        magnitude = 12. };
+    Ic_scenario.Schedule.Flash_crowd
+      { node = name (min 1 (n - 1)); at = 3 * bins / 4; duration = burst;
+        boost = 3. };
+  ]
+
+let parse_events ~fails ~reweights ~ddoses ~flashes ~outages =
+  List.concat
+    [
+      List.map
+        (fun s ->
+          let target, at, dur, x = parse_event_spec ~flag:"fail" s in
+          if x <> None then invalid_arg "--fail spec takes no *X";
+          let a, b = parse_link ~flag:"fail" target in
+          Ic_scenario.Schedule.Link_fail { a; b; at; duration = dur })
+        fails;
+      List.map
+        (fun s ->
+          let target, at, dur, x = parse_event_spec ~flag:"reweight" s in
+          if dur <> None then invalid_arg "--reweight spec takes no +DUR";
+          let weight =
+            match x with
+            | Some w -> w
+            | None -> invalid_arg "--reweight spec needs a *WEIGHT"
+          in
+          let a, b = parse_link ~flag:"reweight" target in
+          Ic_scenario.Schedule.Reweight { a; b; at; weight })
+        reweights;
+      List.map
+        (fun s ->
+          let victim, at, dur, x = parse_event_spec ~flag:"ddos" s in
+          Ic_scenario.Schedule.Ddos
+            { victim; at; duration = require_dur ~flag:"ddos" dur;
+              magnitude = Option.value ~default:12. x })
+        ddoses;
+      List.map
+        (fun s ->
+          let node, at, dur, x = parse_event_spec ~flag:"flash" s in
+          Ic_scenario.Schedule.Flash_crowd
+            { node; at; duration = require_dur ~flag:"flash" dur;
+              boost = Option.value ~default:3. x })
+        flashes;
+      List.map
+        (fun s ->
+          let node, at, dur, x = parse_event_spec ~flag:"outage" s in
+          if x <> None then invalid_arg "--outage spec takes no *X";
+          Ic_scenario.Schedule.Outage
+            { node; at; duration = require_dur ~flag:"outage" dur })
+        outages;
+    ]
+
+let run_scenario topology family bins seed noise drop_rate corrupt_rate fails
+    reweights ddoses flashes outages threshold headroom refit_every window
+    recover_after kill_after resume checkpoint_path verbose =
+  setup_logs verbose;
+  let graph = scenario_graph topology in
+  let fam =
+    match Ic_core.Tm_family.of_name family with
+    | Some f -> f
+    | None ->
+        invalid_arg
+          ("unknown TM family " ^ family
+         ^ " (expected ic|bimodal|uniform-normal|nucci)")
+  in
+  let seed_v = Option.value ~default:7 seed in
+  let spec =
+    {
+      Ic_core.Tm_family.default_spec with
+      Ic_core.Tm_family.nodes = Ic_topology.Graph.node_count graph;
+      bins;
+    }
+  in
+  let base =
+    Ic_core.Tm_family.generate fam spec (Ic_prng.Rng.create seed_v)
+  in
+  let events = parse_events ~fails ~reweights ~ddoses ~flashes ~outages in
+  let events = if events = [] then default_events graph bins else events in
+  let schedule = { Ic_scenario.Schedule.seed = seed_v; events } in
+  let tl = Ic_scenario.Timeline.compile ~graph ~base schedule in
+  let total = Ic_scenario.Timeline.bins tl in
+  let config =
+    (* A scenario is a day, not a multi-week dataset: refit early so the
+       ladder sits above the closed form when the first event hits. *)
+    let c =
+      Ic_runtime.Engine.default_config
+        (Ic_scenario.Timeline.base_routing tl)
+        spec.Ic_core.Tm_family.binning
+    in
+    { c with Ic_runtime.Engine.refit_every; window; recover_after }
+  in
+  Printf.printf
+    "scenario %s/%s: %d bins x %d nodes, seed %d (drop %.1f%%, corrupt \
+     %.1f%%, noise %.1f%%)\n"
+    topology family total
+    (Ic_topology.Graph.node_count graph)
+    seed_v (100. *. drop_rate) (100. *. corrupt_rate) (100. *. noise);
+  let sorted = Ic_scenario.Schedule.sorted schedule in
+  Printf.printf "schedule (%d events):\n" (List.length sorted);
+  List.iter
+    (fun e ->
+      Printf.printf "  bin %5d  %s\n"
+        (Ic_scenario.Schedule.event_bin e)
+        (Ic_scenario.Schedule.describe e))
+    sorted;
+  let mk_feed engine =
+    Ic_scenario.Runner.feed ~noise_sigma:noise ~drop_rate ~corrupt_rate
+      ~telemetry:(Ic_runtime.Engine.telemetry engine) tl ~seed:seed_v
+  in
+  let run_full () =
+    let engine = Ic_runtime.Engine.create config in
+    let seg = Ic_scenario.Runner.play engine (mk_feed engine) tl in
+    (engine, seg)
+  in
+  let engine, segment =
+    match kill_after with
+    | Some k when k > 0 && k < total ->
+        let engine0 = Ic_runtime.Engine.create config in
+        let head =
+          Ic_scenario.Runner.play ~upto:k engine0 (mk_feed engine0) tl
+        in
+        Ic_runtime.Checkpoint.save ~path:checkpoint_path engine0;
+        Printf.printf "killed after %d bins; checkpoint written to %s\n" k
+          checkpoint_path;
+        if not resume then (engine0, head)
+        else begin
+          match
+            Ic_runtime.Checkpoint.load ~path:checkpoint_path ~config
+          with
+          | Error e ->
+              prerr_endline e;
+              exit 1
+          | Ok engine1 ->
+              let feed = mk_feed engine1 in
+              Ic_runtime.Feed.skip feed k;
+              Ic_scenario.Runner.resume_routing engine1 tl;
+              let tail = Ic_scenario.Runner.play engine1 feed tl in
+              Printf.printf "resumed from bin %d, processed %d more bins\n" k
+                (Array.length tail.Ic_scenario.Runner.estimates);
+              let combined =
+                {
+                  Ic_scenario.Runner.estimates =
+                    Array.append head.estimates tail.estimates;
+                  levels = Array.append head.levels tail.levels;
+                  clamped = head.clamped + tail.clamped;
+                  applied = head.applied @ tail.applied;
+                }
+              in
+              let _, shadow = run_full () in
+              let identical =
+                Ic_runtime.Replay.bit_identical combined.estimates
+                  shadow.Ic_scenario.Runner.estimates
+              in
+              Printf.printf
+                "resume check: estimates bit-identical to uninterrupted \
+                 run: %s\n"
+                (if identical then "yes" else "NO");
+              if not identical then exit 1;
+              (engine1, combined)
+        end
+    | _ -> run_full ()
+  in
+  Printf.printf "processed %d bins; final prior rung: %s\n"
+    (Array.length segment.Ic_scenario.Runner.estimates)
+    (Ic_runtime.Degrade.level_name (Ic_runtime.Engine.level engine));
+  Printf.printf "topology timeline (%d boundary events applied live):\n"
+    (List.length segment.applied);
+  List.iter
+    (fun (b, note) -> Printf.printf "  bin %5d  %s\n" b note)
+    tl.Ic_scenario.Timeline.topo_notes;
+  let transitions = Ic_runtime.Engine.transitions engine in
+  Printf.printf "degradation transitions (%d):\n" (List.length transitions);
+  List.iter
+    (fun (tr : Ic_runtime.Degrade.transition) ->
+      Printf.printf "  bin %5d  %s -> %s  (%s)\n" tr.bin
+        (Ic_runtime.Degrade.level_name tr.from_)
+        (Ic_runtime.Degrade.level_name tr.to_)
+        (Ic_runtime.Degrade.reason_name tr.reason))
+    transitions;
+  if Array.length segment.Ic_scenario.Runner.estimates = total then begin
+    let v =
+      Ic_scenario.Runner.evaluate ~threshold ~headroom tl
+        ~estimates:segment.Ic_scenario.Runner.estimates
+    in
+    let s = v.Ic_scenario.Runner.score in
+    let ev = s.Ic_scenario.Score.evaluation in
+    Printf.printf "anomaly scoring (threshold %g, floor %.3g bytes):\n"
+      s.Ic_scenario.Score.threshold s.Ic_scenario.Score.min_bytes;
+    Printf.printf
+      "  detections %d (tp %d, fp %d, fn %d): precision %.3f, recall %.3f\n"
+      (List.length s.Ic_scenario.Score.detections)
+      ev.Ic_core.Anomaly.true_positives ev.Ic_core.Anomaly.false_positives
+      ev.Ic_core.Anomaly.false_negatives ev.Ic_core.Anomaly.precision
+      ev.Ic_core.Anomaly.recall;
+    List.iter
+      (fun (es : Ic_scenario.Score.event_score) ->
+        match (es.detected_at, es.time_to_detect) with
+        | Some b, Some ttd ->
+            Printf.printf "  %s %s: detected at bin %d (ttd %d)\n" es.kind
+              es.target b ttd
+        | _ -> Printf.printf "  %s %s: missed\n" es.kind es.target)
+      s.Ic_scenario.Score.events;
+    let p = v.Ic_scenario.Runner.provision in
+    Printf.printf "what-if provisioning (headroom %.2f, %d links):\n"
+      p.Ic_scenario.Provision.headroom p.Ic_scenario.Provision.edge_count;
+    Printf.printf
+      "  max utilization: truth-planned %.3f, estimate-planned %.3f\n"
+      p.Ic_scenario.Provision.max_util_true
+      p.Ic_scenario.Provision.max_util_est;
+    Printf.printf "  regret %+.3f (worst link %s), underprovisioned: %d\n"
+      p.Ic_scenario.Provision.regret p.Ic_scenario.Provision.worst_link
+      p.Ic_scenario.Provision.underprovisioned
+  end
+  else
+    Printf.printf "partial run (%d of %d bins): verdict skipped (add \
+                   --resume to finish)\n"
+      (Array.length segment.Ic_scenario.Runner.estimates)
+      total;
+  print_string
+    (Ic_runtime.Telemetry.dump ~with_timings:false
+       (Ic_runtime.Engine.telemetry engine))
 
 (* --- serve ---------------------------------------------------------------- *)
 
@@ -1061,6 +1368,127 @@ let metrics_cmd =
       const run_metrics $ dataset_arg $ weeks_arg $ seed_arg $ bins
       $ drop_rate $ corrupt_rate $ noise $ serve_queries)
 
+let scenario_cmd =
+  let topology =
+    let doc = "Topology: geant|totem|abilene." in
+    Arg.(value & opt string "geant" & info [ "topology" ] ~docv:"NAME" ~doc)
+  in
+  let family =
+    let doc = "Base TM family: ic|bimodal|uniform-normal|nucci." in
+    Arg.(value & opt string "ic" & info [ "family" ] ~docv:"NAME" ~doc)
+  in
+  let bins =
+    let doc = "Scenario length in 5-minute bins." in
+    Arg.(value & opt int 96 & info [ "bins" ] ~docv:"BINS" ~doc)
+  in
+  let noise =
+    let doc = "SNMP multiplicative noise sigma." in
+    Arg.(value & opt float 0.01 & info [ "noise" ] ~docv:"SIGMA" ~doc)
+  in
+  let drop_rate =
+    let doc = "Probability a link poll is lost per bin." in
+    Arg.(value & opt float 0. & info [ "drop-rate" ] ~docv:"P" ~doc)
+  in
+  let corrupt_rate =
+    let doc = "Probability a surviving poll is corrupted per bin." in
+    Arg.(value & opt float 0. & info [ "corrupt-rate" ] ~docv:"P" ~doc)
+  in
+  let fails =
+    let doc =
+      "Fail link A-B at bin AT, restored DUR bins later (permanent if +DUR \
+       is omitted). Repeatable."
+    in
+    Arg.(value & opt_all string [] & info [ "fail" ] ~docv:"A-B@AT[+DUR]" ~doc)
+  in
+  let reweights =
+    let doc = "Set link A-B's IGP weight to W at bin AT. Repeatable." in
+    Arg.(
+      value & opt_all string [] & info [ "reweight" ] ~docv:"A-B@AT*W" ~doc)
+  in
+  let ddoses =
+    let doc =
+      "DDoS PoP from bin AT for DUR bins; each attacker adds MAG x the \
+       mean OD volume (default 12). Repeatable."
+    in
+    Arg.(
+      value & opt_all string [] & info [ "ddos" ] ~docv:"POP@AT+DUR[*MAG]" ~doc)
+  in
+  let flashes =
+    let doc =
+      "Flash crowd toward PoP from bin AT for DUR bins, demand x BOOST \
+       (default 3). Repeatable."
+    in
+    Arg.(
+      value & opt_all string []
+      & info [ "flash" ] ~docv:"POP@AT+DUR[*BOOST]" ~doc)
+  in
+  let outages =
+    let doc =
+      "PoP outage from bin AT for DUR bins (traffic collapses to 2%; \
+       unlabeled — the excess detector must not flag it). Repeatable."
+    in
+    Arg.(value & opt_all string [] & info [ "outage" ] ~docv:"POP@AT+DUR" ~doc)
+  in
+  let threshold =
+    let doc = "Anomaly detector score threshold." in
+    Arg.(value & opt float 5. & info [ "threshold" ] ~docv:"T" ~doc)
+  in
+  let headroom =
+    let doc = "Target peak utilization for what-if link provisioning." in
+    Arg.(value & opt float 0.7 & info [ "headroom" ] ~docv:"H" ~doc)
+  in
+  let refit_every =
+    let doc = "Refit the stable-fP parameters every BINS bins." in
+    Arg.(value & opt int 8 & info [ "refit-every" ] ~docv:"BINS" ~doc)
+  in
+  let window =
+    let doc = "Sliding refit window length in bins." in
+    Arg.(value & opt int 32 & info [ "window" ] ~docv:"BINS" ~doc)
+  in
+  let recover_after =
+    let doc = "Healthy bins required per upward ladder step." in
+    Arg.(value & opt int 4 & info [ "recover-after" ] ~docv:"BINS" ~doc)
+  in
+  let kill_after =
+    let doc =
+      "Kill the engine after BINS bins (mid-scenario) and write a \
+       checkpoint."
+    in
+    Arg.(value & opt (some int) None & info [ "kill-after" ] ~docv:"BINS" ~doc)
+  in
+  let resume =
+    let doc =
+      "After --kill-after, restore from the checkpoint, re-install the \
+       scenario's live routing epoch, finish the timeline, and verify the \
+       estimates are bit-identical to an uninterrupted run."
+    in
+    Arg.(value & flag & info [ "resume" ] ~doc)
+  in
+  let checkpoint =
+    let doc = "Checkpoint file path." in
+    Arg.(
+      value
+      & opt string "ic-scenario.ckpt"
+      & info [ "checkpoint" ] ~docv:"FILE" ~doc)
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Verbose logging.")
+  in
+  let doc =
+    "Run a composable failure/anomaly/what-if scenario: a seeded schedule \
+     of link failures, routing churn, DDoS, flash crowds and outages is \
+     compiled into an adversarial timeline and replayed through the \
+     streaming engine; the verdict reports detection precision/recall and \
+     time-to-detect, capacity-planning regret, degradation transitions and \
+     telemetry — all deterministic for a given seed."
+  in
+  Cmd.v (Cmd.info "scenario" ~doc)
+    Term.(
+      const run_scenario $ topology $ family $ bins $ seed_arg $ noise
+      $ drop_rate $ corrupt_rate $ fails $ reweights $ ddoses $ flashes
+      $ outages $ threshold $ headroom $ refit_every $ window $ recover_after
+      $ kill_after $ resume $ checkpoint $ verbose)
+
 let socket_arg =
   let doc = "Unix-domain socket path (preferred for local serving)." in
   Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
@@ -1220,7 +1648,8 @@ let main_cmd =
      (Erramilli, Crovella, Taft; IMC 2006)"
   in
   Cmd.group (Cmd.info "ic-lab" ~version:"1.0.0" ~doc)
-    [ experiment_cmd; gen_cmd; fit_cmd; estimate_cmd; stream_cmd; serve_cmd;
-      loadgen_cmd; trace_cmd; metrics_cmd; whatif_cmd; topology_cmd ]
+    [ experiment_cmd; gen_cmd; fit_cmd; estimate_cmd; stream_cmd;
+      scenario_cmd; serve_cmd; loadgen_cmd; trace_cmd; metrics_cmd;
+      whatif_cmd; topology_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

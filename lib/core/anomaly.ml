@@ -97,7 +97,18 @@ let detect ?(threshold = 5.) ?min_bytes (params : Params.stable_fp) series =
         r
     done
   done;
-  List.sort (fun a b -> compare b.score a.score) !detections
+  (* Decreasing score, ties broken by (bin, origin, destination) so equal
+     scores — common on symmetric synthetic data — order deterministically
+     regardless of scan order. *)
+  List.sort
+    (fun a b ->
+      match compare b.score a.score with
+      | 0 ->
+          compare
+            (a.bin, a.origin, a.destination)
+            (b.bin, b.origin, b.destination)
+      | c -> c)
+    !detections
 
 type evaluation = {
   true_positives : int;

@@ -28,7 +28,11 @@ val detect :
     model evaluation of [params] and returns entries whose score exceeds
     [threshold] (default 5) {e and} whose absolute excess exceeds
     [min_bytes] (default 0.2% of the median bin total), ordered by
-    decreasing score. Residuals are studentized in log space, where the
+    decreasing score with equal scores ordered by (bin, origin,
+    destination) — the returned list is a deterministic function of its
+    inputs. The threshold is strict: a score exactly at [threshold] is not
+    a detection, and neither is an excess exactly at [min_bytes] (so an
+    all-zero series, whose default floor is 0, still yields nothing). Residuals are studentized in log space, where the
     multiplicative measurement noise is homoscedastic across the diurnal
     cycle; the scale per entry is the larger of the OD pair's
     median-absolute-deviation over time and the relative sampling-noise

@@ -105,6 +105,7 @@ let reason_of_name name =
       Degrade.Polls_missing;
       Degrade.Imputation_exhausted;
       Degrade.F_degenerate;
+      Degrade.Topology_change;
       Degrade.Recovered;
     ]
   in

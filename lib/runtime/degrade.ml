@@ -25,6 +25,7 @@ type reason =
   | Polls_missing
   | Imputation_exhausted
   | F_degenerate
+  | Topology_change
   | Recovered
 
 let reason_name = function
@@ -33,6 +34,7 @@ let reason_name = function
   | Polls_missing -> "polls-missing"
   | Imputation_exhausted -> "imputation-exhausted"
   | F_degenerate -> "f-degenerate"
+  | Topology_change -> "topology-change"
   | Recovered -> "recovered"
 
 type transition = { bin : int; from_ : level; to_ : level; reason : reason }

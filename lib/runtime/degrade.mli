@@ -35,6 +35,10 @@ type reason =
   | Imputation_exhausted
       (** some link exceeded its consecutive carry-forward budget *)
   | F_degenerate  (** fitted [f] too close to 1/2 for the closed form *)
+  | Topology_change
+      (** routing was swapped mid-stream ({!Engine.set_routing}); the fit
+          predates the new topology, so the next bin is forced down to the
+          marginal-only closed form until refits catch up *)
   | Recovered  (** upward step after sustained health *)
 
 val reason_name : reason -> string

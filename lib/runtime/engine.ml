@@ -42,7 +42,11 @@ let default_config routing binning =
 
 type t = {
   config : config;
-  plan : Tomogravity.plan;
+  mutable routing : Routing.t;  (* current topology; starts at config.routing *)
+  mutable plan : Tomogravity.plan;  (* always built for [routing] *)
+  mutable topo_pending : bool;
+      (* a live set_routing happened since the last step: force the next
+         bin's ladder verdict down (the fit predates the new topology) *)
   n : int;  (* nodes *)
   m : int;  (* routing rows: links + 2n marginal pseudo-links *)
   tel : Telemetry.t;
@@ -73,7 +77,7 @@ type t = {
   egress_buf : Vec.t;
 }
 
-let validate_config c =
+let validate_config (c : config) =
   if not c.routing.Routing.with_marginals then
     invalid_arg "Engine: routing must include marginal rows";
   if c.refit_every < 1 then invalid_arg "Engine: refit_every must be >= 1";
@@ -106,7 +110,9 @@ let create ?telemetry ?(tracer = Trace.noop) config =
   in
   {
     config;
+    routing = config.routing;
     plan = Tomogravity.make_plan ~tracer config.routing;
+    topo_pending = false;
     n;
     m;
     tel = (match telemetry with Some t -> t | None -> Telemetry.create ());
@@ -308,6 +314,20 @@ let step t ~loads ~missing =
     Array.exists (fun c -> c > t.config.impute_budget) t.consec_missing
   in
   let target, reason = target_level t ~miss_frac ~over_budget in
+  (* A live topology change voids the fitted model until refits catch up:
+     force this bin at least down to the marginal-only closed form (or
+     gravity when f is degenerate). Consumed exactly once, by the first
+     step after set_routing ~degrade:true. *)
+  let target, reason =
+    if not t.topo_pending then (target, reason)
+    else begin
+      t.topo_pending <- false;
+      if Degrade.rank target >= Degrade.rank Degrade.Closed_form then
+        (target, reason)
+      else if f_degenerate t.f then (Degrade.Gravity, Degrade.Topology_change)
+      else (Degrade.Closed_form, Degrade.Topology_change)
+    end
+  in
   let before = Degrade.level t.degrade in
   let level = Degrade.observe t.degrade ~bin:t.bin ~target ~reason in
   if Degrade.rank level > Degrade.rank before then
@@ -416,6 +436,29 @@ let telemetry t = t.tel
 let transitions t = Degrade.transitions t.degrade
 
 let config t = t.config
+
+let routing t = t.routing
+
+(* --- topology changes --------------------------------------------------- *)
+
+let set_routing ?(degrade = true) t r =
+  if not r.Routing.with_marginals then
+    invalid_arg "Engine.set_routing: routing must include marginal rows";
+  if Routing.row_count r <> t.m then
+    invalid_arg "Engine.set_routing: row count does not match the engine";
+  if Ic_topology.Graph.node_count r.Routing.graph <> t.n then
+    invalid_arg "Engine.set_routing: node count does not match the engine";
+  t.routing <- r;
+  t.plan <- Tomogravity.make_plan ~tracer:t.tracer r;
+  (* The fresh plan starts its fast-path stats at zero; realign the engine's
+     per-plan deltas so the next bin's counters stay non-negative. *)
+  t.fp_hits <- 0;
+  t.fp_updates <- 0;
+  t.fp_refactorizes <- 0;
+  if degrade then begin
+    t.topo_pending <- true;
+    Telemetry.incr t.tel "topology.changes"
+  end
 
 (* --- checkpointing ------------------------------------------------------ *)
 

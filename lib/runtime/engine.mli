@@ -104,6 +104,32 @@ val transitions : t -> Degrade.transition list
 
 val config : t -> config
 
+val routing : t -> Ic_topology.Routing.t
+(** The routing the engine is currently solving against: [config.routing]
+    until the first {!set_routing}, then whatever was last installed. *)
+
+val set_routing : ?degrade:bool -> t -> Ic_topology.Routing.t -> unit
+(** Install a new routing mid-stream (a link failure/recovery or IGP
+    reweight, typically produced by {!Ic_topology.Routing.rebuild}). The
+    tomogravity plan is rebuilt for the new matrix immediately — no
+    subsequent solve can touch the stale factor cache — and with [degrade]
+    (the default, a live topology change) the next {!step}'s ladder verdict
+    is forced down to at least [Closed_form] with reason
+    [Topology_change], since the fitted stable-fP model predates the new
+    topology; the sliding-window refit then re-earns the upper rungs under
+    the usual hysteresis. Pass [~degrade:false] only when re-installing the
+    routing an interrupted run was already using (checkpoint resume): it
+    swaps the matrix and plan without recording a transition or counting
+    [topology.changes], which is what keeps kill/resume bit-identical
+    mid-scenario. The new routing must have marginal rows and the same row
+    and node counts as the engine (use {!Ic_topology.Routing.rebuild} to
+    keep failed links' rows in place); raises [Invalid_argument] otherwise.
+
+    The forced down-step is consumed by the next [step] and is not part of
+    {!snapshot} — callers applying topology events must step the event's
+    bin before checkpointing (apply-then-step is atomic in the scenario
+    runner). *)
+
 (** {2 Checkpoint support}
 
     A snapshot is the full serializable engine state — everything that

@@ -121,6 +121,9 @@ type t = {
   snmp : Snmp.stream;
   corrupt_rate : float;
   fault_rng : Ic_prng.Rng.t;
+  telemetry : Telemetry.t option;
+  mutable counting : bool;  (* suppressed during [skip] fast-forward *)
+  mutable primed : bool;  (* the snmp stream has delivered at least once *)
   mutable pos : int;
 }
 
@@ -169,10 +172,24 @@ let overlay_loads routing series ~seed (events : Openloop.event array) =
       | Some x -> Routing.link_loads routing x)
     per_bin
 
-let create ?(noise_sigma = 0.01) ?(drop_rate = 0.) ?(corrupt_rate = 0.)
-    ?openloop routing series ~seed =
+let make ~noise_sigma ~drop_rate ~corrupt_rate ~telemetry ~loads ~seed =
   if corrupt_rate < 0. || corrupt_rate >= 1. then
-    invalid_arg "Feed.create: corrupt rate out of [0,1)";
+    invalid_arg "Feed: corrupt rate out of [0,1)";
+  let rng = Ic_prng.Rng.create seed in
+  let snmp_rng = Ic_prng.Rng.fork rng in
+  {
+    loads;
+    snmp = Snmp.stream { noise_sigma; loss_rate = drop_rate } snmp_rng;
+    corrupt_rate;
+    fault_rng = Ic_prng.Rng.fork rng;
+    telemetry;
+    counting = true;
+    primed = false;
+    pos = 0;
+  }
+
+let create ?(noise_sigma = 0.01) ?(drop_rate = 0.) ?(corrupt_rate = 0.)
+    ?openloop ?telemetry routing series ~seed =
   let g = routing.Routing.graph in
   if Series.size series <> Ic_topology.Graph.node_count g then
     invalid_arg "Feed.create: series does not match routing";
@@ -192,15 +209,21 @@ let create ?(noise_sigma = 0.01) ?(drop_rate = 0.) ?(corrupt_rate = 0.)
             y.(r) <- y.(r) +. e.(r)
           done)
         loads);
-  let rng = Ic_prng.Rng.create seed in
-  let snmp_rng = Ic_prng.Rng.fork rng in
-  {
-    loads;
-    snmp = Snmp.stream { noise_sigma; loss_rate = drop_rate } snmp_rng;
-    corrupt_rate;
-    fault_rng = Ic_prng.Rng.fork rng;
-    pos = 0;
-  }
+  make ~noise_sigma ~drop_rate ~corrupt_rate ~telemetry ~loads ~seed
+
+let of_loads ?(noise_sigma = 0.01) ?(drop_rate = 0.) ?(corrupt_rate = 0.)
+    ?telemetry loads ~seed =
+  let bins = Array.length loads in
+  if bins > 0 then begin
+    let m = Array.length loads.(0) in
+    Array.iter
+      (fun y ->
+        if Array.length y <> m then
+          invalid_arg "Feed.of_loads: ragged load series")
+      loads
+  end;
+  make ~noise_sigma ~drop_rate ~corrupt_rate ~telemetry
+    ~loads:(Array.map Array.copy loads) ~seed
 
 let length t = Array.length t.loads
 
@@ -209,21 +232,44 @@ let position t = t.pos
 let next t =
   if t.pos >= Array.length t.loads then None
   else begin
+    let was_primed = t.primed in
     let { Snmp.values; missing } = Snmp.poll t.snmp t.loads.(t.pos) in
     t.pos <- t.pos + 1;
+    t.primed <- true;
+    let corrupted = ref 0 in
     if t.corrupt_rate > 0. then
       for e = 0 to Array.length values - 1 do
         if
           (not missing.(e))
           && Ic_prng.Rng.float t.fault_rng < t.corrupt_rate
-        then
+        then begin
           (* A corrupt counter read: strictly negative, detectably bogus. *)
-          values.(e) <- -.(Float.abs values.(e)) -. 1.
+          values.(e) <- -.(Float.abs values.(e)) -. 1.;
+          incr corrupted
+        end
       done;
+    (match t.telemetry with
+    | Some tel when t.counting ->
+        let dropped = ref 0 in
+        Array.iter (fun m -> if m then incr dropped) missing;
+        Telemetry.add tel "feed.polls.total" (Array.length values);
+        Telemetry.add tel "feed.polls.dropped" !dropped;
+        Telemetry.add tel "feed.polls.corrupt" !corrupted;
+        (* Carry-forwards: drops the SNMP layer papered over with the last
+           reported value. First-poll drops fall back to the true value
+           instead, so they are drops but not carries. *)
+        Telemetry.add tel "feed.polls.carried"
+          (if was_primed then !dropped else 0)
+    | _ -> ());
     Some (values, missing)
   end
 
 let skip t k =
+  (* A resumed engine's restored counters already include the skipped bins'
+     feed outcomes (they were counted live before the kill), so the
+     fast-forward draws must not count again. *)
+  t.counting <- false;
   for _ = 1 to k do
     ignore (next t)
-  done
+  done;
+  t.counting <- true

@@ -64,6 +64,7 @@ val create :
   ?drop_rate:float ->
   ?corrupt_rate:float ->
   ?openloop:Openloop.event array ->
+  ?telemetry:Telemetry.t ->
   Ic_topology.Routing.t ->
   Ic_traffic.Series.t ->
   seed:int ->
@@ -76,7 +77,33 @@ val create :
     fault streams are unchanged by the overlay, so a feed with [openloop =
     Some [||]] replays byte-identically to one without. Raises
     [Invalid_argument] on rates out of range or a series that does not
-    match the routing. *)
+    match the routing.
+
+    [telemetry] (typically the engine's own sink, honoring its
+    single-writer rule) makes every injected fault observable in the shared
+    registry: per delivered bin the feed counts [feed.polls.total] (rows
+    polled), [feed.polls.dropped] (polls the collector lost),
+    [feed.polls.carried] (drops papered over with the previous reading —
+    first-poll drops fall back to the true value and are not carries) and
+    [feed.polls.corrupt] (surviving polls flipped to garbage). {!skip}
+    counts nothing: a resumed engine's restored counters already include
+    the skipped bins, so resume totals equal the uninterrupted run's. *)
+
+val of_loads :
+  ?noise_sigma:float ->
+  ?drop_rate:float ->
+  ?corrupt_rate:float ->
+  ?telemetry:Telemetry.t ->
+  Ic_linalg.Vec.t array ->
+  seed:int ->
+  t
+(** A feed over caller-computed per-bin true link loads (copied), for
+    callers whose loads are not one fixed routing times one series — the
+    scenario timeline routes each bin through that bin's topology epoch.
+    The fault-stream layout is identical to {!create}: [of_loads] over
+    precomputed [R x(t)] replays byte-identically to [create routing
+    series] with the same seed and rates. Raises [Invalid_argument] on
+    rates out of range or ragged loads. *)
 
 val length : t -> int
 (** Total bins in the replay. *)

@@ -1,0 +1,77 @@
+module Tm = Ic_traffic.Tm
+module Routing = Ic_topology.Routing
+module Graph = Ic_topology.Graph
+
+type t = {
+  headroom : float;
+  edge_count : int;
+  max_util_true : float;
+  max_util_est : float;
+  regret : float;
+  worst_link : string;
+  underprovisioned : int;
+}
+
+(* Per-edge peak load over the bins (physical edge rows only). *)
+let peaks routing tms =
+  let m = Graph.edge_count routing.Routing.graph in
+  let peaks = Array.make m 0. in
+  Array.iter
+    (fun tm ->
+      let y = Routing.link_loads routing (Tm.to_vector tm) in
+      for e = 0 to m - 1 do
+        if y.(e) > peaks.(e) then peaks.(e) <- y.(e)
+      done)
+    tms;
+  peaks
+
+let utilization ~caps ~peaks =
+  let worst = ref 0. and worst_e = ref (-1) and under = ref 0 in
+  Array.iteri
+    (fun e p ->
+      let u =
+        if caps.(e) > 0. then p /. caps.(e)
+        else if p > 0. then infinity
+        else 0.
+      in
+      if u > !worst then begin
+        worst := u;
+        worst_e := e
+      end;
+      if u > 1. then incr under)
+    peaks;
+  (!worst, !worst_e, !under)
+
+let plan ~routing ~headroom ~estimated ~truth =
+  if not (headroom > 0. && headroom <= 1.) then
+    invalid_arg "Provision.plan: headroom out of (0, 1]";
+  if Array.length estimated <> Array.length truth then
+    invalid_arg "Provision.plan: estimate/truth bin-count mismatch";
+  if Array.length truth = 0 then invalid_arg "Provision.plan: no bins";
+  let g = routing.Routing.graph in
+  let provision tms =
+    Array.map (fun p -> p /. headroom) (peaks routing tms)
+  in
+  let caps_est = provision estimated in
+  let caps_true = provision truth in
+  let true_peaks = peaks routing truth in
+  let max_util_est, worst_e, under =
+    utilization ~caps:caps_est ~peaks:true_peaks
+  in
+  let max_util_true, _, _ = utilization ~caps:caps_true ~peaks:true_peaks in
+  let worst_link =
+    if worst_e < 0 then "-"
+    else begin
+      let e = Graph.edge g worst_e in
+      Graph.name g e.Graph.src ^ "->" ^ Graph.name g e.Graph.dst
+    end
+  in
+  {
+    headroom;
+    edge_count = Graph.edge_count g;
+    max_util_true;
+    max_util_est;
+    regret = max_util_est -. max_util_true;
+    worst_link;
+    underprovisioned = under;
+  }

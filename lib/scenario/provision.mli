@@ -1,0 +1,39 @@
+(** What-if capacity planning: judge estimation quality by the TE decision
+    it drives, not by matrix error alone (the SOL [provisionLinks]
+    pattern).
+
+    An operator provisions each link's capacity as its peak load under the
+    TMs they believe, divided by a target [headroom] (0.7 = links planned
+    to run at 70% at peak). Provisioning from perfect TMs yields a max
+    utilization of exactly [headroom]; provisioning from {e estimated} TMs
+    and then carrying the {e true} traffic reveals the cost of estimation
+    error as extra utilization — the regret. *)
+
+type t = {
+  headroom : float;
+  edge_count : int;
+  max_util_true : float;
+      (** max link utilization when capacities are provisioned from the
+          true TMs — [headroom] by construction (the planning ideal) *)
+  max_util_est : float;
+      (** max link utilization under the true traffic when capacities were
+          provisioned from the estimated TMs; [infinity] if some loaded
+          link was provisioned at zero *)
+  regret : float;  (** [max_util_est - max_util_true] *)
+  worst_link : string;  (** ["src->dst"] of the worst-utilized link *)
+  underprovisioned : int;
+      (** links whose true peak exceeds their estimated capacity
+          (utilization above 1) *)
+}
+
+val plan :
+  routing:Ic_topology.Routing.t ->
+  headroom:float ->
+  estimated:Ic_traffic.Tm.t array ->
+  truth:Ic_traffic.Tm.t array ->
+  t
+(** Both TM arrays are per-bin and must have equal length; peaks are taken
+    over all bins, loads through [routing]'s physical edge rows (use the
+    base, pre-failure routing — provisioning is a planning exercise).
+    Raises [Invalid_argument] on a headroom outside (0, 1], mismatched
+    lengths, or zero bins. *)

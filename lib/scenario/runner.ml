@@ -1,0 +1,82 @@
+module Tm = Ic_traffic.Tm
+module Series = Ic_traffic.Series
+module Engine = Ic_runtime.Engine
+module Feed = Ic_runtime.Feed
+module Degrade = Ic_runtime.Degrade
+
+let feed ?noise_sigma ?drop_rate ?corrupt_rate ?telemetry (tl : Timeline.t)
+    ~seed =
+  Feed.of_loads ?noise_sigma ?drop_rate ?corrupt_rate ?telemetry
+    tl.Timeline.loads ~seed
+
+let resume_routing engine (tl : Timeline.t) =
+  let k = Engine.bins_seen engine in
+  if k > 0 then begin
+    let r = Timeline.routing_at tl (k - 1) in
+    if not (r == Engine.routing engine) then
+      Engine.set_routing ~degrade:false engine r
+  end
+
+type segment = {
+  estimates : Tm.t array;
+  levels : Degrade.level array;
+  clamped : int;
+  applied : (int * string) list;
+}
+
+let play ?upto ?on_bin engine feed_ (tl : Timeline.t) =
+  let stop =
+    match upto with
+    | None -> Timeline.bins tl
+    | Some u -> min u (Timeline.bins tl)
+  in
+  let boundaries = Timeline.boundaries tl in
+  let estimates = ref [] in
+  let levels = ref [] in
+  let clamped = ref 0 in
+  let applied = ref [] in
+  let exhausted = ref false in
+  while (not !exhausted) && Feed.position feed_ < stop do
+    let bin = Feed.position feed_ in
+    if bin <> Engine.bins_seen engine then
+      invalid_arg "Runner.play: feed and engine out of step";
+    (* Apply the bin's topology event, if any, atomically with its step:
+       the forced Topology_change down-step is consumed by this very step,
+       so it can never straddle a checkpoint. *)
+    List.iter
+      (fun (b, routing, description) ->
+        if b = bin then begin
+          Engine.set_routing engine routing;
+          applied := (bin, description) :: !applied
+        end)
+      boundaries;
+    match Feed.next feed_ with
+    | None -> exhausted := true
+    | Some (loads, missing) ->
+        let out = Engine.step engine ~loads ~missing in
+        estimates := out.Engine.estimate :: !estimates;
+        levels := out.Engine.level :: !levels;
+        clamped := !clamped + out.Engine.clamped;
+        Option.iter (fun f -> f bin out) on_bin
+  done;
+  {
+    estimates = Array.of_list (List.rev !estimates);
+    levels = Array.of_list (List.rev !levels);
+    clamped = !clamped;
+    applied = List.rev !applied;
+  }
+
+type verdict = { score : Score.t; provision : Provision.t }
+
+let evaluate ?threshold ?fit_options ?(headroom = 0.7) (tl : Timeline.t)
+    ~estimates =
+  let truth =
+    Array.init (Timeline.bins tl) (Series.tm tl.Timeline.series)
+  in
+  {
+    score = Score.score ?threshold ?fit_options tl ~estimates;
+    provision =
+      Provision.plan
+        ~routing:(Timeline.base_routing tl)
+        ~headroom ~estimated:estimates ~truth;
+  }

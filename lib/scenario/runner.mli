@@ -1,0 +1,63 @@
+(** Replay a compiled timeline through a live engine.
+
+    The runner is the glue between {!Timeline} and the runtime: it builds
+    the fault-injected feed over the timeline's per-bin true loads, steps
+    the engine bin by bin, and applies each topology epoch boundary via
+    {!Ic_runtime.Engine.set_routing} immediately before stepping the
+    boundary's bin — apply-then-step is atomic, so the forced
+    [Topology_change] down-step can never straddle a checkpoint and
+    kill/resume mid-scenario stays bit-identical. *)
+
+val feed :
+  ?noise_sigma:float ->
+  ?drop_rate:float ->
+  ?corrupt_rate:float ->
+  ?telemetry:Ic_runtime.Telemetry.t ->
+  Timeline.t ->
+  seed:int ->
+  Ic_runtime.Feed.t
+(** {!Ic_runtime.Feed.of_loads} over the timeline's loads. Use the same
+    [seed] (and the engine's telemetry sink) on the original and the
+    resumed run. *)
+
+val resume_routing : Ic_runtime.Engine.t -> Timeline.t -> unit
+(** After {!Ic_runtime.Checkpoint.load}: re-install the epoch routing the
+    interrupted run was using at its last completed bin, with
+    [~degrade:false] (no transition, no counter — the transition was
+    already recorded live and restored with the snapshot). A boundary
+    falling exactly on the resume bin is {e not} applied here; {!play}
+    applies it as the live event it still is. No-op when the epoch in
+    effect is already installed. *)
+
+type segment = {
+  estimates : Ic_traffic.Tm.t array;  (** one per stepped bin *)
+  levels : Ic_runtime.Degrade.level array;
+  clamped : int;  (** clamp total over the segment *)
+  applied : (int * string) list;
+      (** topology boundaries applied during this segment, by bin *)
+}
+
+val play :
+  ?upto:int ->
+  ?on_bin:(int -> Ic_runtime.Engine.output -> unit) ->
+  Ic_runtime.Engine.t ->
+  Ic_runtime.Feed.t ->
+  Timeline.t ->
+  segment
+(** Step from the feed's current position up to (exclusive) [upto]
+    (default: the whole timeline), applying epoch boundaries at their
+    bins. The engine and feed must be in lockstep (resume fast-forwards
+    the feed first); raises [Invalid_argument] otherwise. *)
+
+type verdict = { score : Score.t; provision : Provision.t }
+
+val evaluate :
+  ?threshold:float ->
+  ?fit_options:Ic_core.Fit.options ->
+  ?headroom:float ->
+  Timeline.t ->
+  estimates:Ic_traffic.Tm.t array ->
+  verdict
+(** Anomaly scoring ({!Score.score}) plus what-if provisioning
+    ({!Provision.plan}, default headroom 0.7, base routing) over a full
+    run's estimates against the timeline's injected truth. *)

@@ -1,0 +1,70 @@
+type event =
+  | Link_fail of { a : string; b : string; at : int; duration : int option }
+  | Reweight of { a : string; b : string; at : int; weight : float }
+  | Ddos of { victim : string; at : int; duration : int; magnitude : float }
+  | Flash_crowd of { node : string; at : int; duration : int; boost : float }
+  | Outage of { node : string; at : int; duration : int }
+
+type t = { seed : int; events : event list }
+
+let event_bin = function
+  | Link_fail { at; _ }
+  | Reweight { at; _ }
+  | Ddos { at; _ }
+  | Flash_crowd { at; _ }
+  | Outage { at; _ } ->
+      at
+
+let describe = function
+  | Link_fail { a; b; at = _; duration = None } ->
+      Printf.sprintf "link-fail %s-%s (permanent)" a b
+  | Link_fail { a; b; at = _; duration = Some d } ->
+      Printf.sprintf "link-fail %s-%s (%d bins)" a b d
+  | Reweight { a; b; at = _; weight } ->
+      Printf.sprintf "reweight %s-%s -> %g" a b weight
+  | Ddos { victim; at = _; duration; magnitude } ->
+      Printf.sprintf "ddos -> %s (x%g, %d bins)" victim magnitude duration
+  | Flash_crowd { node; at = _; duration; boost } ->
+      Printf.sprintf "flash-crowd %s (x%g, %d bins)" node boost duration
+  | Outage { node; at = _; duration } ->
+      Printf.sprintf "outage %s (%d bins)" node duration
+
+let validate ~bins t =
+  let bad fmt = Printf.ksprintf invalid_arg fmt in
+  let check_at at what =
+    if at < 0 || at >= bins then
+      bad "Schedule: %s at bin %d outside [0, %d)" what at bins
+  in
+  let check_duration d what =
+    if d < 1 then bad "Schedule: %s duration %d must be >= 1" what d
+  in
+  List.iter
+    (fun e ->
+      match e with
+      | Link_fail { at; duration; _ } -> (
+          check_at at "link-fail";
+          match duration with
+          | Some d -> check_duration d "link-fail"
+          | None -> ())
+      | Reweight { at; weight; _ } ->
+          check_at at "reweight";
+          if not (weight > 0. && Float.is_finite weight) then
+            bad "Schedule: reweight to %g" weight
+      | Ddos { at; duration; magnitude; _ } ->
+          check_at at "ddos";
+          check_duration duration "ddos";
+          if not (magnitude > 0. && Float.is_finite magnitude) then
+            bad "Schedule: ddos magnitude %g" magnitude
+      | Flash_crowd { at; duration; boost; _ } ->
+          check_at at "flash-crowd";
+          check_duration duration "flash-crowd";
+          if not (boost > 0. && Float.is_finite boost) then
+            bad "Schedule: flash-crowd boost %g" boost
+      | Outage { at; duration; _ } ->
+          check_at at "outage";
+          check_duration duration "outage")
+    t.events
+
+let sorted t =
+  (* Stable by bin: events at the same bin keep their declaration order. *)
+  List.stable_sort (fun a b -> compare (event_bin a) (event_bin b)) t.events

@@ -1,0 +1,44 @@
+(** Declarative scenario schedules.
+
+    A schedule is the complete, seeded description of an adversarial
+    timeline: which links fail and recover, which IGP weights change, and
+    which traffic anomalies are overlaid on the base OD flows. Everything
+    downstream (attacker choice, injected volumes, epoch routings) is a
+    pure function of the schedule and its seed through
+    {!Ic_prng.Rng.split} substreams, so a scenario verdict is reproducible
+    to the bit and cram-pinnable.
+
+    Nodes and links are referred to by PoP name; resolution against a
+    concrete {!Ic_topology.Graph.t} happens in {!Timeline.compile}. *)
+
+type event =
+  | Link_fail of { a : string; b : string; at : int; duration : int option }
+      (** both directions of the physical link go down at [at]; [duration]
+          bins later the link recovers ([None] = never) *)
+  | Reweight of { a : string; b : string; at : int; weight : float }
+      (** IGP weight of both directions changes at [at] — routing churn
+          without a failure *)
+  | Ddos of { victim : string; at : int; duration : int; magnitude : float }
+      (** several attacker origins each add [magnitude] x the mean OD
+          volume toward [victim] for [duration] bins *)
+  | Flash_crowd of { node : string; at : int; duration : int; boost : float }
+      (** all traffic toward [node] multiplies by [boost] *)
+  | Outage of { node : string; at : int; duration : int }
+      (** [node]'s traffic (both directions) collapses to 2% — an
+          absence anomaly the one-sided excess detector must NOT flag *)
+
+type t = { seed : int; events : event list }
+
+val event_bin : event -> int
+
+val describe : event -> string
+(** One-line human description, deterministic, used verbatim in scenario
+    reports. *)
+
+val validate : bins:int -> t -> unit
+(** Raises [Invalid_argument] on an event bin outside [[0, bins)], a
+    non-positive duration, or a non-finite/non-positive weight, magnitude
+    or boost. Name resolution is checked later, against the graph. *)
+
+val sorted : t -> event list
+(** Events by increasing bin, declaration order preserved within a bin. *)

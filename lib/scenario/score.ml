@@ -1,0 +1,71 @@
+module Series = Ic_traffic.Series
+module Anomaly = Ic_core.Anomaly
+
+type event_score = {
+  kind : string;
+  target : string;
+  at : int;
+  duration : int;
+  detected_at : int option;
+  time_to_detect : int option;
+}
+
+type t = {
+  threshold : float;
+  min_bytes : float;
+  detections : Anomaly.detection list;
+  evaluation : Anomaly.evaluation;
+  events : event_score list;
+}
+
+let score ?(threshold = 5.) ?fit_options (tl : Timeline.t) ~estimates =
+  if Array.length estimates <> Timeline.bins tl then
+    invalid_arg "Score.score: estimate count does not match the timeline";
+  let series = Series.make tl.Timeline.series.Series.binning estimates in
+  (* The reference model is fitted on the estimated series itself — the
+     detector sees exactly what the estimation pipeline produced, anomalies
+     included; the MAD studentization keeps moderate contamination from
+     absorbing the events into "normal". *)
+  let fitted = Ic_core.Fit.fit_stable_fp ?options:fit_options series in
+  let min_bytes = tl.Timeline.label_floor in
+  let detections =
+    Anomaly.detect ~threshold ~min_bytes fitted.Ic_core.Fit.params series
+  in
+  let evaluation =
+    Anomaly.evaluate ~detections ~labels:tl.Timeline.labels
+  in
+  let events =
+    List.filter_map
+      (fun (i : Timeline.injected) ->
+        if i.Timeline.labels = [] then None
+        else begin
+          let hit =
+            List.filter_map
+              (fun (d : Anomaly.detection) ->
+                if
+                  List.mem
+                    (d.Anomaly.bin, d.Anomaly.origin, d.Anomaly.destination)
+                    i.Timeline.labels
+                then Some d.Anomaly.bin
+                else None)
+              detections
+          in
+          let detected_at =
+            match hit with
+            | [] -> None
+            | bins -> Some (List.fold_left min max_int bins)
+          in
+          Some
+            {
+              kind = i.Timeline.kind;
+              target = i.Timeline.target;
+              at = i.Timeline.at;
+              duration = i.Timeline.duration;
+              detected_at;
+              time_to_detect =
+                Option.map (fun b -> b - i.Timeline.at) detected_at;
+            }
+        end)
+      tl.Timeline.injected
+  in
+  { threshold; min_bytes; detections; evaluation; events }

@@ -1,0 +1,37 @@
+(** Score {!Ic_core.Anomaly.detect} against a timeline's injected ground
+    truth: precision/recall over (bin, origin, destination) labels, plus
+    per-event time-to-detect.
+
+    The normal-behaviour reference is a stable-fP fit of the {e estimated}
+    series — what an operator running the estimation pipeline actually
+    has — and the detector's materiality floor is the timeline's label
+    floor, so detections and labels are judged against the same bar. *)
+
+type event_score = {
+  kind : string;
+  target : string;
+  at : int;
+  duration : int;
+  detected_at : int option;  (** first bin any of its labels was flagged *)
+  time_to_detect : int option;  (** [detected_at - at]; [None] = missed *)
+}
+
+type t = {
+  threshold : float;
+  min_bytes : float;  (** the timeline's label floor *)
+  detections : Ic_core.Anomaly.detection list;
+  evaluation : Ic_core.Anomaly.evaluation;
+  events : event_score list;
+      (** one per labeled injected event (outages are unlabeled and
+          absent), declaration order *)
+}
+
+val score :
+  ?threshold:float ->
+  ?fit_options:Ic_core.Fit.options ->
+  Timeline.t ->
+  estimates:Ic_traffic.Tm.t array ->
+  t
+(** [threshold] defaults to 5 (the detector's default). Raises
+    [Invalid_argument] if the estimate count does not match the
+    timeline. *)

@@ -27,6 +27,18 @@ val build : ?with_marginals:bool -> Graph.t -> t
     weights (default [with_marginals] is [true]). Raises [Invalid_argument]
     if some OD pair has no route (disconnected graph). *)
 
+val rebuild : ?down:int list -> ?reweight:(int * float) list -> t -> t
+(** Recompute routes after a topology event, keeping the published matrix
+    shape fixed: edges in [down] are removed from shortest-path computation
+    but keep their (now structurally empty) rows, and [reweight] overrides
+    IGP weights by edge id, so the result has the same [row_count],
+    [od_count] and row indexing as [t] and existing feeds/engines need no
+    re-dimensioning. The graph field remains the original (pre-failure)
+    graph — capacities and names are unchanged. Raises [Invalid_argument]
+    on an out-of-range edge id, a non-positive/non-finite weight, or a
+    failure set that disconnects the residual graph (every OD pair must
+    still have a route). *)
+
 val link_loads : t -> Ic_linalg.Vec.t -> Ic_linalg.Vec.t
 (** [link_loads r x] is [R x]: the observable link (and marginal) counts for
     a TM vector. *)

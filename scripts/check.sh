@@ -120,6 +120,42 @@ if ! grep -q "drained after 31 answered requests" "$serve_dir/serve.out"; then
 fi
 echo "serve smoke OK: 31 answered, clean drain"
 
+echo "== scenario gates =="
+# Measure the scenario group (route rebuild, timeline compile, per-bin
+# overlay replay) and gate against the committed per-PR snapshot
+# results/BENCH_pr8_after.json. overlay-per-bin amortizes engine refits
+# and epoch boundaries across a 48-bin replay, so its variance sits
+# between the compute kernels' and the serve plane's — 50% absorbs that
+# while still catching an accidental per-bin recompile (compile is ~5x
+# a bin).
+scenario_json=$(mktemp)
+trap 'rm -f "$fastpath_json" "$serve_json" "$scenario_json"; rm -rf "$serve_dir"' EXIT
+dune exec bench/main.exe -- --group scenario --json "$scenario_json"
+scripts/bench_diff.sh results/BENCH_pr8_after.json "$scenario_json" \
+  --only scenario/ --threshold 50
+
+echo "== scenario CLI smoke =="
+# The default seeded schedule with kill/resume: the verdict is a pure
+# function of the seed, so these lines are exact (the same run is pinned
+# in full in test/cli.t — this is the fast signature check).
+scenario_dir=$(mktemp -d)
+trap 'rm -f "$fastpath_json" "$serve_json" "$scenario_json"; rm -rf "$serve_dir" "$scenario_dir"' EXIT
+scenario_out=$(dune exec bin/ic_lab.exe -- scenario --bins 96 \
+  --drop-rate 0.02 --corrupt-rate 0.01 --kill-after 30 --resume \
+  --checkpoint "$scenario_dir/sc.ckpt")
+for line in \
+  'resume check: estimates bit-identical to uninterrupted run: yes' \
+  'detections 269 (tp 38, fp 231, fn 125): precision 0.141, recall 0.233' \
+  'regret +0.041 (worst link at->si), underprovisioned: 0' \
+  'topology.changes                 2'; do
+  if ! printf '%s\n' "$scenario_out" | grep -qF "$line"; then
+    echo "check.sh: scenario smoke missing '$line':" >&2
+    printf '%s\n' "$scenario_out" >&2
+    exit 1
+  fi
+done
+echo "scenario smoke OK: bit-identical resume, pinned verdict"
+
 echo "== CLI parallel smoke =="
 out1=$(dune exec bin/ic_lab.exe -- estimate --dataset geant --week 1 \
   --prior stable-fp --stride 24 --jobs 1 | tail -1)

@@ -57,6 +57,10 @@ every degradation transition (counters-only telemetry is deterministic):
     fastpath.hit                     29
     fastpath.refactorize             11
     fastpath.update                  0
+    feed.polls.carried               227
+    feed.polls.corrupt               106
+    feed.polls.dropped               234
+    feed.polls.total                 4880
     ipf.iterations                   256
     polls.corrupt                    106
     polls.dropped                    234
@@ -137,6 +141,85 @@ bit-identically per shard, and the merged telemetry dump is deterministic
   ic-runtime-shards v1
   shards 3
 
+The scenario engine compiles a seeded schedule of failures and anomalies
+into an adversarial timeline and replays it through the engine: routes
+are recomputed mid-stream (the ladder records each topology-change
+down-step), injected anomalies are scored against ground truth, capacity
+provisioned from the estimates is judged against the true traffic, and a
+kill mid-scenario resumes bit-identically — the whole verdict is a pure
+function of the seed:
+
+  $ ../bin/ic_lab.exe scenario --bins 96 --drop-rate 0.02 \
+  >   --corrupt-rate 0.01 --kill-after 30 --resume --checkpoint sc.ckpt
+  scenario geant/ic: 96 bins x 22 nodes, seed 7 (drop 2.0%, corrupt 1.0%, noise 1.0%)
+  schedule (3 events):
+    bin    24  link-fail de-at (24 bins)
+    bin    48  ddos -> ie (x12, 12 bins)
+    bin    72  flash-crowd be (x3, 12 bins)
+  killed after 30 bins; checkpoint written to sc.ckpt
+  resumed from bin 30, processed 66 more bins
+  resume check: estimates bit-identical to uninterrupted run: yes
+  processed 96 bins; final prior rung: measured-ic
+  topology timeline (2 boundary events applied live):
+    bin    24  topology: link de-at down (routes recomputed)
+    bin    48  topology: link de-at restored (routes recomputed)
+  degradation transitions (9):
+    bin    11  gravity -> closed-form  (recovered)
+    bin    15  closed-form -> stale-fp  (recovered)
+    bin    19  stale-fp -> measured-ic  (recovered)
+    bin    24  measured-ic -> closed-form  (topology-change)
+    bin    28  closed-form -> stale-fp  (recovered)
+    bin    32  stale-fp -> measured-ic  (recovered)
+    bin    48  measured-ic -> closed-form  (topology-change)
+    bin    52  closed-form -> stale-fp  (recovered)
+    bin    56  stale-fp -> measured-ic  (recovered)
+  anomaly scoring (threshold 5, floor 2.32e+06 bytes):
+    detections 269 (tp 38, fp 231, fn 125): precision 0.141, recall 0.233
+    ddos ie: detected at bin 48 (ttd 0)
+    flash-crowd be: detected at bin 72 (ttd 0)
+  what-if provisioning (headroom 0.70, 78 links):
+    max utilization: truth-planned 0.700, estimate-planned 0.741
+    regret +0.041 (worst link at->si), underprovisioned: 0
+  counters:
+    bins                             96
+    bins.at.closed-form              12
+    bins.at.gravity                  11
+    bins.at.measured-ic              61
+    bins.at.stale-fp                 12
+    degrade.down                     2
+    degrade.up                       7
+    estimate.clamped_entries         645
+    fastpath.hit                     78
+    fastpath.refactorize             18
+    fastpath.update                  0
+    feed.polls.carried               220
+    feed.polls.corrupt               112
+    feed.polls.dropped               222
+    feed.polls.total                 11712
+    ipf.iterations                   1114
+    polls.corrupt                    112
+    polls.dropped                    222
+    polls.imputed                    334
+    polls.total                      11712
+    refit.count                      12
+    topology.changes                 2
+  $ head -1 sc.ckpt
+  ic-runtime-checkpoint v1
+
+Another topology with an explicit event list, no faults — a different,
+equally pinned verdict slice:
+
+  $ ../bin/ic_lab.exe scenario --topology abilene --family ic --bins 48 \
+  >   --seed 11 --flash DNVR@20+8*4 --fail KSCY-IPLS@12+12 \
+  >   | grep -E "^scenario|flash|topology:|regret|detections"
+  scenario abilene/ic: 48 bins x 12 nodes, seed 11 (drop 0.0%, corrupt 0.0%, noise 1.0%)
+    bin    20  flash-crowd DNVR (x4, 8 bins)
+    bin    12  topology: link KSCY-IPLS down (routes recomputed)
+    bin    24  topology: link KSCY-IPLS restored (routes recomputed)
+    detections 48 (tp 44, fp 4, fn 44): precision 0.917, recall 0.500
+    flash-crowd DNVR: detected at bin 20 (ttd 0)
+    regret +0.056 (worst link NYCM->CLEV), underprovisioned: 0
+
 Parallel estimation is bit-identical to sequential — same mean error at
 any --jobs:
 
@@ -160,7 +243,7 @@ prints the registry in Prometheus text exposition — fully deterministic,
 including the histogram bucket placement:
 
   $ ../bin/ic_lab.exe metrics --dataset geant --weeks 1 --bins 24 \
-  >   --drop-rate 0.05 --corrupt-rate 0.02 | head -26
+  >   --drop-rate 0.05 --corrupt-rate 0.02 | head -34
   # TYPE bins counter
   bins 24
   # TYPE bins_at_gravity counter
@@ -173,6 +256,14 @@ including the histogram bucket placement:
   fastpath_refactorize 1
   # TYPE fastpath_update counter
   fastpath_update 0
+  # TYPE feed_polls_carried counter
+  feed_polls_carried 141
+  # TYPE feed_polls_corrupt counter
+  feed_polls_corrupt 66
+  # TYPE feed_polls_dropped counter
+  feed_polls_dropped 148
+  # TYPE feed_polls_total counter
+  feed_polls_total 2928
   # TYPE ipf_iterations counter
   ipf_iterations 149
   # TYPE polls_corrupt counter

@@ -76,6 +76,113 @@ let test_min_bytes_floor () =
   in
   Alcotest.(check int) "floored out" 0 (List.length detections)
 
+let test_threshold_boundary () =
+  (* the threshold is strict: re-running with the top detection's own score
+     as the threshold excludes exactly that detection *)
+  let spikes = [ (30, 1, 2, 6.); (70, 3, 0, 8.) ] in
+  let params, series = world ~spikes 6 in
+  match Anomaly.detect ~threshold:4. params series with
+  | [] -> Alcotest.fail "expected detections"
+  | (top : Anomaly.detection) :: _ ->
+      let again = Anomaly.detect ~threshold:top.score params series in
+      Alcotest.(check bool) "boundary score excluded" true
+        (List.for_all
+           (fun (d : Anomaly.detection) -> d.score < top.score)
+           again)
+
+let test_min_bytes_boundary () =
+  (* an excess exactly at min_bytes is not a detection either *)
+  let spikes = [ (30, 1, 2, 6.) ] in
+  let params, series = world ~spikes 7 in
+  match Anomaly.detect ~threshold:4. params series with
+  | [] -> Alcotest.fail "expected detections"
+  | (top : Anomaly.detection) :: _ ->
+      let excess = top.observed -. top.expected in
+      let again = Anomaly.detect ~threshold:4. ~min_bytes:excess params series in
+      Alcotest.(check bool) "boundary excess excluded" true
+        (List.for_all
+           (fun (d : Anomaly.detection) ->
+             (d.bin, d.origin, d.destination)
+             <> (top.bin, top.origin, top.destination))
+           again)
+
+let test_all_zero_series () =
+  (* an all-zero world: zero activity means zero model, zero sigma and a
+     zero default floor — still no detections and no crash *)
+  let n = 4 in
+  let params : Ic_core.Params.stable_fp =
+    {
+      f = 0.25;
+      preference = Ic_linalg.Vec.normalize_sum (Array.make n 1.);
+      activity = Array.make 12 (Array.make n 0.);
+    }
+  in
+  let series =
+    Series.make binning (Array.init 12 (fun _ -> Tm.create n))
+  in
+  Alcotest.(check int) "nothing detected" 0
+    (List.length (Anomaly.detect params series))
+
+let test_equal_scores_stable_order () =
+  (* two OD pairs with bitwise-identical histories and identical spikes get
+     exactly equal scores; ties break by (bin, origin, destination) and the
+     result is reproducible call to call *)
+  let n = 4 and bins = 48 in
+  let params : Ic_core.Params.stable_fp =
+    {
+      f = 0.25;
+      preference = Ic_linalg.Vec.normalize_sum (Array.make n 1.);
+      activity = Array.make bins (Array.make n 1e8);
+    }
+  in
+  let model = Model.stable_fp params binning in
+  (* a shared per-bin wobble: every OD pair sees the same factors, so the
+     tied pairs' residual histories stay bitwise identical *)
+  let series =
+    Series.make binning
+      (Array.init bins (fun t ->
+           Tm.scale
+             (exp (0.02 *. sin (float_of_int t)))
+             (Series.tm model t)))
+  in
+  let tm = Series.tm series 20 in
+  Tm.set tm 0 1 (Tm.get tm 0 1 *. 8.);
+  Tm.set tm 2 3 (Tm.get tm 2 3 *. 8.);
+  Tm.set tm 3 1 (Tm.get tm 3 1 *. 8.);
+  let detections = Anomaly.detect ~threshold:5. params series in
+  let keys =
+    List.map
+      (fun (d : Anomaly.detection) -> (d.bin, d.origin, d.destination))
+      detections
+  in
+  Alcotest.(check bool) "all three tied spikes found" true
+    (List.for_all (fun k -> List.mem k keys) [ (20, 0, 1); (20, 2, 3); (20, 3, 1) ]);
+  (* equal scores appear in (bin, origin, destination) order *)
+  let tied =
+    List.filter (fun (b, _, _) -> b = 20) keys
+  in
+  Alcotest.(check (list (triple int int int))) "deterministic tie order"
+    [ (20, 0, 1); (20, 2, 3); (20, 3, 1) ]
+    tied;
+  let again = Anomaly.detect ~threshold:5. params series in
+  Alcotest.(check bool) "reproducible" true (detections = again)
+
+let qcheck_detect_deterministic =
+  QCheck.Test.make ~count:25 ~name:"detect is a pure function of its inputs"
+    QCheck.(pair (int_range 0 1000) (int_range 0 5))
+    (fun (seed, n_spikes) ->
+      let spikes =
+        List.init n_spikes (fun k -> (10 + (k * 13), k mod 5, (k + 1) mod 5, 7.))
+      in
+      let params, series = world ~spikes seed in
+      let a = Anomaly.detect ~threshold:4.5 params series in
+      let b = Anomaly.detect ~threshold:4.5 params series in
+      a = b
+      && List.for_all2
+           (fun (x : Anomaly.detection) (y : Anomaly.detection) ->
+             x.score = y.score)
+           a b)
+
 let test_validation () =
   let params, series = world ~spikes:[] 5 in
   let bad = { params with preference = [| 0.5; 0.5 |] } in
@@ -150,6 +257,14 @@ let () =
           Alcotest.test_case "clean data" `Quick test_clean_data_no_detections;
           Alcotest.test_case "ordering" `Quick test_scores_ordered;
           Alcotest.test_case "materiality floor" `Quick test_min_bytes_floor;
+          Alcotest.test_case "threshold boundary is strict" `Quick
+            test_threshold_boundary;
+          Alcotest.test_case "min_bytes boundary is strict" `Quick
+            test_min_bytes_boundary;
+          Alcotest.test_case "all-zero series" `Quick test_all_zero_series;
+          Alcotest.test_case "equal scores: stable order" `Quick
+            test_equal_scores_stable_order;
+          QCheck_alcotest.to_alcotest qcheck_detect_deterministic;
           Alcotest.test_case "validation" `Quick test_validation;
         ] );
       ( "evaluation",
