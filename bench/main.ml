@@ -438,6 +438,57 @@ let scenario_tests =
             ignore (Ic_scenario.Runner.play ~upto !engine !feed tl)));
   ]
 
+(* Resilience: the self-healing runtime's steady-state overheads — the
+   anomaly gate's per-bin quarantine decision (the fast-path acceptance is
+   that gating stays within a few percent of the plain serving loop), the
+   circuit-breaker feed delivery, the per-bin engine snapshot a supervised
+   shard takes, and the robust detection scale's rolling-median pass. *)
+let resilience_tests =
+  [
+    Test.make ~name:"resilience/engine-per-bin-gated"
+      (Staged.stage
+         (let engine =
+            Ic_runtime.Engine.create
+              { stream_config with Ic_runtime.Engine.gate_refits = true }
+          in
+          let k = ref 0 in
+          fun () ->
+            let loads, missing = stream_observations.(!k) in
+            ignore (Ic_runtime.Engine.step engine ~loads ~missing);
+            k := (!k + 1) mod Array.length stream_observations));
+    Test.make ~name:"resilience/breaker-feed-next"
+      (Staged.stage
+         (let feed = ref None in
+          fun () ->
+            let f =
+              match !feed with
+              | Some f when Ic_runtime.Feed.position f
+                            < Ic_runtime.Feed.length f ->
+                  f
+              | _ ->
+                  let f =
+                    Ic_runtime.Feed.create ~noise_sigma:0.01 ~drop_rate:0.4
+                      ~corrupt_rate:0.1
+                      ~breaker:Ic_runtime.Feed.default_breaker routing
+                      fit_series ~seed:11
+                  in
+                  feed := Some f;
+                  f
+            in
+            ignore (Ic_runtime.Feed.next f)));
+    Test.make ~name:"resilience/snapshot-per-bin"
+      (Staged.stage
+         (let engine = Ic_runtime.Engine.create stream_config in
+          let loads, missing = stream_observations.(0) in
+          let () = ignore (Ic_runtime.Engine.step engine ~loads ~missing) in
+          fun () -> ignore (Ic_runtime.Engine.snapshot engine)));
+    Test.make ~name:"resilience/robust-detect"
+      (Staged.stage (fun () ->
+           ignore
+             (Ic_core.Anomaly.detect ~scale:Ic_core.Anomaly.robust_scale
+                fitted.params fit_series)));
+  ]
+
 let substrate_tests =
   [
     Test.make ~name:"linalg/cholesky-122"
@@ -785,6 +836,7 @@ let () =
           ("observability", obs_tests);
           ("extensions", extension_tests);
           ("scenario", scenario_tests);
+          ("resilience", resilience_tests);
           ("substrates", substrate_tests);
         ]
       in

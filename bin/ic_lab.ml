@@ -730,7 +730,8 @@ let parse_events ~fails ~reweights ~ddoses ~flashes ~outages =
 
 let run_scenario topology family bins seed noise drop_rate corrupt_rate fails
     reweights ddoses flashes outages threshold headroom refit_every window
-    recover_after kill_after resume checkpoint_path verbose =
+    recover_after kill_after resume checkpoint_path robust_scale self_heal
+    breaker verbose =
   setup_logs verbose;
   let graph = scenario_graph topology in
   let fam =
@@ -765,7 +766,22 @@ let run_scenario topology family bins seed noise drop_rate corrupt_rate fails
         (Ic_scenario.Timeline.base_routing tl)
         spec.Ic_core.Tm_family.binning
     in
-    { c with Ic_runtime.Engine.refit_every; window; recover_after }
+    let c = { c with Ic_runtime.Engine.refit_every; window; recover_after } in
+    if not self_heal then c
+    else
+      {
+        c with
+        Ic_runtime.Engine.gate_refits = true;
+        epoch_refit = Some (max 1 (refit_every / 2));
+      }
+  in
+  let breaker_cfg =
+    Option.map
+      (fun k -> { Ic_runtime.Feed.default_breaker with open_after = k })
+      breaker
+  in
+  let scale =
+    if robust_scale then Some Ic_core.Anomaly.robust_scale else None
   in
   Printf.printf
     "scenario %s/%s: %d bins x %d nodes, seed %d (drop %.1f%%, corrupt \
@@ -783,8 +799,24 @@ let run_scenario topology family bins seed noise drop_rate corrupt_rate fails
     sorted;
   let mk_feed engine =
     Ic_scenario.Runner.feed ~noise_sigma:noise ~drop_rate ~corrupt_rate
-      ~telemetry:(Ic_runtime.Engine.telemetry engine) tl ~seed:seed_v
+      ~telemetry:(Ic_runtime.Engine.telemetry engine) ?breaker:breaker_cfg tl
+      ~seed:seed_v
   in
+  if self_heal then
+    Printf.printf
+      "self-heal: refit gating on (threshold %g, quarantine limit %d), \
+       epoch refit after %d bins\n"
+      config.Ic_runtime.Engine.gate_threshold
+      config.Ic_runtime.Engine.quarantine_limit
+      (Option.value ~default:0 config.Ic_runtime.Engine.epoch_refit);
+  (match breaker_cfg with
+  | Some b ->
+      Printf.printf
+        "feed breaker: open after %d faulted bins, cooldown %d, fault \
+         fraction %.2f\n"
+        b.Ic_runtime.Feed.open_after b.Ic_runtime.Feed.cooldown
+        b.Ic_runtime.Feed.fault_frac
+  | None -> ());
   let run_full () =
     let engine = Ic_runtime.Engine.create config in
     let seg = Ic_scenario.Runner.play engine (mk_feed engine) tl in
@@ -857,13 +889,18 @@ let run_scenario topology family bins seed noise drop_rate corrupt_rate fails
     transitions;
   if Array.length segment.Ic_scenario.Runner.estimates = total then begin
     let v =
-      Ic_scenario.Runner.evaluate ~threshold ~headroom tl
+      Ic_scenario.Runner.evaluate ~threshold ?scale ~headroom tl
         ~estimates:segment.Ic_scenario.Runner.estimates
     in
     let s = v.Ic_scenario.Runner.score in
     let ev = s.Ic_scenario.Score.evaluation in
     Printf.printf "anomaly scoring (threshold %g, floor %.3g bytes):\n"
       s.Ic_scenario.Score.threshold s.Ic_scenario.Score.min_bytes;
+    (match scale with
+    | Some (Ic_core.Anomaly.Rolling_quantile { window; q }) ->
+        Printf.printf "  scale: rolling-quantile (window %d, q %.2f)\n"
+          window q
+    | _ -> ());
     Printf.printf
       "  detections %d (tp %d, fp %d, fn %d): precision %.3f, recall %.3f\n"
       (List.length s.Ic_scenario.Score.detections)
@@ -1471,6 +1508,31 @@ let scenario_cmd =
       & opt string "ic-scenario.ckpt"
       & info [ "checkpoint" ] ~docv:"FILE" ~doc)
   in
+  let robust_scale =
+    let doc =
+      "Score with the mismatch-robust rolling-quantile studentization \
+       instead of the historical MAD — recovers detection when the base \
+       traffic violates the IC mean structure (e.g. --family bimodal)."
+    in
+    Arg.(value & flag & info [ "robust-scale" ] ~doc)
+  in
+  let self_heal =
+    let doc =
+      "Enable the engine's self-healing knobs: anomaly-gated refits \
+       (flagged bins quarantined out of the stable-fP window, bounded by \
+       the forced-refit escape hatch) and an early post-topology-change \
+       refit at half the refit cadence."
+    in
+    Arg.(value & flag & info [ "self-heal" ] ~doc)
+  in
+  let breaker =
+    let doc =
+      "Put a circuit breaker on the feed: open after K consecutive \
+       mostly-faulted bins, carry the last clean values while open, \
+       half-open probe after the cooldown."
+    in
+    Arg.(value & opt (some int) None & info [ "breaker" ] ~docv:"K" ~doc)
+  in
   let verbose =
     Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Verbose logging.")
   in
@@ -1487,7 +1549,8 @@ let scenario_cmd =
       const run_scenario $ topology $ family $ bins $ seed_arg $ noise
       $ drop_rate $ corrupt_rate $ fails $ reweights $ ddoses $ flashes
       $ outages $ threshold $ headroom $ refit_every $ window $ recover_after
-      $ kill_after $ resume $ checkpoint $ verbose)
+      $ kill_after $ resume $ checkpoint $ robust_scale $ self_heal $ breaker
+      $ verbose)
 
 let socket_arg =
   let doc = "Unix-domain socket path (preferred for local serving)." in

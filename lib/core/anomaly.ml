@@ -12,7 +12,7 @@ type detection = {
 
 let median xs =
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let n = Array.length sorted in
   if n = 0 then 0.
   else if n mod 2 = 1 then sorted.(n / 2)
@@ -23,6 +23,60 @@ let median xs =
 let mad_scale xs =
   let m = median xs in
   1.4826 *. median (Array.map (fun x -> Float.abs (x -. m)) xs)
+
+type scale = Mad | Rolling_quantile of { window : int; q : float }
+
+let robust_scale = Rolling_quantile { window = 64; q = 0.25 }
+
+let validate_scale = function
+  | Mad -> ()
+  | Rolling_quantile { window; q } ->
+      if window < 1 then
+        invalid_arg "Anomaly: rolling-quantile window must be >= 1";
+      if q <= 0. || q >= 1. then
+        invalid_arg "Anomaly: rolling-quantile q out of (0,1)"
+
+(* Abramowitz & Stegun 7.1.26: |error| <= 1.5e-7, plenty for a consistency
+   constant. *)
+let erf x =
+  let s = if x < 0. then -1. else 1. in
+  let x = Float.abs x in
+  let t = 1. /. (1. +. (0.3275911 *. x)) in
+  let poly =
+    ((((((1.061405429 *. t) -. 1.453152027) *. t) +. 1.421413741) *. t
+     -. 0.284496736)
+     *. t
+    +. 0.254829592)
+    *. t
+  in
+  s *. (1. -. (poly *. exp (-.(x *. x))))
+
+let normal_cdf x = 0.5 *. (1. +. erf (x /. Float.sqrt 2.))
+
+(* Inverse of the standard normal CDF by bisection — called once per
+   [detect], precision far beyond the erf approximation's own. *)
+let probit p =
+  let lo = ref (-10.) and hi = ref 10. in
+  for _ = 1 to 80 do
+    let mid = 0.5 *. (!lo +. !hi) in
+    if normal_cdf mid < p then lo := mid else hi := mid
+  done;
+  0.5 *. (!lo +. !hi)
+
+(* The q-th quantile of |Gaussian deviations| estimates z_q * sigma with
+   z_q = probit((1+q)/2); dividing by z_q makes the estimator consistent
+   for sigma, exactly as MAD's 1.4826 = 1/probit(0.75). *)
+let quantile_consistency q = 1. /. probit ((1. +. q) /. 2.)
+
+(* Causal rolling median of the trailing [window] residuals (the current
+   bin excluded, so a spike cannot hide inside its own reference); the
+   first bin, with no history, falls back to the global median. *)
+let rolling_centers ~window ~global r =
+  let t_count = Array.length r in
+  Array.init t_count (fun t ->
+      let lo = Stdlib.max 0 (t - window) in
+      if t = lo then global
+      else median (Array.sub r lo (t - lo)))
 
 (* The measurement quantum of sampled netflow: one sampled packet inverts
    to pkt_bytes * rate bytes. Sampled data always contains exact zeros
@@ -44,7 +98,9 @@ let estimate_quantum series =
   done;
   if !saw_zero && Float.is_finite !q then !q else 0.
 
-let detect ?(threshold = 5.) ?min_bytes (params : Params.stable_fp) series =
+let detect ?(threshold = 5.) ?min_bytes ?(scale = Mad)
+    (params : Params.stable_fp) series =
+  validate_scale scale;
   let n = Series.size series in
   let t_count = Series.length series in
   if Array.length params.preference <> n then
@@ -75,19 +131,44 @@ let detect ?(threshold = 5.) ?min_bytes (params : Params.stable_fp) series =
   let sampling_log_sd v =
     if quantum <= 0. then 0. else sqrt (quantum /. Float.max v quantum)
   in
+  let consistency =
+    match scale with
+    | Mad -> 1.
+    | Rolling_quantile { q; _ } -> quantile_consistency q
+  in
   let detections = ref [] in
   for i = 0 to n - 1 do
     for j = 0 to n - 1 do
       let r = log_residual i j in
-      let mad = mad_scale r in
-      let center = median r in
+      (* Per-OD studentization: a per-bin center and one robust spread
+         estimate. MAD centers on the global median; the rolling-quantile
+         scale centers each bin on the trailing median (so structured
+         model mismatch — residual drift the global fit cannot absorb —
+         is tracked instead of inflating the spread) and estimates the
+         spread from a low quantile of the centered deviations, which a
+         contaminated tail cannot reach. *)
+      let centers, spread =
+        match scale with
+        | Mad -> (None, mad_scale r)
+        | Rolling_quantile { window; q } ->
+            let centers = rolling_centers ~window ~global:(median r) r in
+            let deviations =
+              Array.mapi (fun t rv -> Float.abs (rv -. centers.(t))) r
+            in
+            ( Some centers,
+              consistency *. Ic_stats.Descriptive.quantile deviations q )
+      in
+      let global_center = median r in
       Array.iteri
         (fun t rv ->
           let expected = Tm.get (Series.tm model t) i j in
           let observed = Tm.get (Series.tm series t) i j in
-          let scale = Float.max mad (sampling_log_sd expected) in
-          if scale > 0. then begin
-            let score = (rv -. center) /. scale in
+          let center =
+            match centers with Some c -> c.(t) | None -> global_center
+          in
+          let sd = Float.max spread (sampling_log_sd expected) in
+          if sd > 0. then begin
+            let score = (rv -. center) /. sd in
             if score > threshold && observed -. expected > min_bytes then
               detections :=
                 { bin = t; origin = i; destination = j; score; observed;

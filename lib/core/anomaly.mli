@@ -18,9 +18,37 @@ type detection = {
   expected : float;  (** model prediction *)
 }
 
+type scale =
+  | Mad
+      (** the historical studentization: center on the OD pair's global
+          median residual, spread = 1.4826 x the median absolute
+          deviation over time. Blind under structured model mismatch —
+          when the base traffic is not IC (e.g. a bimodal mean structure)
+          the mismatch itself inflates the MAD until real injections sit
+          below any usable threshold. *)
+  | Rolling_quantile of { window : int; q : float }
+      (** mismatch-robust studentization: each bin is centered on the
+          causal rolling median of the trailing [window] residuals (the
+          bin itself excluded, so a spike cannot hide inside its own
+          reference), and the spread is estimated from the [q]-th quantile
+          of the centered absolute deviations, scaled by the Gaussian
+          consistency constant [1/probit((1+q)/2)]. The rolling center
+          tracks the slow residual structure that model mismatch produces
+          instead of paying for it in spread, and a low quantile ([q] well
+          below 0.5) cannot be reached by a contaminated tail of
+          attack-bin deviations. Requires [window >= 1] and [q] in (0,1). *)
+
+val robust_scale : scale
+(** The recommended mismatch-robust configuration:
+    [Rolling_quantile { window = 64; q = 0.25 }] — a long trailing window
+    (the rolling median of a short one is itself too noisy a center and
+    re-inflates the spread), spread from the lower quartile so a
+    contaminated tail of attack bins cannot reach it. *)
+
 val detect :
   ?threshold:float ->
   ?min_bytes:float ->
+  ?scale:scale ->
   Params.stable_fp ->
   Ic_traffic.Series.t ->
   detection list
@@ -34,13 +62,14 @@ val detect :
     a detection, and neither is an excess exactly at [min_bytes] (so an
     all-zero series, whose default floor is 0, still yields nothing). Residuals are studentized in log space, where the
     multiplicative measurement noise is homoscedastic across the diurnal
-    cycle; the scale per entry is the larger of the OD pair's
-    median-absolute-deviation over time and the relative sampling-noise
-    floor [sqrt(quantum / expected)], with the sampling quantum estimated
-    from the data (smallest positive entry) — without these, single
-    sampled packets on tiny flows and peak-hour bins dominate the ranking.
-    Raises [Invalid_argument] if [params] does not match the series
-    dimensions. *)
+    cycle; [scale] picks the studentization (default [Mad], the exact
+    historical behavior; {!robust_scale} recovers detection under model
+    mismatch), and the scale per entry is floored by the relative
+    sampling-noise term [sqrt(quantum / expected)], with the sampling
+    quantum estimated from the data (smallest positive entry) — without
+    these, single sampled packets on tiny flows and peak-hour bins
+    dominate the ranking. Raises [Invalid_argument] if [params] does not
+    match the series dimensions or [scale] is out of range. *)
 
 type evaluation = {
   true_positives : int;

@@ -54,7 +54,12 @@ let encode (s : Engine.snapshot) =
   else line "fit_age %d" s.s_fit_age;
   line "level %d" (Degrade.rank s.s_degrade.Degrade.s_level);
   line "streak %d" s.s_degrade.Degrade.s_streak;
-  line "transitions %d" (List.length s.s_degrade.Degrade.s_transitions);
+  (* Two counts: retained history length and exact lifetime total (the
+     retention cap can have dropped the difference). Legacy decoders never
+     see this file; our decoder accepts the legacy single-count form. *)
+  line "transitions %d %d"
+    (List.length s.s_degrade.Degrade.s_transitions)
+    s.s_degrade.Degrade.s_count;
   List.iter
     (fun (tr : Degrade.transition) ->
       line "t %d %d %d %s" tr.bin (Degrade.rank tr.from_) (Degrade.rank tr.to_)
@@ -86,6 +91,15 @@ let encode (s : Engine.snapshot) =
         (Printf.sprintf "frozen %d %d" (Degrade.rank lvl) (Array.length w));
       encode_floats buf w;
       Buffer.add_char buf '\n');
+  Buffer.add_string buf
+    (Printf.sprintf "quarantine %d %d" s.s_quarantine_streak
+       (Array.length s.s_quarantine));
+  Array.iter
+    (fun q -> Buffer.add_string buf (if q then " 1" else " 0"))
+    s.s_quarantine;
+  Buffer.add_char buf '\n';
+  if s.s_epoch_due = max_int then line "epoch %d never" s.s_epoch_bin
+  else line "epoch %d %d" s.s_epoch_bin s.s_epoch_due;
   line "counters %d" (List.length s.s_counters);
   List.iter
     (fun (name, v) -> line "c %s %d" (escape_counter_name name) v)
@@ -106,6 +120,7 @@ let reason_of_name name =
       Degrade.Imputation_exhausted;
       Degrade.F_degenerate;
       Degrade.Topology_change;
+      Degrade.Epoch_refit;
       Degrade.Recovered;
     ]
   in
@@ -214,12 +229,19 @@ let decode_exn text =
     | [ v ] -> parse_int v
     | _ -> raise (Bad "bad streak record")
   in
-  let n_transitions =
+  (* Retained-history length plus exact lifetime total; a legacy
+     single-count record predates the retention cap, so both were equal. *)
+  let n_transitions, s_count =
     match expect_key "transitions" (words (next_line cur)) with
-    | [ v ] -> parse_int v
+    | [ v ] ->
+        let v = parse_int v in
+        (v, v)
+    | [ stored; total ] -> (parse_int stored, parse_int total)
     | _ -> raise (Bad "bad transitions record")
   in
   if n_transitions < 0 then raise (Bad "negative transition count");
+  if s_count < n_transitions then
+    raise (Bad "transition total below retained history");
   let s_transitions =
     List.init n_transitions (fun _ ->
         match expect_key "t" (words (next_line cur)) with
@@ -285,6 +307,38 @@ let decode_exn text =
         cur.pos <- cur.pos - 1;
         None
   in
+  (* Resilience records (quarantine flags, epoch-refit schedule) postdate
+     v1 like [frozen]; peek and default when absent so legacy checkpoints
+     keep loading with the gate quiescent. *)
+  let s_quarantine_streak, s_quarantine =
+    match words (next_line cur) with
+    | "quarantine" :: streak :: count :: rest ->
+        let streak = parse_int streak in
+        let count = parse_int count in
+        if streak < 0 then raise (Bad "negative quarantine streak");
+        if count < 0 then raise (Bad "negative quarantine length");
+        if List.length rest <> count then
+          raise (Bad "quarantine flag length mismatch");
+        ( streak,
+          Array.of_list
+            (List.map
+               (function
+                 | "0" -> false
+                 | "1" -> true
+                 | w -> raise (Bad ("bad quarantine flag " ^ w)))
+               rest) )
+    | _ ->
+        cur.pos <- cur.pos - 1;
+        (0, Array.make (Array.length s_window) false)
+  in
+  let s_epoch_bin, s_epoch_due =
+    match words (next_line cur) with
+    | [ "epoch"; bin; "never" ] -> (parse_int bin, max_int)
+    | [ "epoch"; bin; due ] -> (parse_int bin, parse_int due)
+    | _ ->
+        cur.pos <- cur.pos - 1;
+        (0, max_int)
+  in
   let n_counters =
     match expect_key "counters" (words (next_line cur)) with
     | [ v ] -> parse_int v
@@ -303,13 +357,17 @@ let decode_exn text =
     s_f;
     s_preference;
     s_fit_age;
-    s_degrade = { Degrade.s_level; s_streak; s_transitions };
+    s_degrade = { Degrade.s_level; s_streak; s_transitions; s_count };
     s_window;
     s_last_loads;
     s_have_last;
     s_consec_missing;
     s_counters;
     s_frozen;
+    s_quarantine;
+    s_quarantine_streak;
+    s_epoch_bin;
+    s_epoch_due;
   }
 
 let decode text =

@@ -26,6 +26,7 @@ type reason =
   | Imputation_exhausted
   | F_degenerate
   | Topology_change
+  | Epoch_refit
   | Recovered
 
 let reason_name = function
@@ -35,29 +36,58 @@ let reason_name = function
   | Imputation_exhausted -> "imputation-exhausted"
   | F_degenerate -> "f-degenerate"
   | Topology_change -> "topology-change"
+  | Epoch_refit -> "epoch-refit"
   | Recovered -> "recovered"
 
 type transition = { bin : int; from_ : level; to_ : level; reason : reason }
 
+let default_history = 512
+
 type t = {
   recover_after : int;
+  history : int;  (* retention cap on the transition list *)
   mutable level : level;
   mutable streak : int;  (* consecutive bins with target better than level *)
-  mutable transitions : transition list;  (* newest first *)
-  mutable count : int;
+  mutable transitions : transition list;  (* newest first, length <= history *)
+  mutable stored : int;  (* length of [transitions], kept incrementally *)
+  mutable count : int;  (* total transitions ever, never decremented *)
 }
 
-let create ?(initial = Gravity) ~recover_after () =
+let create ?(initial = Gravity) ?(history = default_history) ~recover_after ()
+    =
   if recover_after < 1 then
     invalid_arg "Degrade.create: recover_after must be >= 1";
-  { recover_after; level = initial; streak = 0; transitions = []; count = 0 }
+  if history < 1 then invalid_arg "Degrade.create: history must be >= 1";
+  {
+    recover_after;
+    history;
+    level = initial;
+    streak = 0;
+    transitions = [];
+    stored = 0;
+    count = 0;
+  }
 
 let level t = t.level
 
+(* Drop the oldest entries of a newest-first list down to [keep]. The cap
+   is hit one entry at a time in [record], so this only ever trims one —
+   but restore may hand us an over-long legacy history. *)
+let truncate keep l =
+  if List.length l <= keep then l
+  else List.filteri (fun i _ -> i < keep) l
+
 let record t ~bin ~to_ ~reason =
   t.transitions <- { bin; from_ = t.level; to_; reason } :: t.transitions;
+  t.stored <- t.stored + 1;
+  if t.stored > t.history then begin
+    t.transitions <- truncate t.history t.transitions;
+    t.stored <- t.history
+  end;
   t.count <- t.count + 1;
   t.level <- to_
+
+let note t ~bin ~reason = record t ~bin ~to_:t.level ~reason
 
 let observe t ~bin ~target ~reason =
   if rank target > rank t.level then begin
@@ -85,18 +115,30 @@ type snapshot = {
   s_level : level;
   s_streak : int;
   s_transitions : transition list;
+  s_count : int;
 }
 
 let snapshot t =
-  { s_level = t.level; s_streak = t.streak; s_transitions = transitions t }
+  {
+    s_level = t.level;
+    s_streak = t.streak;
+    s_transitions = transitions t;
+    s_count = t.count;
+  }
 
-let restore ~recover_after s =
+let restore ?(history = default_history) ~recover_after s =
   if recover_after < 1 then
     invalid_arg "Degrade.restore: recover_after must be >= 1";
+  if history < 1 then invalid_arg "Degrade.restore: history must be >= 1";
+  if s.s_count < List.length s.s_transitions then
+    invalid_arg "Degrade.restore: count below retained transitions";
+  let retained = truncate history (List.rev s.s_transitions) in
   {
     recover_after;
+    history;
     level = s.s_level;
     streak = s.s_streak;
-    transitions = List.rev s.s_transitions;
-    count = List.length s.s_transitions;
+    transitions = retained;
+    stored = List.length retained;
+    count = s.s_count;
   }

@@ -16,7 +16,10 @@
     Downward transitions happen immediately when health demands them;
     upward transitions are hysteretic (one rung per [recover_after]
     consecutive healthy bins), so a flapping link cannot make the engine
-    oscillate. Every transition is recorded with its bin and reason. *)
+    oscillate. Every transition is recorded with its bin and reason; the
+    retained history is bounded (a ring of the newest [history] entries,
+    like {!Ic_obs.Trace}'s span buffer) so a long-lived stream cannot grow
+    it without bound, while {!transition_count} stays exact. *)
 
 type level = Measured_ic | Stale_fp | Closed_form | Gravity
 
@@ -39,6 +42,10 @@ type reason =
       (** routing was swapped mid-stream ({!Engine.set_routing}); the fit
           predates the new topology, so the next bin is forced down to the
           marginal-only closed form until refits catch up *)
+  | Epoch_refit
+      (** the engine's scheduled post-topology-change early refit
+          completed — recorded as a level-preserving note so the epoch
+          recovery is visible in the transition log *)
   | Recovered  (** upward step after sustained health *)
 
 val reason_name : reason -> string
@@ -47,9 +54,11 @@ type transition = { bin : int; from_ : level; to_ : level; reason : reason }
 
 type t
 
-val create : ?initial:level -> recover_after:int -> unit -> t
+val create :
+  ?initial:level -> ?history:int -> recover_after:int -> unit -> t
 (** A ladder starting at [initial] (default [Gravity]). [recover_after]
-    must be >= 1. *)
+    must be >= 1; [history] (default 512) caps the retained transition
+    list and must be >= 1. *)
 
 val level : t -> level
 
@@ -60,19 +69,34 @@ val observe : t -> bin:int -> target:level -> reason:reason -> level
     after [recover_after] consecutive bins of better-than-current health,
     and returns the rung to use for this bin. *)
 
+val note : t -> bin:int -> reason:reason -> unit
+(** Record a level-preserving transition ([from_ = to_ =] current level) —
+    an annotation in the transition log, counted like any other
+    transition. Used for {!reason}s that mark events rather than rung
+    changes (e.g. [Epoch_refit]). *)
+
 val transitions : t -> transition list
-(** All recorded transitions, oldest first. *)
+(** The retained transitions, oldest first — the newest
+    [min history (transition_count t)] of them. *)
 
 val transition_count : t -> int
+(** Total transitions ever recorded, including any the retention cap has
+    dropped. *)
 
 (** {2 Checkpoint support} *)
 
 type snapshot = {
   s_level : level;
   s_streak : int;
-  s_transitions : transition list;  (** oldest first *)
+  s_transitions : transition list;  (** retained history, oldest first *)
+  s_count : int;
+      (** exact lifetime transition count; >= [List.length s_transitions] *)
 }
 
 val snapshot : t -> snapshot
 
-val restore : recover_after:int -> snapshot -> t
+val restore : ?history:int -> recover_after:int -> snapshot -> t
+(** Rebuild a ladder; a snapshot holding more transitions than [history]
+    is trimmed to the newest [history] (the count is untouched). Raises
+    [Invalid_argument] on a count below the retained history or
+    out-of-range parameters. *)

@@ -20,6 +20,10 @@ type config = {
   fallback_f : float;
   initial_params : (float * Ic_linalg.Vec.t) option;
   fast_path : bool;
+  gate_refits : bool;
+  gate_threshold : float;
+  quarantine_limit : int;
+  epoch_refit : int option;
 }
 
 let default_config routing binning =
@@ -38,6 +42,10 @@ let default_config routing binning =
     fallback_f = 0.35;
     initial_params = None;
     fast_path = true;
+    gate_refits = false;
+    gate_threshold = 4.;
+    quarantine_limit = 6;
+    epoch_refit = None;
   }
 
 type t = {
@@ -59,6 +67,15 @@ type t = {
   mutable preference : Vec.t option;
   mutable fit_age : int;  (* max_int = never fitted *)
   window_buf : Tm.t option array;  (* estimate of bin b lives at b mod window *)
+  quarantine_buf : bool array;  (* aligned with window_buf: bin flagged
+                                   anomalous, excluded from gated refits *)
+  total_buf : float array;  (* aligned with window_buf: the slot estimate's
+                               byte total, cached so the per-bin gate test
+                               does not rescan every window matrix *)
+  mutable quarantine_streak : int;  (* consecutive quarantined bins *)
+  mutable epoch_bin : int;  (* bin of the last live topology change *)
+  mutable epoch_due : int;  (* bin at which the scheduled post-epoch early
+                               refit fires; max_int = none scheduled *)
   last_loads : float array;  (* last trusted poll per link *)
   mutable have_last : bool;
   consec_missing : int array;
@@ -90,6 +107,13 @@ let validate_config (c : config) =
   if c.recover_after < 1 then invalid_arg "Engine: recover_after must be >= 1";
   if c.fallback_f < 0. || c.fallback_f > 1. then
     invalid_arg "Engine: fallback_f out of [0,1]";
+  if c.gate_threshold <= 0. then
+    invalid_arg "Engine: gate_threshold must be positive";
+  if c.quarantine_limit < 1 then
+    invalid_arg "Engine: quarantine_limit must be >= 1";
+  (match c.epoch_refit with
+  | Some k when k < 1 -> invalid_arg "Engine: epoch_refit must be >= 1"
+  | _ -> ());
   match c.initial_params with
   | Some (f, p) ->
       if f < 0. || f > 1. then invalid_arg "Engine: initial f out of [0,1]";
@@ -127,6 +151,11 @@ let create ?telemetry ?(tracer = Trace.noop) config =
     preference;
     fit_age;
     window_buf = Array.make config.window None;
+    quarantine_buf = Array.make config.window false;
+    total_buf = Array.make config.window 0.;
+    quarantine_streak = 0;
+    epoch_bin = 0;
+    epoch_due = max_int;
     last_loads = Array.make m 0.;
     have_last = false;
     consec_missing = Array.make m 0;
@@ -148,55 +177,112 @@ type output = {
 
 (* --- sliding-window refit ---------------------------------------------- *)
 
-let window_series t =
+(* The window bins eligible for a refit, chronological: bins in
+   [max (bin - window) since, bin), minus quarantined slots when the gate
+   applies. *)
+let window_slots t ~since ~skip_quarantined =
   let len = min t.bin (Array.length t.window_buf) in
-  if len = 0 then None
+  let lo = Stdlib.max (t.bin - len) since in
+  let tms = ref [] in
+  for b = t.bin - 1 downto lo do
+    let slot = b mod Array.length t.window_buf in
+    if not (skip_quarantined && t.quarantine_buf.(slot)) then
+      match t.window_buf.(slot) with
+      | Some tm -> tms := tm :: !tms
+      | None -> () (* unreachable: slots < bin are filled *)
+  done;
+  !tms
+
+let refit ?(since = 0) ?(ignore_quarantine = false) t =
+  let gated = t.config.gate_refits && not ignore_quarantine in
+  let tms = window_slots t ~since ~skip_quarantined:gated in
+  if gated then begin
+    let all = window_slots t ~since ~skip_quarantined:false in
+    Telemetry.add t.tel "quarantine.excluded"
+      (List.length all - List.length tms)
+  end;
+  let total = List.fold_left (fun acc tm -> acc +. Tm.total tm) 0. tms in
+  if tms = [] || total <= 0. then begin
+    Telemetry.incr t.tel "refit.skipped";
+    false
+  end
   else begin
-    let tms =
-      Array.init len (fun k ->
-          let b = t.bin - len + k in
-          match t.window_buf.(b mod Array.length t.window_buf) with
-          | Some tm -> tm
-          | None -> Tm.create t.n (* unreachable: slots < bin are filled *))
-    in
-    Some (Series.make t.config.binning tms)
+    let series = Series.make t.config.binning (Array.of_list tms) in
+    Trace.with_span t.tracer "engine.refit" (fun () ->
+    Telemetry.time t.tel "refit" (fun () ->
+        let options =
+          {
+            Ic_core.Fit.default_options with
+            max_sweeps = t.config.refit_sweeps;
+            f_init =
+              (if t.preference = None then
+                 Ic_core.Fit.default_options.f_init
+               else t.f);
+          }
+        in
+        let fitted = Ic_core.Fit.fit_stable_fp ~options series in
+        t.f <- fitted.params.f;
+        t.preference <- Some (Array.copy fitted.params.preference);
+        t.fit_age <- 0));
+    Telemetry.incr t.tel "refit.count";
+    true
   end
 
-let refit t =
-  match window_series t with
-  | None ->
-      Telemetry.incr t.tel "refit.skipped";
-      false
-  | Some series ->
-      let total =
-        Array.fold_left
-          (fun acc tm -> acc +. Tm.total tm)
-          0. series.Series.tms
+(* --- anomaly gate -------------------------------------------------------
+
+   Quarantine decision for the bin just estimated: a robust z-test of the
+   bin's log total against the trailing non-quarantined window history. An
+   attack or outage moves the total by tens of percent while the window's
+   own spread (noise + a couple of hours of diurnal drift) sits well below
+   that; the MAD is floored at 5% so pristine synthetic streams do not
+   flag ordinary ramps. Quarantined bins are excluded from gated refits so
+   a DDoS cannot poison the stable-fP window — and are themselves excluded
+   from this reference history, so a long attack cannot become the new
+   normal by stealth (it becomes the new normal only through the bounded
+   escape hatch: once [quarantine_limit] consecutive bins are quarantined,
+   the next scheduled refit is forced over the full window and the flags
+   are cleared). *)
+
+let median_of xs =
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else if n mod 2 = 1 then sorted.(n / 2)
+  else (sorted.((n / 2) - 1) +. sorted.(n / 2)) /. 2.
+
+let quarantine_decision t ~total =
+  if not t.config.gate_refits then false
+  else begin
+    (* Reference history: the cached byte totals of the trailing
+       non-quarantined window slots — O(window) floats per bin, not a
+       rescan of every retained matrix. *)
+    let len = min t.bin (Array.length t.window_buf) in
+    let totals = ref [] in
+    for b = t.bin - 1 downto t.bin - len do
+      let slot = b mod Array.length t.window_buf in
+      if not t.quarantine_buf.(slot) then
+        match t.window_buf.(slot) with
+        | Some _ ->
+            let v = t.total_buf.(slot) in
+            if v > 0. then totals := log v :: !totals
+        | None -> ()
+    done;
+    let totals = !totals in
+    let k = List.length totals in
+    if k < 8 then false
+    else begin
+      let logs = Array.of_list totals in
+      let center = median_of logs in
+      let mad =
+        1.4826
+        *. median_of (Array.map (fun x -> Float.abs (x -. center)) logs)
       in
-      if total <= 0. then begin
-        Telemetry.incr t.tel "refit.skipped";
-        false
-      end
-      else begin
-        Trace.with_span t.tracer "engine.refit" (fun () ->
-        Telemetry.time t.tel "refit" (fun () ->
-            let options =
-              {
-                Ic_core.Fit.default_options with
-                max_sweeps = t.config.refit_sweeps;
-                f_init =
-                  (if t.preference = None then
-                     Ic_core.Fit.default_options.f_init
-                   else t.f);
-              }
-            in
-            let fitted = Ic_core.Fit.fit_stable_fp ~options series in
-            t.f <- fitted.params.f;
-            t.preference <- Some (Array.copy fitted.params.preference);
-            t.fit_age <- 0));
-        Telemetry.incr t.tel "refit.count";
-        true
-      end
+      let sd = Float.max mad 0.05 in
+      if total <= 0. then true
+      else Float.abs (log total -. center) /. sd > t.config.gate_threshold
+    end
+  end
 
 (* --- one bin ------------------------------------------------------------ *)
 
@@ -407,17 +493,63 @@ let step t ~loads ~missing =
               Telemetry.add t.tel "ipf.iterations" outcome.Ipf.iterations;
               outcome.Ipf.tm))
   in
-  t.window_buf.(t.bin mod Array.length t.window_buf) <- Some estimate;
+  (* Anomaly gate: decide whether this bin joins the refit window or is
+     quarantined out of it, before the estimate overwrites the slot (the
+     decision's reference history must not include the bin itself). *)
+  let est_total = Tm.total estimate in
+  let quarantined = quarantine_decision t ~total:est_total in
+  let slot = t.bin mod Array.length t.window_buf in
+  t.window_buf.(slot) <- Some estimate;
+  t.quarantine_buf.(slot) <- quarantined;
+  t.total_buf.(slot) <- est_total;
+  if quarantined then begin
+    t.quarantine_streak <- t.quarantine_streak + 1;
+    Telemetry.incr t.tel "quarantine.bins"
+  end
+  else t.quarantine_streak <- 0;
   t.bin <- t.bin + 1;
   if t.fit_age < max_int then t.fit_age <- t.fit_age + 1;
-  if t.bin mod t.config.refit_every = 0 then
-    if refit t then begin
-      (* New (f, preference): the prior cache is stale and the next bin's
-         weights must refreeze against the new regime's prior. *)
-      t.prior_cache <- None;
-      t.frozen_weights <- None;
-      Tomogravity.plan_invalidate t.plan
+  let invalidate_fit_caches () =
+    (* New (f, preference): the prior cache is stale and the next bin's
+       weights must refreeze against the new regime's prior. *)
+    t.prior_cache <- None;
+    t.frozen_weights <- None;
+    Tomogravity.plan_invalidate t.plan
+  in
+  (* Epoch-aware priors: the early refit scheduled by set_routing fires as
+     soon as it is due, restricted to post-change bins, so the engine stops
+     riding a pre-change fP ahead of the regular cadence. It replaces the
+     cadence refit for this bin. *)
+  let epoch_fired =
+    t.bin >= t.epoch_due
+    && begin
+         t.epoch_due <- max_int;
+         if refit ~since:t.epoch_bin t then begin
+           invalidate_fit_caches ();
+           Degrade.note t.degrade ~bin:(t.bin - 1)
+             ~reason:Degrade.Epoch_refit;
+           Telemetry.incr t.tel "refit.epoch";
+           true
+         end
+         else false
+       end
+  in
+  if (not epoch_fired) && t.bin mod t.config.refit_every = 0 then begin
+    (* Escape hatch: a streak at the quarantine cap means either a
+       long-lived attack or a legitimately shifted baseline — the gate
+       cannot tell them apart, and fP must never be starved indefinitely.
+       Clear the flags and force this refit over the full window. *)
+    let force =
+      t.config.gate_refits
+      && t.quarantine_streak >= t.config.quarantine_limit
+    in
+    if force then begin
+      Array.fill t.quarantine_buf 0 (Array.length t.quarantine_buf) false;
+      t.quarantine_streak <- 0;
+      Telemetry.incr t.tel "quarantine.forced_refit"
     end;
+    if refit ~ignore_quarantine:force t then invalidate_fit_caches ()
+  end;
   { estimate; level; clamped }
 
 (* --- accessors ---------------------------------------------------------- *)
@@ -457,7 +589,17 @@ let set_routing ?(degrade = true) t r =
   t.fp_refactorizes <- 0;
   if degrade then begin
     t.topo_pending <- true;
-    Telemetry.incr t.tel "topology.changes"
+    Telemetry.incr t.tel "topology.changes";
+    (* Epoch-aware priors: remember where the new routing epoch starts and,
+       when configured, schedule an early refit over post-change bins only.
+       [~degrade:false] replays (checkpoint resume) leave the restored
+       epoch state untouched. *)
+    t.epoch_bin <- t.bin;
+    match t.config.epoch_refit with
+    | Some k ->
+        t.epoch_due <- t.bin + k;
+        Telemetry.incr t.tel "refit.epoch_scheduled"
+    | None -> ()
   end
 
 (* --- checkpointing ------------------------------------------------------ *)
@@ -474,6 +616,10 @@ type snapshot = {
   s_consec_missing : int array;
   s_counters : (string * int) list;
   s_frozen : (Degrade.level * Ic_linalg.Vec.t) option;
+  s_quarantine : bool array;  (* aligned with s_window *)
+  s_quarantine_streak : int;
+  s_epoch_bin : int;
+  s_epoch_due : int;  (* max_int = no early refit pending *)
 }
 
 let snapshot t =
@@ -498,6 +644,13 @@ let snapshot t =
     s_counters = Telemetry.counters t.tel;
     s_frozen =
       Option.map (fun (lvl, w) -> (lvl, Array.copy w)) t.frozen_weights;
+    s_quarantine =
+      Array.init len (fun k ->
+          let b = t.bin - len + k in
+          t.quarantine_buf.(b mod Array.length t.window_buf));
+    s_quarantine_streak = t.quarantine_streak;
+    s_epoch_bin = t.epoch_bin;
+    s_epoch_due = t.epoch_due;
   }
 
 let restore ?telemetry ?tracer config s =
@@ -524,6 +677,10 @@ let restore ?telemetry ?tracer config s =
     s.s_window;
   if s.s_bin < Array.length s.s_window then
     invalid_arg "Engine.restore: more window entries than bins";
+  if Array.length s.s_quarantine <> Array.length s.s_window then
+    invalid_arg "Engine.restore: quarantine flags do not match the window";
+  if s.s_quarantine_streak < 0 then
+    invalid_arg "Engine.restore: negative quarantine streak";
   let t =
     {
       t with
@@ -539,8 +696,20 @@ let restore ?telemetry ?tracer config s =
   Array.iteri
     (fun k tm ->
       let b = s.s_bin - len + k in
-      t.window_buf.(b mod config.window) <- Some (Tm.copy tm))
+      t.window_buf.(b mod config.window) <- Some (Tm.copy tm);
+      (* The cached totals are derived state: recomputed from the restored
+         matrices in the same summation order, so the gate's reference
+         history is bit-identical to the uninterrupted run's. *)
+      t.total_buf.(b mod config.window) <- Tm.total tm)
     s.s_window;
+  Array.iteri
+    (fun k q ->
+      let b = s.s_bin - len + k in
+      t.quarantine_buf.(b mod config.window) <- q)
+    s.s_quarantine;
+  t.quarantine_streak <- s.s_quarantine_streak;
+  t.epoch_bin <- s.s_epoch_bin;
+  t.epoch_due <- s.s_epoch_due;
   Array.blit s.s_last_loads 0 t.last_loads 0 t.m;
   Array.blit s.s_consec_missing 0 t.consec_missing 0 t.m;
   t.have_last <- s.s_have_last;

@@ -49,6 +49,28 @@ type config = {
           arithmetic bit-for-bit. Either setting, the engine stays
           deterministic and kill/resume bit-identical — frozen weights are
           checkpointed state. *)
+  gate_refits : bool;
+      (** anomaly-gate the sliding-window refit (default [false]): each
+          bin's estimate is tested against the trailing non-quarantined
+          window history (robust z-test on the log bin total, MAD floored
+          at 5%); flagged bins stay in the estimate window but are
+          excluded from refits, so a volume anomaly cannot poison the
+          stable-fP parameters. Quarantine state is checkpointed —
+          kill/resume stays bit-identical. *)
+  gate_threshold : float;
+      (** robust z-score above which a bin is quarantined (default 4) *)
+  quarantine_limit : int;
+      (** escape hatch: after this many {e consecutive} quarantined bins
+          (default 6) the next cadence refit is forced over the full
+          window and the flags are cleared — a long-lived attack or a
+          legitimately shifted baseline must not starve fP forever *)
+  epoch_refit : int option;
+      (** with [Some k], a live {!set_routing} schedules an early refit
+          [k] bins later restricted to post-change bins, instead of
+          riding the stale pre-change fP until the regular cadence; the
+          completed refit is recorded as an [Epoch_refit] note on the
+          {!Degrade} ladder. [None] (default) keeps cadence-only
+          refits. *)
 }
 
 val default_config :
@@ -56,7 +78,9 @@ val default_config :
 (** Daily refit window and period, 6 warm sweeps, staleness at two refit
     periods, soft/hard missing thresholds 0.2/0.5, imputation budget 2,
     recovery after 12 healthy bins, fallback [f] 0.35, cold start, fast
-    path enabled. *)
+    path enabled; the resilience knobs conservative and off —
+    [gate_refits = false], threshold 4, quarantine limit 6,
+    [epoch_refit = None]. *)
 
 type t
 
@@ -83,10 +107,14 @@ val step : t -> loads:Ic_linalg.Vec.t -> missing:bool array -> output
     imputed the same way. Raises [Invalid_argument] on dimension
     mismatches. *)
 
-val refit : t -> bool
+val refit : ?since:int -> ?ignore_quarantine:bool -> t -> bool
 (** Force a sliding-window refit now (normally triggered every
-    [refit_every] bins). Returns false when the window is empty or carries
-    no traffic. *)
+    [refit_every] bins). [since] (default 0) restricts the window to bins
+    at or after that index — the epoch-refit path passes the topology
+    change's bin. [ignore_quarantine] (default [false]) bypasses the
+    anomaly gate, refitting over quarantined bins too — the escape-hatch
+    path. Returns false when the eligible window is empty or carries no
+    traffic. *)
 
 val bins_seen : t -> int
 
@@ -117,7 +145,8 @@ val set_routing : ?degrade:bool -> t -> Ic_topology.Routing.t -> unit
     is forced down to at least [Closed_form] with reason
     [Topology_change], since the fitted stable-fP model predates the new
     topology; the sliding-window refit then re-earns the upper rungs under
-    the usual hysteresis. Pass [~degrade:false] only when re-installing the
+    the usual hysteresis (and with [config.epoch_refit = Some k] an early
+    refit over post-change bins is scheduled [k] bins out). Pass [~degrade:false] only when re-installing the
     routing an interrupted run was already using (checkpoint resume): it
     swaps the matrix and plan without recording a transition or counting
     [topology.changes], which is what keeps kill/resume bit-identical
@@ -154,6 +183,13 @@ type snapshot = {
           they were frozen at; [None] when unfrozen (fast path off, warmup,
           or a degenerate freeze bin). Checkpointed so kill/resume
           reproduces the uninterrupted stream bit-for-bit. *)
+  s_quarantine : bool array;
+      (** anomaly-gate flags, aligned entry-for-entry with [s_window] *)
+  s_quarantine_streak : int;  (** consecutive quarantined bins so far *)
+  s_epoch_bin : int;  (** bin of the last live topology change *)
+  s_epoch_due : int;
+      (** bin at which the scheduled post-epoch early refit fires;
+          [max_int] encodes "none pending" *)
 }
 
 val snapshot : t -> snapshot

@@ -116,12 +116,34 @@ module Openloop = struct
     Array.of_list (List.rev !events)
 end
 
+type breaker_config = {
+  open_after : int;
+  cooldown : int;
+  fault_frac : float;
+}
+
+let default_breaker = { open_after = 3; cooldown = 6; fault_frac = 0.5 }
+
+(* The breaker's state is deliberately NOT checkpointed anywhere: it is a
+   pure function of the delivered stream, and a resumed run rebuilds it by
+   replaying the stream through [skip] (which runs the state machine with
+   counting suppressed). Keeping it replay-derived is what keeps the
+   checkpoint format untouched and kill/resume bit-identical. *)
+type breaker = {
+  config : breaker_config;
+  mutable consec : int;  (* consecutive faulted bins while closed *)
+  mutable state : [ `Closed | `Open of int ];
+      (* [`Open k]: k more bins carried before the half-open probe *)
+  mutable last_good : Vec.t option;  (* last clean delivery, copied *)
+}
+
 type t = {
   loads : Vec.t array;  (* true per-bin link loads, precomputed *)
   snmp : Snmp.stream;
   corrupt_rate : float;
   fault_rng : Ic_prng.Rng.t;
   telemetry : Telemetry.t option;
+  breaker : breaker option;
   mutable counting : bool;  (* suppressed during [skip] fast-forward *)
   mutable primed : bool;  (* the snmp stream has delivered at least once *)
   mutable pos : int;
@@ -172,9 +194,18 @@ let overlay_loads routing series ~seed (events : Openloop.event array) =
       | Some x -> Routing.link_loads routing x)
     per_bin
 
-let make ~noise_sigma ~drop_rate ~corrupt_rate ~telemetry ~loads ~seed =
+let make ~noise_sigma ~drop_rate ~corrupt_rate ~telemetry ~breaker ~loads
+    ~seed =
   if corrupt_rate < 0. || corrupt_rate >= 1. then
     invalid_arg "Feed: corrupt rate out of [0,1)";
+  (match breaker with
+  | None -> ()
+  | Some c ->
+      if c.open_after < 1 then
+        invalid_arg "Feed: breaker open_after must be >= 1";
+      if c.cooldown < 1 then invalid_arg "Feed: breaker cooldown must be >= 1";
+      if c.fault_frac <= 0. || c.fault_frac > 1. then
+        invalid_arg "Feed: breaker fault_frac out of (0,1]");
   let rng = Ic_prng.Rng.create seed in
   let snmp_rng = Ic_prng.Rng.fork rng in
   {
@@ -183,13 +214,18 @@ let make ~noise_sigma ~drop_rate ~corrupt_rate ~telemetry ~loads ~seed =
     corrupt_rate;
     fault_rng = Ic_prng.Rng.fork rng;
     telemetry;
+    breaker =
+      Option.map
+        (fun config ->
+          { config; consec = 0; state = `Closed; last_good = None })
+        breaker;
     counting = true;
     primed = false;
     pos = 0;
   }
 
 let create ?(noise_sigma = 0.01) ?(drop_rate = 0.) ?(corrupt_rate = 0.)
-    ?openloop ?telemetry routing series ~seed =
+    ?openloop ?telemetry ?breaker routing series ~seed =
   let g = routing.Routing.graph in
   if Series.size series <> Ic_topology.Graph.node_count g then
     invalid_arg "Feed.create: series does not match routing";
@@ -209,25 +245,37 @@ let create ?(noise_sigma = 0.01) ?(drop_rate = 0.) ?(corrupt_rate = 0.)
             y.(r) <- y.(r) +. e.(r)
           done)
         loads);
-  make ~noise_sigma ~drop_rate ~corrupt_rate ~telemetry ~loads ~seed
+  make ~noise_sigma ~drop_rate ~corrupt_rate ~telemetry ~breaker ~loads ~seed
 
 let of_loads ?(noise_sigma = 0.01) ?(drop_rate = 0.) ?(corrupt_rate = 0.)
-    ?telemetry loads ~seed =
+    ?telemetry ?breaker loads ~seed =
   let bins = Array.length loads in
   if bins > 0 then begin
     let m = Array.length loads.(0) in
-    Array.iter
-      (fun y ->
+    Array.iteri
+      (fun k y ->
         if Array.length y <> m then
-          invalid_arg "Feed.of_loads: ragged load series")
+          invalid_arg "Feed.of_loads: ragged load series";
+        (* True loads are caller-computed physics, not measurements: a NaN
+           or infinity here is a caller bug that would otherwise propagate
+           as plausible-looking corrupt polls. Reject loudly at ingest. *)
+        Array.iteri
+          (fun r v ->
+            if not (Float.is_finite v) then
+              invalid_arg
+                (Printf.sprintf
+                   "Feed.of_loads: non-finite load at bin %d row %d" k r))
+          y)
       loads
   end;
-  make ~noise_sigma ~drop_rate ~corrupt_rate ~telemetry
+  make ~noise_sigma ~drop_rate ~corrupt_rate ~telemetry ~breaker
     ~loads:(Array.map Array.copy loads) ~seed
 
 let length t = Array.length t.loads
 
 let position t = t.pos
+
+let breaker_state t = Option.map (fun b -> b.state) t.breaker
 
 let next t =
   if t.pos >= Array.length t.loads then None
@@ -261,8 +309,84 @@ let next t =
         Telemetry.add tel "feed.polls.carried"
           (if was_primed then !dropped else 0)
     | _ -> ());
-    Some (values, missing)
+    match t.breaker with
+    | None -> Some (values, missing)
+    | Some b ->
+        (* The circuit breaker runs on every bin — including [skip]
+           fast-forwards, where only the counters are suppressed — so a
+           resumed feed replays the identical transitions. *)
+        let count name =
+          match t.telemetry with
+          | Some tel when t.counting -> Telemetry.incr tel name
+          | _ -> ()
+        in
+        let m = Array.length values in
+        let dropped = ref 0 in
+        Array.iter (fun x -> if x then incr dropped) missing;
+        let faulted =
+          float_of_int (!dropped + !corrupted) /. float_of_int m
+          > b.config.fault_frac
+        in
+        let deliver_real () =
+          if not faulted then b.last_good <- Some (Array.copy values);
+          Some (values, missing)
+        in
+        let carry () =
+          match b.last_good with
+          | Some good ->
+              count "feed.breaker.carried";
+              Some (Array.copy good, Array.make m false)
+          | None ->
+              (* Opened before any clean bin: nothing to carry, deliver the
+                 faulted poll and let the engine's imputation cope. *)
+              Some (values, missing)
+        in
+        begin
+          match b.state with
+          | `Closed ->
+              if faulted then begin
+                b.consec <- b.consec + 1;
+                if b.consec >= b.config.open_after then begin
+                  b.consec <- 0;
+                  b.state <- `Open b.config.cooldown;
+                  count "feed.breaker.opened";
+                  carry ()
+                end
+                else deliver_real ()
+              end
+              else begin
+                b.consec <- 0;
+                deliver_real ()
+              end
+          | `Open k when k > 0 ->
+              b.state <- `Open (k - 1);
+              carry ()
+          | `Open _ ->
+              (* Half-open probe: let the real poll through; a clean bin
+                 recloses, a faulted one reopens for a full cooldown. *)
+              count "feed.breaker.probes";
+              if faulted then begin
+                b.state <- `Open b.config.cooldown;
+                count "feed.breaker.opened";
+                carry ()
+              end
+              else begin
+                b.state <- `Closed;
+                b.consec <- 0;
+                count "feed.breaker.reclosed";
+                deliver_real ()
+              end
+        end
   end
+
+let next_quiet t =
+  (* [next] with the counters suppressed, state transitions intact — the
+     resume path re-drawing an observation that was already drawn (and
+     counted) before a kill. *)
+  t.counting <- false;
+  let r = next t in
+  t.counting <- true;
+  r
 
 let skip t k =
   (* A resumed engine's restored counters already include the skipped bins'

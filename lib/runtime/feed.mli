@@ -59,12 +59,31 @@ end
 
 type t
 
+(** Circuit breaker against a faulting collector: a bin whose faulted-poll
+    fraction (drops + corruptions) exceeds [fault_frac] is {e faulted};
+    after [open_after] consecutive faulted bins the breaker opens and the
+    feed carries the last clean bin's values forward (all-present flags)
+    for [cooldown] bins, then lets one real poll through as a half-open
+    probe — clean recloses it, faulted reopens it for a full cooldown.
+    Breaker state is replay-derived (never checkpointed): a resumed feed
+    rebuilds it deterministically through {!skip}. *)
+type breaker_config = {
+  open_after : int;  (** consecutive faulted bins before opening; >= 1 *)
+  cooldown : int;  (** carried bins before the half-open probe; >= 1 *)
+  fault_frac : float;
+      (** faulted-poll fraction that marks a bin faulted; in (0,1] *)
+}
+
+val default_breaker : breaker_config
+(** [{ open_after = 3; cooldown = 6; fault_frac = 0.5 }]. *)
+
 val create :
   ?noise_sigma:float ->
   ?drop_rate:float ->
   ?corrupt_rate:float ->
   ?openloop:Openloop.event array ->
   ?telemetry:Telemetry.t ->
+  ?breaker:breaker_config ->
   Ic_topology.Routing.t ->
   Ic_traffic.Series.t ->
   seed:int ->
@@ -85,15 +104,20 @@ val create :
     polled), [feed.polls.dropped] (polls the collector lost),
     [feed.polls.carried] (drops papered over with the previous reading —
     first-poll drops fall back to the true value and are not carries) and
-    [feed.polls.corrupt] (surviving polls flipped to garbage). {!skip}
-    counts nothing: a resumed engine's restored counters already include
-    the skipped bins, so resume totals equal the uninterrupted run's. *)
+    [feed.polls.corrupt] (surviving polls flipped to garbage). With a
+    breaker, its transitions surface as [feed.breaker.opened],
+    [feed.breaker.probes], [feed.breaker.reclosed] and
+    [feed.breaker.carried] (bins delivered from the last clean values).
+    {!skip} counts nothing: a resumed engine's restored counters already
+    include the skipped bins, so resume totals equal the uninterrupted
+    run's. *)
 
 val of_loads :
   ?noise_sigma:float ->
   ?drop_rate:float ->
   ?corrupt_rate:float ->
   ?telemetry:Telemetry.t ->
+  ?breaker:breaker_config ->
   Ic_linalg.Vec.t array ->
   seed:int ->
   t
@@ -103,7 +127,10 @@ val of_loads :
     The fault-stream layout is identical to {!create}: [of_loads] over
     precomputed [R x(t)] replays byte-identically to [create routing
     series] with the same seed and rates. Raises [Invalid_argument] on
-    rates out of range or ragged loads. *)
+    rates out of range, ragged loads, or any non-finite load entry —
+    true loads are caller-computed physics, not measurements, so a NaN or
+    infinity is a caller bug rejected at ingest rather than replayed as
+    plausible-looking corruption. *)
 
 val length : t -> int
 (** Total bins in the replay. *)
@@ -111,9 +138,20 @@ val length : t -> int
 val position : t -> int
 (** Index of the next bin to be delivered. *)
 
+val breaker_state : t -> [ `Closed | `Open of int ] option
+(** The breaker's current state ([None] when no breaker is configured):
+    [`Open k] carries [k] more bins, with [`Open 0] meaning the next bin
+    is the half-open probe. *)
+
 val next : t -> (Ic_linalg.Vec.t * bool array) option
 (** The next bin's observation: measured loads (one per routing row) and
     the dropped-poll flags. [None] when the replay is exhausted. *)
+
+val next_quiet : t -> (Ic_linalg.Vec.t * bool array) option
+(** {!next} with the fault counters suppressed (stream state, breaker
+    transitions and the delivered values are identical). For resume paths
+    re-drawing an observation that was already delivered — and counted —
+    before a kill, so resume totals still equal the uninterrupted run's. *)
 
 val skip : t -> int -> unit
 (** [skip t k] advances past [k] bins, drawing and discarding their

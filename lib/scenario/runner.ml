@@ -4,9 +4,9 @@ module Engine = Ic_runtime.Engine
 module Feed = Ic_runtime.Feed
 module Degrade = Ic_runtime.Degrade
 
-let feed ?noise_sigma ?drop_rate ?corrupt_rate ?telemetry (tl : Timeline.t)
-    ~seed =
-  Feed.of_loads ?noise_sigma ?drop_rate ?corrupt_rate ?telemetry
+let feed ?noise_sigma ?drop_rate ?corrupt_rate ?telemetry ?breaker
+    (tl : Timeline.t) ~seed =
+  Feed.of_loads ?noise_sigma ?drop_rate ?corrupt_rate ?telemetry ?breaker
     tl.Timeline.loads ~seed
 
 let resume_routing engine (tl : Timeline.t) =
@@ -68,13 +68,13 @@ let play ?upto ?on_bin engine feed_ (tl : Timeline.t) =
 
 type verdict = { score : Score.t; provision : Provision.t }
 
-let evaluate ?threshold ?fit_options ?(headroom = 0.7) (tl : Timeline.t)
-    ~estimates =
+let evaluate ?threshold ?fit_options ?scale ?(headroom = 0.7)
+    (tl : Timeline.t) ~estimates =
   let truth =
     Array.init (Timeline.bins tl) (Series.tm tl.Timeline.series)
   in
   {
-    score = Score.score ?threshold ?fit_options tl ~estimates;
+    score = Score.score ?threshold ?fit_options ?scale tl ~estimates;
     provision =
       Provision.plan
         ~routing:(Timeline.base_routing tl)

@@ -13,12 +13,13 @@ val feed :
   ?drop_rate:float ->
   ?corrupt_rate:float ->
   ?telemetry:Ic_runtime.Telemetry.t ->
+  ?breaker:Ic_runtime.Feed.breaker_config ->
   Timeline.t ->
   seed:int ->
   Ic_runtime.Feed.t
 (** {!Ic_runtime.Feed.of_loads} over the timeline's loads. Use the same
-    [seed] (and the engine's telemetry sink) on the original and the
-    resumed run. *)
+    [seed], the same [breaker] config (its state is replay-derived) and
+    the engine's telemetry sink on the original and the resumed run. *)
 
 val resume_routing : Ic_runtime.Engine.t -> Timeline.t -> unit
 (** After {!Ic_runtime.Checkpoint.load}: re-install the epoch routing the
@@ -54,10 +55,12 @@ type verdict = { score : Score.t; provision : Provision.t }
 val evaluate :
   ?threshold:float ->
   ?fit_options:Ic_core.Fit.options ->
+  ?scale:Ic_core.Anomaly.scale ->
   ?headroom:float ->
   Timeline.t ->
   estimates:Ic_traffic.Tm.t array ->
   verdict
-(** Anomaly scoring ({!Score.score}) plus what-if provisioning
-    ({!Provision.plan}, default headroom 0.7, base routing) over a full
-    run's estimates against the timeline's injected truth. *)
+(** Anomaly scoring ({!Score.score}, [scale] forwarded to the detector)
+    plus what-if provisioning ({!Provision.plan}, default headroom 0.7,
+    base routing) over a full run's estimates against the timeline's
+    injected truth. *)

@@ -18,18 +18,20 @@ type t = {
   events : event_score list;
 }
 
-let score ?(threshold = 5.) ?fit_options (tl : Timeline.t) ~estimates =
+let score ?(threshold = 5.) ?fit_options ?scale (tl : Timeline.t) ~estimates
+    =
   if Array.length estimates <> Timeline.bins tl then
     invalid_arg "Score.score: estimate count does not match the timeline";
   let series = Series.make tl.Timeline.series.Series.binning estimates in
   (* The reference model is fitted on the estimated series itself — the
      detector sees exactly what the estimation pipeline produced, anomalies
-     included; the MAD studentization keeps moderate contamination from
+     included; the robust studentization keeps moderate contamination from
      absorbing the events into "normal". *)
   let fitted = Ic_core.Fit.fit_stable_fp ?options:fit_options series in
   let min_bytes = tl.Timeline.label_floor in
   let detections =
-    Anomaly.detect ~threshold ~min_bytes fitted.Ic_core.Fit.params series
+    Anomaly.detect ~threshold ~min_bytes ?scale fitted.Ic_core.Fit.params
+      series
   in
   let evaluation =
     Anomaly.evaluate ~detections ~labels:tl.Timeline.labels

@@ -29,9 +29,13 @@ type t = {
 val score :
   ?threshold:float ->
   ?fit_options:Ic_core.Fit.options ->
+  ?scale:Ic_core.Anomaly.scale ->
   Timeline.t ->
   estimates:Ic_traffic.Tm.t array ->
   t
-(** [threshold] defaults to 5 (the detector's default). Raises
+(** [threshold] defaults to 5 (the detector's default); [scale] picks the
+    detector's studentization (default [Mad], the historical behavior —
+    {!Ic_core.Anomaly.robust_scale} recovers detection when the base
+    traffic violates the IC model's mean structure). Raises
     [Invalid_argument] if the estimate count does not match the
     timeline. *)

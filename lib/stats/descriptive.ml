@@ -35,7 +35,7 @@ let quantile xs q =
   require_nonempty "quantile" xs;
   if q < 0. || q > 1. then invalid_arg "Descriptive.quantile: q out of [0,1]";
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let n = Array.length sorted in
   let pos = q *. float_of_int (n - 1) in
   let lo = int_of_float (Float.floor pos) in

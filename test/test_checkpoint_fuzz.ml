@@ -89,6 +89,8 @@ let gen_reason =
       Degrade.Polls_missing;
       Degrade.Imputation_exhausted;
       Degrade.F_degenerate;
+      Degrade.Topology_change;
+      Degrade.Epoch_refit;
       Degrade.Recovered;
     ]
 
@@ -114,6 +116,10 @@ let gen_snapshot =
     let* s_level = gen_level in
     let* s_streak = int_range 0 50 in
     let* s_transitions = list_size (int_range 0 6) gen_transition in
+    (* The lifetime count may exceed the retained history (retention cap
+       dropped the difference) but never fall below it. *)
+    let* extra_dropped = int_range 0 1_000 in
+    let s_count = List.length s_transitions + extra_dropped in
     let* window_len = int_range 0 3 in
     let* window_data =
       list_size (return window_len) (array_size (return (n * n)) gen_window_float)
@@ -133,19 +139,27 @@ let gen_snapshot =
            return (Some (lvl, w)));
         ]
     in
+    let* s_quarantine = array_size (return window_len) bool in
+    let* s_quarantine_streak = int_range 0 50 in
+    let* s_epoch_bin = int_range 0 100_000 in
+    let* s_epoch_due = oneof [ return max_int; int_range 0 100_000 ] in
     return
       {
         Engine.s_bin;
         s_f;
         s_preference;
         s_fit_age;
-        s_degrade = { Degrade.s_level; s_streak; s_transitions };
+        s_degrade = { Degrade.s_level; s_streak; s_transitions; s_count };
         s_window = Array.of_list (List.map (Tm.of_vector_clamped n) window_data);
         s_last_loads;
         s_have_last;
         s_consec_missing;
         s_counters;
         s_frozen;
+        s_quarantine;
+        s_quarantine_streak;
+        s_epoch_bin;
+        s_epoch_due;
       })
 
 (* --- exact snapshot equality (floats compared bitwise) ------------------- *)
@@ -165,6 +179,7 @@ let snapshot_eq (a : Engine.snapshot) (b : Engine.snapshot) =
   && a.s_degrade.Degrade.s_level = b.s_degrade.Degrade.s_level
   && a.s_degrade.Degrade.s_streak = b.s_degrade.Degrade.s_streak
   && a.s_degrade.Degrade.s_transitions = b.s_degrade.Degrade.s_transitions
+  && a.s_degrade.Degrade.s_count = b.s_degrade.Degrade.s_count
   && Array.length a.s_window = Array.length b.s_window
   && Array.for_all2
        (fun x y -> float_array_eq (Tm.unsafe_data x) (Tm.unsafe_data y))
@@ -177,6 +192,10 @@ let snapshot_eq (a : Engine.snapshot) (b : Engine.snapshot) =
      | None, None -> true
      | Some (la, wa), Some (lb, wb) -> la = lb && float_array_eq wa wb
      | _ -> false)
+  && a.s_quarantine = b.s_quarantine
+  && a.s_quarantine_streak = b.s_quarantine_streak
+  && a.s_epoch_bin = b.s_epoch_bin
+  && a.s_epoch_due = b.s_epoch_due
 
 (* --- properties ---------------------------------------------------------- *)
 
@@ -209,13 +228,22 @@ let base_snapshot ?(counters = [ ("polls_total", 12) ]) () =
     s_preference = None;
     s_fit_age = max_int;
     s_degrade =
-      { Degrade.s_level = Degrade.Gravity; s_streak = 0; s_transitions = [] };
+      {
+        Degrade.s_level = Degrade.Gravity;
+        s_streak = 0;
+        s_transitions = [];
+        s_count = 0;
+      };
     s_window = [||];
     s_last_loads = [| 1.5; 0. |];
     s_have_last = true;
     s_consec_missing = [| 0; 3 |];
     s_counters = counters;
     s_frozen = Some (Degrade.Closed_form, [| 0.5; 1.25 |]);
+    s_quarantine = [||];
+    s_quarantine_streak = 0;
+    s_epoch_bin = 0;
+    s_epoch_due = max_int;
   }
 
 let test_adversarial_names_unit () =
@@ -260,6 +288,28 @@ let test_legacy_no_frozen_record () =
   | Ok s' ->
       Alcotest.(check bool) "legacy decodes unfrozen" true
         (s'.Engine.s_frozen = None && snapshot_eq s s')
+  | Error e -> Alcotest.fail e
+
+let test_legacy_no_resilience_records () =
+  (* Checkpoints written before the anomaly gate / epoch refits carry no
+     "quarantine" or "epoch" records and a single-count "transitions"
+     line; they must keep decoding, with the gate quiescent. *)
+  let s = base_snapshot () in
+  let legacy =
+    Checkpoint.encode s
+    |> String.split_on_char '\n'
+    |> List.filter_map (fun l ->
+           match String.split_on_char ' ' l with
+           | "quarantine" :: _ | "epoch" :: _ -> None
+           | [ "transitions"; stored; _total ] ->
+               Some ("transitions " ^ stored)
+           | _ -> Some l)
+    |> String.concat "\n"
+  in
+  match Checkpoint.decode legacy with
+  | Ok s' ->
+      Alcotest.(check bool) "legacy decodes with gate quiescent" true
+        (snapshot_eq s s')
   | Error e -> Alcotest.fail e
 
 let test_truncation_rejected () =
@@ -340,6 +390,8 @@ let () =
             test_legacy_names_unescaped;
           Alcotest.test_case "legacy checkpoint without frozen record" `Quick
             test_legacy_no_frozen_record;
+          Alcotest.test_case "legacy checkpoint without resilience records"
+            `Quick test_legacy_no_resilience_records;
         ] );
       ( "rejection",
         [
