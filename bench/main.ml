@@ -489,6 +489,33 @@ let resilience_tests =
                 fitted.params fit_series)));
   ]
 
+(* Shootout: single-bin estimate cost of every registered estimator family
+   on the Geant fixture (calibrated state, reused plan) — the latency axis
+   of `ic-lab shootout` pinned as a bench group, so an accidentally
+   quadratic stage in any family shows up in the per-PR diff without
+   per-family bench code. *)
+let shootout_tests =
+  let module Estimator = Ic_estimation.Estimator in
+  List.map
+    (fun name ->
+      let (module E : Estimator.S) = Estimator.find_exn name in
+      Test.make
+        ~name:("shootout/" ^ name ^ "-per-bin")
+        (Staged.stage
+           (let state = E.calibrate ~routing ~train:(Some fit_series) in
+            let plan = Ic_estimation.Tomogravity.make_plan routing in
+            let k = ref 0 in
+            fun () ->
+              let ctx =
+                Estimator.make_ctx ~routing ~plan
+                  ~link_loads:series_link_loads.(!k) ~bin:!k ()
+              in
+              ignore
+                (Estimator.estimate_bin (module E) state ctx
+                  : Ic_traffic.Tm.t * int);
+              k := (!k + 1) mod Array.length series_link_loads)))
+    (Estimator.names ())
+
 let substrate_tests =
   [
     Test.make ~name:"linalg/cholesky-122"
@@ -837,6 +864,7 @@ let () =
           ("extensions", extension_tests);
           ("scenario", scenario_tests);
           ("resilience", resilience_tests);
+          ("shootout", shootout_tests);
           ("substrates", substrate_tests);
         ]
       in

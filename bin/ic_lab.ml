@@ -134,12 +134,41 @@ let run_fit which weeks seed week stride input nodes bin_minutes =
 
 (* --- estimate ---------------------------------------------------------- *)
 
-let run_estimate which weeks seed calib_week target_week prior_name stride
-    jobs trace =
+(* Unknown estimator names exit through the CLI's own error path (listing
+   the registry) rather than surfacing as an exception backtrace. *)
+let check_estimator name =
+  if not (Ic_estimation.Estimator.mem name) then begin
+    Printf.eprintf "unknown estimator %s\navailable: %s\n" name
+      (String.concat ", " (Ic_estimation.Estimator.names ()));
+    exit 1
+  end
+
+let run_estimate which weeks seed calib_week target_week prior_name estimator
+    stride jobs trace =
+  Option.iter check_estimator estimator;
   let ds = load_dataset (dataset_of_string which) weeks seed in
   let take w = subsample stride (Ic_datasets.Dataset.week ds w) in
   let truth = take target_week in
   let routing = Ic_topology.Routing.build ds.Ic_datasets.Dataset.graph in
+  match estimator with
+  | Some name ->
+      let (module E : Ic_estimation.Estimator.S) =
+        Ic_estimation.Estimator.find_exn name
+      in
+      let tracer = make_tracer trace in
+      let result =
+        Ic_parallel.Pool.with_pool ~jobs ~tracer (fun pool ->
+            Ic_estimation.Pipeline.run_estimator ~tracer ~pool
+              (module E)
+              ~routing ~train:(take calib_week) ~truth ())
+      in
+      Printf.printf
+        "estimated %s week %d with %s estimator: mean RelL2 = %.4f over %d \
+         bins\n"
+        which target_week name result.mean_error
+        (Array.length result.per_bin_error);
+      export_trace tracer trace
+  | None ->
   let config = Ic_estimation.Pipeline.default_config routing in
   let prior =
     match prior_name with
@@ -382,8 +411,9 @@ let run_stream_sharded which series routing config ~shards ~jobs ~total
 
 let run_stream which weeks seed bins drop_rate corrupt_rate noise open_loop
     kill_after resume checkpoint_path refit_every window recover_after
-    telemetry_mode shards jobs trace verbose =
+    telemetry_mode estimator shards jobs trace verbose =
   setup_logs verbose;
+  check_estimator estimator;
   let tracer = make_tracer trace in
   let ds = load_dataset (dataset_of_string which) weeks seed in
   let series = ds.Ic_datasets.Dataset.series in
@@ -391,6 +421,7 @@ let run_stream which weeks seed bins drop_rate corrupt_rate noise open_loop
   let binning = series.Ic_traffic.Series.binning in
   let config =
     let c = Ic_runtime.Engine.default_config routing binning in
+    let c = { c with Ic_runtime.Engine.estimator } in
     let c =
       match refit_every with
       | Some r -> { c with Ic_runtime.Engine.refit_every = r }
@@ -543,13 +574,19 @@ let run_stream which weeks seed bins drop_rate corrupt_rate noise open_loop
    a fake clock that advances 1 ms per reading, so every histogram — not
    just the counters — is a pure function of the observation stream and the
    output can be pinned byte-for-byte in the cram suite. *)
-let run_metrics which weeks seed bins drop_rate corrupt_rate noise
+let run_metrics which weeks seed bins drop_rate corrupt_rate noise estimator
     serve_queries =
+  check_estimator estimator;
   let ds = load_dataset (dataset_of_string which) weeks seed in
   let series = ds.Ic_datasets.Dataset.series in
   let routing = Ic_topology.Routing.build ds.Ic_datasets.Dataset.graph in
   let config =
-    Ic_runtime.Engine.default_config routing series.Ic_traffic.Series.binning
+    {
+      (Ic_runtime.Engine.default_config routing
+         series.Ic_traffic.Series.binning)
+      with
+      Ic_runtime.Engine.estimator;
+    }
   in
   let tick = ref 0. in
   let clock () =
@@ -603,6 +640,45 @@ let run_metrics which weeks seed bins drop_rate corrupt_rate noise
   end;
   print_string
     (Ic_obs.Metrics.expose (Ic_runtime.Telemetry.registry telemetry))
+
+(* --- shootout ------------------------------------------------------------ *)
+
+let run_shootout datasets estimators folds seed stride timing_mode =
+  let split s =
+    String.split_on_char ',' s |> List.filter (fun x -> x <> "")
+  in
+  let datasets =
+    match split datasets with
+    | [] -> Ic_experiments.Shootout.dataset_names
+    | ds -> ds
+  in
+  List.iter
+    (fun d ->
+      if not (List.mem d Ic_experiments.Shootout.dataset_names) then begin
+        Printf.eprintf "unknown dataset %s\navailable: %s\n" d
+          (String.concat ", " Ic_experiments.Shootout.dataset_names);
+        exit 1
+      end)
+    datasets;
+  let estimators =
+    match estimators with
+    | None -> None
+    | Some s ->
+        let names = split s in
+        List.iter check_estimator names;
+        Some names
+  in
+  let timing =
+    match timing_mode with
+    | "on" -> true
+    | "off" -> false
+    | s -> invalid_arg ("unknown timing mode " ^ s ^ " (on|off)")
+  in
+  let rows =
+    Ic_experiments.Shootout.run ?estimators ~folds ~seed ~stride ~timing
+      ~datasets ()
+  in
+  Ic_experiments.Shootout.render ~folds ~seed ~stride ~timing rows
 
 (* --- scenario ------------------------------------------------------------ *)
 
@@ -1161,6 +1237,14 @@ let jobs_arg =
   in
   Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
+let engine_estimator_arg =
+  let doc =
+    "Estimator family driving every bin ('ic' is the native self-calibrating \
+     path; anything else dispatches through the estimator registry — see \
+     'ic-lab shootout' for the roster)."
+  in
+  Arg.(value & opt string "ic" & info [ "estimator" ] ~docv:"NAME" ~doc)
+
 let trace_out_arg =
   let doc =
     "Record execution spans (engine/pipeline stages, pool regions) and \
@@ -1234,11 +1318,20 @@ let estimate_cmd =
     let doc = "Prior: gravity, measured, stable-fp or stable-f." in
     Arg.(value & opt string "stable-fp" & info [ "prior" ] ~docv:"PRIOR" ~doc)
   in
+  let estimator =
+    let doc =
+      "Estimate with a registered estimator family instead of the --prior \
+       pipeline: calibrated on --calib-week, applied to --week through the \
+       generic batch driver. Unknown names list the registry."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "estimator" ] ~docv:"NAME" ~doc)
+  in
   let doc = "Run the three-step TM estimation pipeline on one week." in
   Cmd.v (Cmd.info "estimate" ~doc)
     Term.(
       const run_estimate $ dataset_arg $ weeks_arg $ seed_arg $ calib $ target
-      $ prior $ stride_arg $ jobs_arg $ trace_out_arg)
+      $ prior $ estimator $ stride_arg $ jobs_arg $ trace_out_arg)
 
 let trace_cmd =
   let duration =
@@ -1364,8 +1457,8 @@ let stream_cmd =
     Term.(
       const run_stream $ dataset_arg $ weeks_arg $ seed_arg $ bins $ drop_rate
       $ corrupt_rate $ noise $ open_loop $ kill_after $ resume $ checkpoint
-      $ refit_every $ window $ recover_after $ telemetry $ shards $ jobs_arg
-      $ trace_out_arg $ verbose)
+      $ refit_every $ window $ recover_after $ telemetry
+      $ engine_estimator_arg $ shards $ jobs_arg $ trace_out_arg $ verbose)
 
 let metrics_cmd =
   let bins =
@@ -1403,7 +1496,54 @@ let metrics_cmd =
   Cmd.v (Cmd.info "metrics" ~doc)
     Term.(
       const run_metrics $ dataset_arg $ weeks_arg $ seed_arg $ bins
-      $ drop_rate $ corrupt_rate $ noise $ serve_queries)
+      $ drop_rate $ corrupt_rate $ noise $ engine_estimator_arg
+      $ serve_queries)
+
+let shootout_cmd =
+  let datasets =
+    let doc =
+      "Comma-separated datasets to rank on (abilene, geant, totem; empty = \
+       all)."
+    in
+    Arg.(
+      value
+      & opt string "abilene,geant,totem"
+      & info [ "datasets" ] ~docv:"NAMES" ~doc)
+  in
+  let estimators =
+    let doc =
+      "Comma-separated estimator names (default: the whole registry)."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "estimators" ] ~docv:"NAMES" ~doc)
+  in
+  let folds =
+    let doc = "Cross-validation folds." in
+    Arg.(value & opt int 3 & info [ "folds" ] ~docv:"K" ~doc)
+  in
+  let seed =
+    let doc = "Seed for data generation and the train/test split." in
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let timing =
+    let doc =
+      "Per-bin latency measurement: on (wall-clock median) or off \
+       (deterministic, pinnable output)."
+    in
+    Arg.(value & opt string "on" & info [ "timing" ] ~docv:"MODE" ~doc)
+  in
+  let stride =
+    let doc = "Keep every STRIDE-th bin of the evaluation week." in
+    Arg.(value & opt int 21 & info [ "stride" ] ~docv:"STRIDE" ~doc)
+  in
+  let doc =
+    "Rank every registered estimator by cross-validated error and per-bin \
+     latency on the synthetic datasets, and mark the Pareto frontier."
+  in
+  Cmd.v (Cmd.info "shootout" ~doc)
+    Term.(
+      const run_shootout $ datasets $ estimators $ folds $ seed $ stride
+      $ timing)
 
 let scenario_cmd =
   let topology =
@@ -1711,8 +1851,8 @@ let main_cmd =
      (Erramilli, Crovella, Taft; IMC 2006)"
   in
   Cmd.group (Cmd.info "ic-lab" ~version:"1.0.0" ~doc)
-    [ experiment_cmd; gen_cmd; fit_cmd; estimate_cmd; stream_cmd;
-      scenario_cmd; serve_cmd; loadgen_cmd; trace_cmd; metrics_cmd;
-      whatif_cmd; topology_cmd ]
+    [ experiment_cmd; gen_cmd; fit_cmd; estimate_cmd; shootout_cmd;
+      stream_cmd; scenario_cmd; serve_cmd; loadgen_cmd; trace_cmd;
+      metrics_cmd; whatif_cmd; topology_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

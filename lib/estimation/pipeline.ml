@@ -38,9 +38,12 @@ let validate ?link_loads config ~truth ~prior =
       invalid_arg "Pipeline.run: link-load series length mismatch"
   | _ -> ()
 
-(* One bin of the three-step blueprint against a given plan. Returns the
-   estimate and the number of entries the tomogravity non-negativity clamp
-   zeroed for this bin.
+(* The classic three-step config expressed as a first-class estimator: the
+   prior stage reads the supplied prior series at the bin index, the refine
+   stage is the configured solver, the projection stage is IPF when enabled.
+   [run]/[run_par] below are the generic driver over this module, so the
+   legacy entry points and plugged-in estimator families share one code
+   path bin for bin.
 
    Negative-estimate audit: the clamp must never be silent (the pre-PR-1
    [Tm.of_vector] hid it), so every refined bin reads the plan's clamp
@@ -48,38 +51,32 @@ let validate ?link_loads config ~truth ~prior =
    produce negatives ([prior * exp] form), and IPF only rescales
    non-negative entries, so the tomogravity hook covers every clamp in the
    pipeline. *)
-let estimate_bin ?link_loads config ~plan ~ingress_rows ~egress_rows ~truth
-    ~prior k =
-  let n = Series.size truth in
-  let truth_tm = Series.tm truth k in
-  let link_loads =
-    match link_loads with
-    | Some loads -> loads.(k)
-    | None -> Routing.link_loads config.routing (Tm.to_vector truth_tm)
-  in
-  let refined, clamped =
-    match config.refinement with
-    | Least_squares solver ->
-        let tm =
-          Tomogravity.estimate_with_plan ~solver plan ~link_loads
-            ~prior:(Series.tm prior k)
-        in
-        (tm, Tomogravity.plan_last_clamp_count plan)
-    | Max_entropy ->
-        ( Entropy.estimate ~plan config.routing ~link_loads
-            ~prior:(Series.tm prior k),
-          0 )
-  in
-  let estimate =
-    if not config.apply_ipf then refined
-    else begin
-      let row_targets = Array.init n (fun i -> link_loads.(ingress_rows.(i))) in
-      let col_targets = Array.init n (fun j -> link_loads.(egress_rows.(j))) in
-      if Ic_linalg.Vec.sum row_targets <= 0. then refined
-      else (Ipf.fit refined ~row_targets ~col_targets).Ipf.tm
-    end
-  in
-  (estimate, clamped)
+let of_config config ~prior : (module Estimator.S) =
+  (module struct
+    let name = "pipeline-config"
+    let doc = "internal adapter for Pipeline.run's config record"
+
+    let calibrate ~routing:_ ~train:_ = Estimator.state_create ~owner:name []
+    let prior _state ctx = Series.tm prior ctx.Estimator.bin
+
+    let refine _state ctx ~prior =
+      match config.refinement with
+      | Least_squares solver ->
+          let tm =
+            Tomogravity.estimate_with_plan ~solver ctx.Estimator.plan
+              ~link_loads:ctx.Estimator.link_loads ~prior
+          in
+          (tm, Tomogravity.plan_last_clamp_count ctx.Estimator.plan)
+      | Max_entropy ->
+          ( Entropy.estimate ~plan:ctx.Estimator.plan config.routing
+              ~link_loads:ctx.Estimator.link_loads ~prior,
+            0 )
+
+    let project _state ctx tm =
+      if config.apply_ipf then Estimator.ipf_project ctx tm else tm
+
+    let observe _state _ctx ~estimate:_ = ()
+  end)
 
 let finish ~truth estimates clamped =
   let estimate = Series.make truth.Series.binning estimates in
@@ -100,61 +97,89 @@ let finish ~truth estimates clamped =
         m "Pipeline.run: clamped %d negative estimate entries" clamped);
   { estimate; per_bin_error; mean_error; clamped_entries = clamped }
 
+(* The generic per-bin driver: observable link loads are derived from the
+   truth exactly as an operator would measure them ([Y = R x], marginal
+   pseudo-links included) unless measured loads are supplied, then the bin
+   runs through the estimator's three stages. The calibrated state is
+   frozen across bins (the stage functions are pure w.r.t. it — see
+   {!Estimator.S}), so bins are independent and the parallel path is
+   bit-identical to the sequential one at every pool size. *)
+let drive ?link_loads ~tracer ?pool (module E : Estimator.S) state ~routing
+    ~truth =
+  let bins = Series.length truth in
+  let one plan k =
+    let loads =
+      match link_loads with
+      | Some loads -> loads.(k)
+      | None -> Routing.link_loads routing (Tm.to_vector (Series.tm truth k))
+    in
+    let ctx = Estimator.make_ctx ~routing ~plan ~link_loads:loads ~bin:k () in
+    Estimator.estimate_bin (module E) state ctx
+  in
+  let attrs = [ ("bins", string_of_int bins) ] in
+  match pool with
+  | None ->
+      let plan = Tomogravity.make_plan ~tracer routing in
+      let clamped = ref 0 in
+      let estimates =
+        Trace.with_span tracer "pipeline.run" ~attrs (fun () ->
+            Array.init bins (fun k ->
+                let tm, c = one plan k in
+                clamped := !clamped + c;
+                tm))
+      in
+      finish ~truth estimates !clamped
+  | Some pool ->
+      let base = Tomogravity.make_plan ~tracer routing in
+      let plans =
+        Array.init (Ic_parallel.Pool.size pool) (fun s ->
+            if s = 0 then base else Tomogravity.plan_clone base)
+      in
+      (* Each bin's (estimate, clamp count) is computed on whichever domain
+         claimed it; the clamp total is then folded in bin order, so the
+         result record — floats included — is a pure function of the
+         inputs. *)
+      let per_bin =
+        Trace.with_span tracer "pipeline.run" ~attrs (fun () ->
+            Ic_parallel.Pool.map pool ~n:bins (fun ~slot k ->
+                one plans.(slot) k))
+      in
+      let estimates = Array.map fst per_bin in
+      let clamped = Array.fold_left (fun acc (_, c) -> acc + c) 0 per_bin in
+      finish ~truth estimates clamped
+
 let run ?link_loads ?(tracer = Trace.noop) config ~truth ~prior =
   validate ?link_loads config ~truth ~prior;
-  let n = Series.size truth in
-  (* Hoisted across bins: the tomogravity plan (routing-dependent structure
-     and scratch buffers) and the marginal-row index maps. *)
-  let plan = Tomogravity.make_plan ~tracer config.routing in
-  let ingress_rows =
-    Array.init n (fun i -> Routing.ingress_row config.routing i)
-  in
-  let egress_rows =
-    Array.init n (fun j -> Routing.egress_row config.routing j)
-  in
-  let clamped = ref 0 in
-  let estimates =
-    Trace.with_span tracer "pipeline.run"
-      ~attrs:[ ("bins", string_of_int (Series.length truth)) ]
-      (fun () ->
-        Array.init (Series.length truth) (fun k ->
-            let tm, c =
-              estimate_bin ?link_loads config ~plan ~ingress_rows ~egress_rows
-                ~truth ~prior k
-            in
-            clamped := !clamped + c;
-            tm))
-  in
-  finish ~truth estimates !clamped
+  let (module E) = of_config config ~prior in
+  let state = E.calibrate ~routing:config.routing ~train:None in
+  drive ?link_loads ~tracer (module E : Estimator.S) state
+    ~routing:config.routing ~truth
 
 let run_par ?link_loads ?(tracer = Trace.noop) ~pool config ~truth ~prior =
   validate ?link_loads config ~truth ~prior;
-  let n = Series.size truth in
-  let base = Tomogravity.make_plan ~tracer config.routing in
-  let plans =
-    Array.init (Ic_parallel.Pool.size pool) (fun s ->
-        if s = 0 then base else Tomogravity.plan_clone base)
-  in
-  let ingress_rows =
-    Array.init n (fun i -> Routing.ingress_row config.routing i)
-  in
-  let egress_rows =
-    Array.init n (fun j -> Routing.egress_row config.routing j)
-  in
-  (* Each bin's (estimate, clamp count) is computed on whichever domain
-     claimed it; the clamp total is then folded in bin order, so the result
-     record — floats included — is a pure function of the inputs. *)
-  let per_bin =
-    Trace.with_span tracer "pipeline.run"
-      ~attrs:[ ("bins", string_of_int (Series.length truth)) ]
-      (fun () ->
-        Ic_parallel.Pool.map pool ~n:(Series.length truth) (fun ~slot k ->
-            estimate_bin ?link_loads config ~plan:plans.(slot) ~ingress_rows
-              ~egress_rows ~truth ~prior k))
-  in
-  let estimates = Array.map fst per_bin in
-  let clamped = Array.fold_left (fun acc (_, c) -> acc + c) 0 per_bin in
-  finish ~truth estimates clamped
+  let (module E) = of_config config ~prior in
+  let state = E.calibrate ~routing:config.routing ~train:None in
+  drive ?link_loads ~tracer ~pool (module E : Estimator.S) state
+    ~routing:config.routing ~truth
+
+let run_estimator ?link_loads ?(tracer = Trace.noop) ?pool
+    (module E : Estimator.S) ~routing ?train ~truth () =
+  if not routing.Routing.with_marginals then
+    invalid_arg "Pipeline.run_estimator: routing must include marginal rows";
+  let g = routing.Routing.graph in
+  if Ic_topology.Graph.node_count g <> Series.size truth then
+    invalid_arg "Pipeline.run_estimator: routing does not match series size";
+  (match link_loads with
+  | Some loads when Array.length loads <> Series.length truth ->
+      invalid_arg "Pipeline.run_estimator: link-load series length mismatch"
+  | _ -> ());
+  (match train with
+  | Some t when Series.size t <> Series.size truth ->
+      invalid_arg "Pipeline.run_estimator: train/truth size mismatch"
+  | _ -> ());
+  let state = E.calibrate ~routing ~train in
+  drive ?link_loads ~tracer ?pool (module E : Estimator.S) state ~routing
+    ~truth
 
 let improvement_over ~baseline ~candidate =
   Ic_traffic.Error.improvement_series ~baseline:baseline.per_bin_error

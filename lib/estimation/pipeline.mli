@@ -62,6 +62,27 @@ val run_par :
     bin order, so the result — estimates, errors, and clamp total — is
     bit-identical to {!run} at every pool size. *)
 
+val run_estimator :
+  ?link_loads:Ic_linalg.Vec.t array ->
+  ?tracer:Ic_obs.Trace.t ->
+  ?pool:Ic_parallel.Pool.t ->
+  (module Estimator.S) ->
+  routing:Ic_topology.Routing.t ->
+  ?train:Ic_traffic.Series.t ->
+  truth:Ic_traffic.Series.t ->
+  unit ->
+  result
+(** The generic batch driver behind {!run}: calibrate the estimator once
+    ([train] is passed through to {!Estimator.S.calibrate}), freeze its
+    state, and run every bin of [truth] through the three stages against
+    link loads measured from the truth (or [link_loads] when supplied).
+    With a [pool] the bins are sharded across domains — the frozen state
+    plus one {!Tomogravity.plan_clone} per domain make the result
+    bit-identical to the sequential run at every pool size, for {e every}
+    registered estimator (qcheck-pinned over the registry). Raises
+    [Invalid_argument] on routing/series mismatches, or whatever the
+    estimator's [calibrate] raises (e.g. [ic] without a training split). *)
+
 val improvement_over :
   baseline:result -> candidate:result -> float array
 (** Per-bin percentage improvement of the candidate's error over the

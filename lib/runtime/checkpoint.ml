@@ -100,6 +100,25 @@ let encode (s : Engine.snapshot) =
   Buffer.add_char buf '\n';
   if s.s_epoch_due = max_int then line "epoch %d never" s.s_epoch_bin
   else line "epoch %d %d" s.s_epoch_bin s.s_epoch_due;
+  (* Plugged-in estimator state: one header naming the owning estimator
+     (caller-chosen, so percent-escaped like counter names) and its slab
+     count, then one record per slab in insertion order. Emitted only when
+     present — the native ic path writes byte-identical files to PR 9. *)
+  (match s.s_estimator with
+  | None -> ()
+  | Some st ->
+      let slabs = Ic_estimation.Estimator.state_slabs st in
+      line "estimator %s %d"
+        (escape_counter_name (Ic_estimation.Estimator.state_owner st))
+        (List.length slabs);
+      List.iter
+        (fun (name, payload) ->
+          Buffer.add_string buf
+            (Printf.sprintf "slab %s %d" (escape_counter_name name)
+               (Array.length payload));
+          encode_floats buf payload;
+          Buffer.add_char buf '\n')
+        slabs);
   line "counters %d" (List.length s.s_counters);
   List.iter
     (fun (name, v) -> line "c %s %d" (escape_counter_name name) v)
@@ -339,6 +358,29 @@ let decode_exn text =
         cur.pos <- cur.pos - 1;
         (0, max_int)
   in
+  (* Estimator-tagged engine state postdates the resilience records; peek
+     like [frozen] so legacy checkpoints (and every native-ic file, which
+     never carries the record) keep decoding. *)
+  let s_estimator =
+    match words (next_line cur) with
+    | [ "estimator"; name; count ] ->
+        let count = parse_int count in
+        if count < 0 then raise (Bad "negative estimator slab count");
+        let owner = unescape_counter_name name in
+        let slabs =
+          List.init count (fun _ ->
+              match expect_key "slab" (words (next_line cur)) with
+              | sname :: len :: floats ->
+                  ( unescape_counter_name sname,
+                    parse_floats (parse_int len) floats )
+              | _ -> raise (Bad "bad estimator slab record"))
+        in
+        Some (Ic_estimation.Estimator.state_create ~owner slabs)
+    | "estimator" :: _ -> raise (Bad "bad estimator record")
+    | _ ->
+        cur.pos <- cur.pos - 1;
+        None
+  in
   let n_counters =
     match expect_key "counters" (words (next_line cur)) with
     | [ v ] -> parse_int v
@@ -368,6 +410,7 @@ let decode_exn text =
     s_quarantine_streak;
     s_epoch_bin;
     s_epoch_due;
+    s_estimator;
   }
 
 let decode text =

@@ -4,6 +4,7 @@ module Series = Ic_traffic.Series
 module Routing = Ic_topology.Routing
 module Tomogravity = Ic_estimation.Tomogravity
 module Ipf = Ic_estimation.Ipf
+module Estimator = Ic_estimation.Estimator
 module Trace = Ic_obs.Trace
 
 type config = {
@@ -24,6 +25,7 @@ type config = {
   gate_threshold : float;
   quarantine_limit : int;
   epoch_refit : int option;
+  estimator : string;
 }
 
 let default_config routing binning =
@@ -46,10 +48,17 @@ let default_config routing binning =
     gate_threshold = 4.;
     quarantine_limit = 6;
     epoch_refit = None;
+    estimator = "ic";
   }
 
 type t = {
   config : config;
+  mutable plugin : ((module Estimator.S) * Estimator.state) option;
+      (* [None] runs the native ic path below; [Some] dispatches the
+         prior/refine/project stages (and the sequential [observe] hook)
+         to a registry estimator, with the stable-fP refit machinery and
+         the frozen-weights fast path idle. The state is the only mutable
+         half — it rides snapshots so kill/resume is bit-identical. *)
   mutable routing : Routing.t;  (* current topology; starts at config.routing *)
   mutable plan : Tomogravity.plan;  (* always built for [routing] *)
   mutable topo_pending : bool;
@@ -114,6 +123,8 @@ let validate_config (c : config) =
   (match c.epoch_refit with
   | Some k when k < 1 -> invalid_arg "Engine: epoch_refit must be >= 1"
   | _ -> ());
+  if c.estimator <> "ic" && not (Estimator.mem c.estimator) then
+    ignore (Estimator.find_exn c.estimator : (module Estimator.S));
   match c.initial_params with
   | Some (f, p) ->
       if f < 0. || f > 1. then invalid_arg "Engine: initial f out of [0,1]";
@@ -127,13 +138,27 @@ let create ?telemetry ?(tracer = Trace.noop) config =
   let g = config.routing.Routing.graph in
   let n = Ic_topology.Graph.node_count g in
   let m = Routing.row_count config.routing in
+  let plugin =
+    if config.estimator = "ic" then None
+    else begin
+      let (module E) = Estimator.find_exn config.estimator in
+      let state = E.calibrate ~routing:config.routing ~train:None in
+      Some ((module E : Estimator.S), state)
+    end
+  in
   let f, preference, fit_age, initial_level =
     match config.initial_params with
     | Some (f, p) -> (f, Some (Array.copy p), 0, Degrade.Measured_ic)
     | None -> (config.fallback_f, None, max_int, Degrade.Gravity)
   in
+  (* A plugged-in estimator owns its own calibration, so the ladder's fit
+     component never holds it below full service. *)
+  let initial_level =
+    if plugin <> None then Degrade.Measured_ic else initial_level
+  in
   {
     config;
+    plugin;
     routing = config.routing;
     plan = Tomogravity.make_plan ~tracer config.routing;
     topo_pending = false;
@@ -292,7 +317,10 @@ let f_degenerate f = Float.abs ((2. *. f) -. 1.) < 1e-6
 
 let target_level t ~miss_frac ~over_budget =
   let fit_target, fit_reason =
-    if t.preference = None then (Degrade.Gravity, Degrade.Warmup)
+    (* Plugged-in estimators calibrate themselves ([observe]); only poll
+       health can pull their rung down. *)
+    if t.plugin <> None then (Degrade.Measured_ic, Degrade.Warmup)
+    else if t.preference = None then (Degrade.Gravity, Degrade.Warmup)
     else if t.fit_age > t.config.stale_after then
       (Degrade.Stale_fp, Degrade.Fit_stale)
     else (Degrade.Measured_ic, Degrade.Warmup)
@@ -355,6 +383,78 @@ let build_prior t level ~ingress ~egress =
             Ic_gravity.Gravity.from_marginals ~ingress ~egress
       end
     | Gravity -> Ic_gravity.Gravity.from_marginals ~ingress ~egress
+
+(* The native ic bin: build the ladder-rung prior from the marginals, refine
+   against the link constraints with regime-frozen weights, project with
+   IPF. Returns the estimate and the tomogravity clamp count. *)
+let native_bin t level ~effective ~ingress ~egress =
+  let prior =
+    Trace.with_span t.tracer "engine.prior"
+      ~attrs:[ ("level", Degrade.level_name level) ]
+      (fun () ->
+        Telemetry.time t.tel "prior" (fun () ->
+            build_prior t level ~ingress ~egress))
+  in
+  (* Weight freezing: the link constraints hold at the tomogravity solution
+     for any psd weight matrix — the weights only pick the least-norm
+     geometry of the correction — so between regime changes (refits and
+     ladder transitions) the weights are frozen at the first bin's prior.
+     Consecutive bins then hit the plan's factor cache bitwise and skip the
+     Gram assembly and Cholesky factorization entirely. *)
+  let weights =
+    if not t.config.fast_path then None
+    else begin
+      (match t.frozen_weights with
+      | Some (lvl, _) when lvl = level -> ()
+      | _ ->
+          t.frozen_weights <- None;
+          Tomogravity.plan_invalidate t.plan;
+          let data = Tm.unsafe_data prior in
+          let n_od = Array.length data in
+          let w = Array.make n_od 0. in
+          let sum = ref 0. in
+          for s = 0 to n_od - 1 do
+            let x = data.(s) in
+            let x = if x < 0. then 0. else x in
+            w.(s) <- x;
+            sum := !sum +. x
+          done;
+          (* A degenerate (all-zero) bin must not pin zero weights for the
+             rest of the regime; leave unfrozen and retry next bin. *)
+          if !sum > 0. then t.frozen_weights <- Some (level, w));
+      Option.map snd t.frozen_weights
+    end
+  in
+  (* Refine against the link constraints, then project onto the measured
+     marginals. *)
+  let refined =
+    Trace.with_span t.tracer "engine.estimate" (fun () ->
+        Telemetry.time t.tel "estimate" (fun () ->
+            Tomogravity.estimate_with_plan ?weights t.plan
+              ~link_loads:effective ~prior))
+  in
+  let clamped = Tomogravity.plan_last_clamp_count t.plan in
+  Telemetry.add t.tel "estimate.clamped_entries" clamped;
+  let fp = Tomogravity.plan_fastpath_stats t.plan in
+  Telemetry.add t.tel "fastpath.hit" (fp.Tomogravity.hits - t.fp_hits);
+  Telemetry.add t.tel "fastpath.update" (fp.Tomogravity.updates - t.fp_updates);
+  Telemetry.add t.tel "fastpath.refactorize"
+    (fp.Tomogravity.refactorizes - t.fp_refactorizes);
+  t.fp_hits <- fp.Tomogravity.hits;
+  t.fp_updates <- fp.Tomogravity.updates;
+  t.fp_refactorizes <- fp.Tomogravity.refactorizes;
+  let estimate =
+    if Vec.sum ingress <= 0. then refined
+    else
+      Trace.with_span t.tracer "engine.ipf" (fun () ->
+          Telemetry.time t.tel "ipf" (fun () ->
+              let outcome =
+                Ipf.fit refined ~row_targets:ingress ~col_targets:egress
+              in
+              Telemetry.add t.tel "ipf.iterations" outcome.Ipf.iterations;
+              outcome.Ipf.tm))
+  in
+  (estimate, clamped)
 
 let step t ~loads ~missing =
   if Array.length loads <> t.m then
@@ -427,71 +527,58 @@ let step t ~loads ~missing =
     ingress.(i) <- effective.(t.ingress_rows.(i));
     egress.(i) <- effective.(t.egress_rows.(i))
   done;
-  let prior =
-    Trace.with_span t.tracer "engine.prior"
-      ~attrs:[ ("level", Degrade.level_name level) ]
-      (fun () ->
-        Telemetry.time t.tel "prior" (fun () ->
-            build_prior t level ~ingress ~egress))
-  in
-  (* Weight freezing: the link constraints hold at the tomogravity solution
-     for any psd weight matrix — the weights only pick the least-norm
-     geometry of the correction — so between regime changes (refits and
-     ladder transitions) the weights are frozen at the first bin's prior.
-     Consecutive bins then hit the plan's factor cache bitwise and skip the
-     Gram assembly and Cholesky factorization entirely. *)
-  let weights =
-    if not t.config.fast_path then None
-    else begin
-      (match t.frozen_weights with
-      | Some (lvl, _) when lvl = level -> ()
-      | _ ->
-          t.frozen_weights <- None;
-          Tomogravity.plan_invalidate t.plan;
-          let data = Tm.unsafe_data prior in
-          let n_od = Array.length data in
-          let w = Array.make n_od 0. in
-          let sum = ref 0. in
-          for s = 0 to n_od - 1 do
-            let x = data.(s) in
-            let x = if x < 0. then 0. else x in
-            w.(s) <- x;
-            sum := !sum +. x
-          done;
-          (* A degenerate (all-zero) bin must not pin zero weights for the
-             rest of the regime; leave unfrozen and retry next bin. *)
-          if !sum > 0. then t.frozen_weights <- Some (level, w));
-      Option.map snd t.frozen_weights
-    end
-  in
-  (* Refine against the link constraints, then project onto the measured
-     marginals. *)
-  let refined =
-    Trace.with_span t.tracer "engine.estimate" (fun () ->
-        Telemetry.time t.tel "estimate" (fun () ->
-            Tomogravity.estimate_with_plan ?weights t.plan
-              ~link_loads:effective ~prior))
-  in
-  let clamped = Tomogravity.plan_last_clamp_count t.plan in
-  Telemetry.add t.tel "estimate.clamped_entries" clamped;
-  let fp = Tomogravity.plan_fastpath_stats t.plan in
-  Telemetry.add t.tel "fastpath.hit" (fp.Tomogravity.hits - t.fp_hits);
-  Telemetry.add t.tel "fastpath.update" (fp.Tomogravity.updates - t.fp_updates);
-  Telemetry.add t.tel "fastpath.refactorize"
-    (fp.Tomogravity.refactorizes - t.fp_refactorizes);
-  t.fp_hits <- fp.Tomogravity.hits;
-  t.fp_updates <- fp.Tomogravity.updates;
-  t.fp_refactorizes <- fp.Tomogravity.refactorizes;
-  let estimate =
-    if Vec.sum ingress <= 0. then refined
-    else
-      Trace.with_span t.tracer "engine.ipf" (fun () ->
-          Telemetry.time t.tel "ipf" (fun () ->
-              let outcome =
-                Ipf.fit refined ~row_targets:ingress ~col_targets:egress
-              in
-              Telemetry.add t.tel "ipf.iterations" outcome.Ipf.iterations;
-              outcome.Ipf.tm))
+  let estimate, clamped =
+    match t.plugin with
+    | Some ((module E), state) ->
+        (* Plugged-in estimator: the three stages run against the same
+           imputed loads and ladder verdict as the native path; the frozen
+           weights and stable-fP machinery stay idle (the estimator owns
+           its weighting and calibration). [observe] is the estimator's
+           sequential learning hook — its mutations live in the
+           checkpointed state, so kill/resume stays bit-identical. *)
+        let ctx =
+          {
+            Estimator.routing = t.routing;
+            plan = t.plan;
+            link_loads = effective;
+            ingress;
+            egress;
+            bin = t.bin;
+            rung = Degrade.rank level;
+          }
+        in
+        let prior =
+          Trace.with_span t.tracer "engine.prior"
+            ~attrs:[ ("level", Degrade.level_name level) ]
+            (fun () ->
+              Telemetry.time t.tel "prior" (fun () -> E.prior state ctx))
+        in
+        let refined, clamped =
+          Trace.with_span t.tracer "engine.estimate" (fun () ->
+              Telemetry.time t.tel "estimate" (fun () ->
+                  E.refine state ctx ~prior))
+        in
+        Telemetry.add t.tel "estimate.clamped_entries" clamped;
+        let fp = Tomogravity.plan_fastpath_stats t.plan in
+        Telemetry.add t.tel "fastpath.hit" (fp.Tomogravity.hits - t.fp_hits);
+        Telemetry.add t.tel "fastpath.update"
+          (fp.Tomogravity.updates - t.fp_updates);
+        Telemetry.add t.tel "fastpath.refactorize"
+          (fp.Tomogravity.refactorizes - t.fp_refactorizes);
+        t.fp_hits <- fp.Tomogravity.hits;
+        t.fp_updates <- fp.Tomogravity.updates;
+        t.fp_refactorizes <- fp.Tomogravity.refactorizes;
+        let estimate =
+          Trace.with_span t.tracer "engine.ipf" (fun () ->
+              Telemetry.time t.tel "ipf" (fun () -> E.project state ctx refined))
+        in
+        Telemetry.incr t.tel ("estimator." ^ E.name ^ ".bins");
+        Telemetry.add t.tel
+          ("estimator." ^ E.name ^ ".clamped_entries")
+          clamped;
+        E.observe state ctx ~estimate;
+        (estimate, clamped)
+    | None -> native_bin t level ~effective ~ingress ~egress
   in
   (* Anomaly gate: decide whether this bin joins the refit window or is
      quarantined out of it, before the estimate overwrites the slot (the
@@ -519,9 +606,12 @@ let step t ~loads ~missing =
   (* Epoch-aware priors: the early refit scheduled by set_routing fires as
      soon as it is due, restricted to post-change bins, so the engine stops
      riding a pre-change fP ahead of the regular cadence. It replaces the
-     cadence refit for this bin. *)
+     cadence refit for this bin. A plugged-in estimator has no stable-fP
+     parameters to refit — its [observe] hook above is the whole learning
+     loop — so both refit triggers stay idle. *)
   let epoch_fired =
-    t.bin >= t.epoch_due
+    t.plugin = None
+    && t.bin >= t.epoch_due
     && begin
          t.epoch_due <- max_int;
          if refit ~since:t.epoch_bin t then begin
@@ -534,7 +624,8 @@ let step t ~loads ~missing =
          else false
        end
   in
-  if (not epoch_fired) && t.bin mod t.config.refit_every = 0 then begin
+  if t.plugin = None && (not epoch_fired) && t.bin mod t.config.refit_every = 0
+  then begin
     (* Escape hatch: a streak at the quarantine cap means either a
        long-lived attack or a legitimately shifted baseline — the gate
        cannot tell them apart, and fP must never be starved indefinitely.
@@ -570,6 +661,8 @@ let transitions t = Degrade.transitions t.degrade
 let config t = t.config
 
 let routing t = t.routing
+
+let estimator_name t = t.config.estimator
 
 (* --- topology changes --------------------------------------------------- *)
 
@@ -620,6 +713,9 @@ type snapshot = {
   s_quarantine_streak : int;
   s_epoch_bin : int;
   s_epoch_due : int;  (* max_int = no early refit pending *)
+  s_estimator : Estimator.state option;
+      (* [Some] iff the engine runs a plugged-in estimator; [None] on the
+         native ic path, so default-path checkpoint bytes are unchanged *)
 }
 
 let snapshot t =
@@ -651,6 +747,7 @@ let snapshot t =
     s_quarantine_streak = t.quarantine_streak;
     s_epoch_bin = t.epoch_bin;
     s_epoch_due = t.epoch_due;
+    s_estimator = Option.map (fun (_, st) -> Estimator.state_copy st) t.plugin;
   }
 
 let restore ?telemetry ?tracer config s =
@@ -681,6 +778,23 @@ let restore ?telemetry ?tracer config s =
     invalid_arg "Engine.restore: quarantine flags do not match the window";
   if s.s_quarantine_streak < 0 then
     invalid_arg "Engine.restore: negative quarantine streak";
+  (match (t.plugin, s.s_estimator) with
+  | None, None -> ()
+  | Some _, None ->
+      invalid_arg
+        ("Engine.restore: snapshot carries no estimator state but the \
+          config runs " ^ config.estimator)
+  | None, Some st ->
+      invalid_arg
+        ("Engine.restore: snapshot carries state for estimator "
+        ^ Estimator.state_owner st
+        ^ " but the config runs the native ic path")
+  | Some _, Some st ->
+      if Estimator.state_owner st <> config.estimator then
+        invalid_arg
+          ("Engine.restore: snapshot estimator "
+          ^ Estimator.state_owner st
+          ^ " does not match config estimator " ^ config.estimator));
   let t =
     {
       t with
@@ -720,4 +834,11 @@ let restore ?telemetry ?tracer config s =
      rebuild deterministically on the next step. *)
   t.frozen_weights <-
     Option.map (fun (lvl, w) -> (lvl, Array.copy w)) s.s_frozen;
+  (* The restored estimator state replaces the freshly calibrated one so
+     the first post-resume [observe]-dependent stages see exactly what the
+     interrupted run had learned. *)
+  (match (t.plugin, s.s_estimator) with
+  | Some ((module E), _), Some st ->
+      t.plugin <- Some ((module E : Estimator.S), Estimator.state_copy st)
+  | _ -> ());
   t

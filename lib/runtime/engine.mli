@@ -71,6 +71,21 @@ type config = {
           completed refit is recorded as an [Epoch_refit] note on the
           {!Degrade} ladder. [None] (default) keeps cadence-only
           refits. *)
+  estimator : string;
+      (** which estimator family produces each bin's estimate. ["ic"]
+          (default) is the native path above — self-calibrating stable-fP
+          with the frozen-weights fast path, bit-for-bit the pre-plugin
+          engine. Any other name is resolved in the
+          {!Ic_estimation.Estimator} registry: the prior/refine/project
+          stages dispatch to that family, its [observe] hook runs
+          sequentially after every bin, and its state rides
+          {!snapshot}/{!restore} (and {!Checkpoint}), so kill/resume stays
+          bit-identical; the stable-fP refit machinery and the
+          frozen-weights freeze stay idle. The degradation ladder still
+          tracks poll health (a plugged-in estimator is never held down by
+          the fit-staleness component — it owns its own calibration), and
+          the quarantine gate still flags anomalous bins. Raises in
+          {!create} when the name is neither ["ic"] nor registered. *)
 }
 
 val default_config :
@@ -80,7 +95,7 @@ val default_config :
     recovery after 12 healthy bins, fallback [f] 0.35, cold start, fast
     path enabled; the resilience knobs conservative and off —
     [gate_refits = false], threshold 4, quarantine limit 6,
-    [epoch_refit = None]. *)
+    [epoch_refit = None]; the native ["ic"] estimator. *)
 
 type t
 
@@ -136,6 +151,9 @@ val routing : t -> Ic_topology.Routing.t
 (** The routing the engine is currently solving against: [config.routing]
     until the first {!set_routing}, then whatever was last installed. *)
 
+val estimator_name : t -> string
+(** [config.estimator] — ["ic"] on the native path. *)
+
 val set_routing : ?degrade:bool -> t -> Ic_topology.Routing.t -> unit
 (** Install a new routing mid-stream (a link failure/recovery or IGP
     reweight, typically produced by {!Ic_topology.Routing.rebuild}). The
@@ -190,6 +208,11 @@ type snapshot = {
   s_epoch_due : int;
       (** bin at which the scheduled post-epoch early refit fires;
           [max_int] encodes "none pending" *)
+  s_estimator : Ic_estimation.Estimator.state option;
+      (** the plugged-in estimator's slab state; [None] on the native ic
+          path, which is what keeps default-path checkpoint bytes
+          unchanged (and legacy checkpoints decoding). Restoring checks
+          the state's owner against [config.estimator]. *)
 }
 
 val snapshot : t -> snapshot

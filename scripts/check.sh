@@ -206,6 +206,46 @@ for line in \
 done
 echo "chaos smoke OK: bit-identical resume through epoch-boundary kill, ttd 0 on both events"
 
+echo "== shootout gates =="
+# Measure the shootout group (single-bin estimate cost of every registered
+# estimator family, calibrated state + reused plan) and gate against the
+# committed per-PR snapshot results/BENCH_pr10_after.json. The group is
+# built from the registry, so a family added later is automatically
+# benched; 50% absorbs host noise while catching an accidentally
+# quadratic stage (the families sit 6 us - 600 us apart, a lost plan
+# reuse alone is >3x).
+shootout_json=$(mktemp)
+trap 'rm -f "$fastpath_json" "$serve_json" "$scenario_json" "$resilience_json" "$shootout_json"; rm -rf "$serve_dir" "$scenario_dir"' EXIT
+dune exec bench/main.exe -- --group shootout --json "$shootout_json"
+scripts/bench_diff.sh results/BENCH_pr10_after.json "$shootout_json" \
+  --only shootout/ --threshold 50
+
+echo "== shootout CLI smoke =="
+# Cross-validated ranking on abilene with live timing: the ic family must
+# not be dominated by the gravity family on BOTH axes (held-out error and
+# per-bin latency) — the paper's core claim surviving as an executable
+# gate. Gravity is always cheaper, so in practice this is "ic estimates
+# better than gravity"; phrased as non-domination it stays meaningful
+# even if a future fast path makes ic the cheaper one too.
+shootout_out=$(dune exec bin/ic_lab.exe -- shootout --datasets abilene --stride 42)
+ic_err=$(printf '%s\n' "$shootout_out" | awk '$1=="abilene" && $2=="ic" {print $3}')
+ic_lat=$(printf '%s\n' "$shootout_out" | awk '$1=="abilene" && $2=="ic" {print $4}')
+g_err=$(printf '%s\n' "$shootout_out" | awk '$1=="abilene" && $2=="gravity" {print $3}')
+g_lat=$(printf '%s\n' "$shootout_out" | awk '$1=="abilene" && $2=="gravity" {print $4}')
+if [ -z "$ic_err" ] || [ -z "$ic_lat" ] || [ -z "$g_err" ] || [ -z "$g_lat" ]; then
+  echo "check.sh: shootout output missing ic or gravity rows:" >&2
+  printf '%s\n' "$shootout_out" >&2
+  exit 1
+fi
+if ! awk -v ie="$ic_err" -v il="$ic_lat" -v ge="$g_err" -v gl="$g_lat" \
+    'BEGIN { exit !(ie < ge || il < gl) }'; then
+  echo "check.sh: ic is dominated by gravity on both axes:" >&2
+  echo "  ic:      error $ic_err, $ic_lat us/bin" >&2
+  echo "  gravity: error $g_err, $g_lat us/bin" >&2
+  exit 1
+fi
+echo "shootout smoke OK: ic error $ic_err vs gravity $g_err (latency $ic_lat vs $g_lat us/bin)"
+
 echo "== CLI parallel smoke =="
 out1=$(dune exec bin/ic_lab.exe -- estimate --dataset geant --week 1 \
   --prior stable-fp --stride 24 --jobs 1 | tail -1)

@@ -230,6 +230,54 @@ any --jobs:
   >   --stride 24 --jobs 4 | tail -1
   estimated geant week 1 with stable-fp prior: mean RelL2 = 0.2610 over 84 bins
 
+--estimator routes the same verb through the estimator registry (prior x
+solver x refinement as one named family, calibrated on --calib-week), with
+the same parallel bit-identity guarantee; the ic family reproduces the
+stable-fp prior pipeline exactly:
+
+  $ ../bin/ic_lab.exe estimate --dataset geant --week 1 \
+  >   --estimator tomogravity-iterative --stride 24 --jobs 1 | tail -1
+  estimated geant week 1 with tomogravity-iterative estimator: mean RelL2 = 0.2954 over 84 bins
+  $ ../bin/ic_lab.exe estimate --dataset geant --week 1 \
+  >   --estimator tomogravity-iterative --stride 24 --jobs 4 | tail -1
+  estimated geant week 1 with tomogravity-iterative estimator: mean RelL2 = 0.2954 over 84 bins
+  $ ../bin/ic_lab.exe estimate --dataset geant --week 1 --estimator ic \
+  >   --stride 24 | tail -1
+  estimated geant week 1 with ic estimator: mean RelL2 = 0.2610 over 84 bins
+
+An unknown estimator name exits through the CLI error path, listing the
+registry roster:
+
+  $ ../bin/ic_lab.exe estimate --estimator fancy
+  unknown estimator fancy
+  available: gravity, ic, integer-tomography, tomogravity, tomogravity-iterative
+  [1]
+
+The shootout ranks every registered family by cross-validated held-out
+error on the synthetic datasets; --timing off suppresses the wall-clock
+column so the table is byte-reproducible:
+
+  $ ../bin/ic_lab.exe shootout --datasets abilene,geant --stride 42 --timing off
+  shootout: folds=3 seed=42 stride=42 timing=off
+  dataset   estimator                mean-RelL2     us/bin  pareto
+  abilene   ic                           0.2307          -  *
+  abilene   tomogravity-iterative        0.2605          -
+  abilene   tomogravity                  0.2607          -
+  abilene   integer-tomography           0.2607          -
+  abilene   gravity                      0.3833          -
+  geant     ic                           0.2584          -  *
+  geant     tomogravity-iterative        0.2783          -
+  geant     tomogravity                  0.2786          -
+  geant     integer-tomography           0.2787          -
+  geant     gravity                      0.3564          -
+  pareto abilene: ic
+  pareto geant: ic
+
+  $ ../bin/ic_lab.exe shootout --datasets mars
+  unknown dataset mars
+  available: abilene, geant, totem
+  [1]
+
 The quickstart example is deterministic (fixed seed) and demonstrates the
 fit recovering the generator's parameters:
 
@@ -278,6 +326,18 @@ including the histogram bucket placement:
   # TYPE estimate_duration_ns histogram
   estimate_duration_ns_bucket{le="1048576"} 24
   estimate_duration_ns_bucket{le="+Inf"} 24
+
+With a plugged-in estimator the same replay exposes per-family counters
+(the native ic path deliberately adds none, keeping its exposition and
+checkpoint bytes unchanged):
+
+  $ ../bin/ic_lab.exe metrics --dataset geant --weeks 1 --bins 24 \
+  >   --drop-rate 0.05 --corrupt-rate 0.02 --estimator tomogravity \
+  >   | grep estimator_tomogravity
+  # TYPE estimator_tomogravity_bins counter
+  estimator_tomogravity_bins 24
+  # TYPE estimator_tomogravity_clamped_entries counter
+  estimator_tomogravity_clamped_entries 671
 
 --trace writes the span ring as JSON Lines. Wall-clock timestamps vary,
 but the span taxonomy, counts, and tree shape are pinned by the seed (one

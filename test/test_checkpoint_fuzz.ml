@@ -7,6 +7,7 @@
 module Engine = Ic_runtime.Engine
 module Degrade = Ic_runtime.Degrade
 module Checkpoint = Ic_runtime.Checkpoint
+module Estimator = Ic_estimation.Estimator
 module Tm = Ic_traffic.Tm
 
 let bits = Int64.bits_of_float
@@ -79,6 +80,20 @@ let gen_counter_name =
           (oneofl [ ' '; '='; '\n'; '\t'; '%'; '\r'; 'a'; 'Z'; '0'; '\xff' ]);
       ])
 
+(* Estimator owner and slab names are caller-chosen like counter names, so
+   they draw from the same adversarial pool; payloads take the full nasty
+   float range (NaN payloads, infinities, subnormals, arbitrary bits). *)
+let gen_estimator_state =
+  QCheck2.Gen.(
+    let* owner = gen_counter_name in
+    let* slabs =
+      list_size (int_range 0 3)
+        (pair gen_counter_name (list_size (int_range 0 5) gen_float))
+    in
+    return
+      (Estimator.state_create ~owner
+         (List.map (fun (k, v) -> (k, Array.of_list v)) slabs)))
+
 let gen_level = QCheck2.Gen.(map Degrade.level_of_rank (int_range 0 3))
 
 let gen_reason =
@@ -143,6 +158,9 @@ let gen_snapshot =
     let* s_quarantine_streak = int_range 0 50 in
     let* s_epoch_bin = int_range 0 100_000 in
     let* s_epoch_due = oneof [ return max_int; int_range 0 100_000 ] in
+    let* s_estimator =
+      oneof [ return None; map Option.some gen_estimator_state ]
+    in
     return
       {
         Engine.s_bin;
@@ -160,6 +178,7 @@ let gen_snapshot =
         s_quarantine_streak;
         s_epoch_bin;
         s_epoch_due;
+        s_estimator;
       })
 
 (* --- exact snapshot equality (floats compared bitwise) ------------------- *)
@@ -196,6 +215,10 @@ let snapshot_eq (a : Engine.snapshot) (b : Engine.snapshot) =
   && a.s_quarantine_streak = b.s_quarantine_streak
   && a.s_epoch_bin = b.s_epoch_bin
   && a.s_epoch_due = b.s_epoch_due
+  && (match (a.s_estimator, b.s_estimator) with
+     | None, None -> true
+     | Some x, Some y -> Estimator.state_equal x y
+     | _ -> false)
 
 (* --- properties ---------------------------------------------------------- *)
 
@@ -244,6 +267,7 @@ let base_snapshot ?(counters = [ ("polls_total", 12) ]) () =
     s_quarantine_streak = 0;
     s_epoch_bin = 0;
     s_epoch_due = max_int;
+    s_estimator = None;
   }
 
 let test_adversarial_names_unit () =
@@ -312,8 +336,70 @@ let test_legacy_no_resilience_records () =
         (snapshot_eq s s')
   | Error e -> Alcotest.fail e
 
-let test_truncation_rejected () =
-  let text = Checkpoint.encode (base_snapshot ()) in
+(* An estimator-tagged base snapshot: adversarial owner and slab names plus
+   NaN/inf payloads, so the truncation sweep also walks through the
+   estimator records byte by byte. *)
+let estimator_snapshot () =
+  {
+    (base_snapshot ()) with
+    Engine.s_estimator =
+      Some
+        (Estimator.state_create ~owner:"integer tomography %"
+           [
+             ("", [| Float.nan; Float.infinity |]);
+             ("unit s", [| -0.; 4.9e-324 |]);
+             ("moments", [| 8.; Float.neg_infinity; 1e300; 0. |]);
+           ]);
+  }
+
+let test_estimator_roundtrip_unit () =
+  List.iter
+    (fun owner ->
+      let s =
+        {
+          (base_snapshot ()) with
+          Engine.s_estimator =
+            Some
+              (Estimator.state_create ~owner
+                 [ (owner, [| Float.nan |]); ("x y", [||]) ]);
+        }
+      in
+      match Checkpoint.decode (Checkpoint.encode s) with
+      | Ok s' ->
+          Alcotest.(check bool)
+            (Printf.sprintf "estimator name %S survives" owner)
+            true (snapshot_eq s s')
+      | Error e -> Alcotest.failf "decode failed for %S: %s" owner e)
+    [ ""; " "; "a b"; "a=b"; "x\ny"; "100%"; "%"; "tomogravity-iterative" ]
+
+let test_legacy_no_estimator_record () =
+  (* Checkpoints written before the estimator seam carry no "estimator" or
+     "slab" records; they must keep decoding, as the native ic path. *)
+  let s = base_snapshot () in
+  let text = Checkpoint.encode s in
+  Alcotest.(check bool) "native encode has no estimator record" true
+    (String.split_on_char '\n' text
+    |> List.for_all (fun l ->
+           match String.split_on_char ' ' l with
+           | "estimator" :: _ | "slab" :: _ -> false
+           | _ -> true));
+  let stripped =
+    Checkpoint.encode (estimator_snapshot ())
+    |> String.split_on_char '\n'
+    |> List.filter (fun l ->
+           match String.split_on_char ' ' l with
+           | "estimator" :: _ | "slab" :: _ -> false
+           | _ -> true)
+    |> String.concat "\n"
+  in
+  match Checkpoint.decode stripped with
+  | Ok s' ->
+      Alcotest.(check bool) "stripped record decodes as native ic" true
+        (s'.Engine.s_estimator = None && snapshot_eq s s')
+  | Error e -> Alcotest.fail e
+
+let truncation_sweep s =
+  let text = Checkpoint.encode s in
   let len = String.length text in
   (* Every strict prefix except "full text minus the final newline" must
      be a clean [Error] — and none may raise. *)
@@ -325,6 +411,10 @@ let test_truncation_rejected () =
   match Checkpoint.decode (String.sub text 0 (len - 1)) with
   | Ok _ -> ()
   | Error e -> Alcotest.failf "missing trailing newline rejected: %s" e
+
+let test_truncation_rejected () =
+  truncation_sweep (base_snapshot ());
+  truncation_sweep (estimator_snapshot ())
 
 let test_malformed_floats_rejected () =
   let text = Checkpoint.encode (base_snapshot ()) in
@@ -392,6 +482,10 @@ let () =
             test_legacy_no_frozen_record;
           Alcotest.test_case "legacy checkpoint without resilience records"
             `Quick test_legacy_no_resilience_records;
+          Alcotest.test_case "adversarial estimator names" `Quick
+            test_estimator_roundtrip_unit;
+          Alcotest.test_case "legacy checkpoint without estimator record"
+            `Quick test_legacy_no_estimator_record;
         ] );
       ( "rejection",
         [

@@ -132,6 +132,116 @@ let test_jobs_cross_agreement () =
         j1)
     [ 2; 3; 4 ]
 
+(* --- estimator registry blitz -------------------------------------------- *)
+
+(* Every registered family — including ones a later PR registers without
+   touching this file — must satisfy the two bit-identity contracts the
+   drivers rely on: a plan reused across bins gives the same answer as a
+   fresh plan per bin (factor caching never leaks state between bins), and
+   the pool-sharded batch driver matches the sequential one at every job
+   count. *)
+
+module Estimator = Ic_estimation.Estimator
+
+(* Smaller case budget than the single-family properties: each case runs
+   every registered estimator, and the ic family refits stable-fP per
+   calibration. *)
+let registry_gen =
+  QCheck2.Gen.(
+    quad (int_range 3 7) (int_range 0 5)
+      (pair (int_range 2 8) (int_range 0 10_000))
+      (oneofl [ 2; 4 ]))
+
+let test_registry_plan_reuse_differential () =
+  let prop (nodes, chords, (bins, seed), _) =
+    let routing, truth, _, link_loads, _ =
+      instance ~nodes ~chords ~bins ~seed
+    in
+    List.for_all
+      (fun name ->
+        let (module E : Estimator.S) = Estimator.find_exn name in
+        let state = E.calibrate ~routing ~train:(Some truth) in
+        let shared = Tomogravity.make_plan routing in
+        let reused =
+          Array.init bins (fun k ->
+              let ctx =
+                Estimator.make_ctx ~routing ~plan:shared
+                  ~link_loads:link_loads.(k) ~bin:k ()
+              in
+              Estimator.estimate_bin (module E) state ctx)
+        in
+        let fresh =
+          Array.init bins (fun k ->
+              let plan = Tomogravity.make_plan routing in
+              let ctx =
+                Estimator.make_ctx ~routing ~plan
+                  ~link_loads:link_loads.(k) ~bin:k ()
+              in
+              Estimator.estimate_bin (module E) state ctx)
+        in
+        Array.for_all2
+          (fun (a, ca) (b, cb) -> ca = cb && tm_bits a = tm_bits b)
+          reused fresh)
+      (Estimator.names ())
+  in
+  QCheck2.Test.check_exn
+    (QCheck2.Test.make ~count:6
+       ~name:"every registered estimator: plan reuse = fresh plan per bin"
+       registry_gen prop)
+
+let test_registry_jobs_differential () =
+  let prop (nodes, chords, (bins, seed), jobs) =
+    let routing, truth, _, _, _ = instance ~nodes ~chords ~bins ~seed in
+    let bits (r : Pipeline.result) =
+      Array.init bins (fun k ->
+          tm_bits (Ic_traffic.Series.tm r.Pipeline.estimate k))
+    in
+    List.for_all
+      (fun name ->
+        let (module E : Estimator.S) = Estimator.find_exn name in
+        let seq =
+          Pipeline.run_estimator (module E) ~routing ~train:truth ~truth ()
+        in
+        let par =
+          Pool.with_pool ~jobs (fun pool ->
+              Pipeline.run_estimator ~pool
+                (module E)
+                ~routing ~train:truth ~truth ())
+        in
+        bits seq = bits par
+        && seq.Pipeline.per_bin_error = par.Pipeline.per_bin_error
+        && seq.Pipeline.clamped_entries = par.Pipeline.clamped_entries)
+      (Estimator.names ())
+  in
+  QCheck2.Test.check_exn
+    (QCheck2.Test.make ~count:6
+       ~name:"every registered estimator: run_estimator par = sequential"
+       registry_gen prop)
+
+let test_registry_roster () =
+  (* The built-in families are present, sorted, and an unknown lookup
+     names the whole roster — the CLI error path leans on this. *)
+  let names = Estimator.names () in
+  Alcotest.(check (list string))
+    "sorted" (List.sort compare names) names;
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " registered") true (Estimator.mem n))
+    [ "gravity"; "ic"; "integer-tomography"; "tomogravity";
+      "tomogravity-iterative" ];
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  match Estimator.find_exn "no-such-family" with
+  | _ -> Alcotest.fail "find_exn accepted an unknown name"
+  | exception Invalid_argument msg ->
+      List.iter
+        (fun n ->
+          Alcotest.(check bool) (n ^ " listed in error") true (contains msg n))
+        names
+
 let test_random_graph_sane () =
   (* The generator itself: rings stay connected, chords never duplicate
      edges, and routing construction succeeds across the size range. *)
@@ -156,6 +266,15 @@ let () =
             test_pipeline_par_differential;
           Alcotest.test_case "pool sizes agree pairwise" `Quick
             test_jobs_cross_agreement;
+        ] );
+      ( "estimator registry",
+        [
+          Alcotest.test_case "plan reuse = fresh plan (whole registry)" `Slow
+            test_registry_plan_reuse_differential;
+          Alcotest.test_case "parallel = sequential (whole registry)" `Slow
+            test_registry_jobs_differential;
+          Alcotest.test_case "roster and unknown-name error" `Quick
+            test_registry_roster;
         ] );
       ( "generator",
         [

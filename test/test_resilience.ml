@@ -579,6 +579,73 @@ let qcheck_self_heal_resume =
     QCheck.(pair (int_range 0 100) (int_range 0 1000))
     self_heal_resume_prop
 
+(* --- estimator-plugin kill/resume ----------------------------------------- *)
+
+let estimator_resume_prop (kill_at, seed) =
+  (* The self-heal scenario re-run with every registry family plugged into
+     the engine (["ic"] rides its native path, the rest dispatch through
+     the plugin seam): quarantine gating on, a breaker on a faulting feed,
+     a live link failure in flight — killed at a random bin. A plugin's
+     slab state (e.g. integer-tomography's running moments) rides the
+     checkpoint, so the resumed stream must stay bit-identical with no
+     per-family test code. *)
+  let graph = Topologies.abilene_like () in
+  let bins = 24 in
+  let kill_at = 1 + (kill_at mod (bins - 1)) in
+  let base = base_series ~graph ~bins seed in
+  let events =
+    [ Schedule.Link_fail { a = "KSCY"; b = "IPLS"; at = 9; duration = Some 6 } ]
+  in
+  let tl = Timeline.compile ~graph ~base { seed; events } in
+  let breaker = { Feed.open_after = 2; cooldown = 3; fault_frac = 0.3 } in
+  let mk_feed () =
+    Runner.feed ~drop_rate:0.1 ~corrupt_rate:0.05 ~breaker tl ~seed
+  in
+  List.for_all
+    (fun name ->
+      let config =
+        let c = Engine.default_config (Timeline.base_routing tl) binning in
+        {
+          c with
+          Engine.estimator = name;
+          refit_every = 6;
+          window = 18;
+          recover_after = 3;
+          gate_refits = true;
+          gate_threshold = 3.;
+          quarantine_limit = 4;
+        }
+      in
+      let full =
+        let engine = Engine.create config in
+        Runner.play engine (mk_feed ()) tl
+      in
+      let path = Filename.temp_file "ic-est-resume" ".ckpt" in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+        (fun () ->
+          let engine0 = Engine.create config in
+          let head = Runner.play ~upto:kill_at engine0 (mk_feed ()) tl in
+          Checkpoint.save ~path engine0;
+          match Checkpoint.load ~path ~config with
+          | Error e -> Alcotest.fail e
+          | Ok engine1 ->
+              let feed = mk_feed () in
+              Feed.skip feed kill_at;
+              Runner.resume_routing engine1 tl;
+              let tail = Runner.play engine1 feed tl in
+              Replay.bit_identical
+                (Array.append head.Runner.estimates tail.Runner.estimates)
+                full.Runner.estimates))
+    (Ic_estimation.Estimator.names ())
+
+let qcheck_estimator_resume =
+  QCheck.Test.make ~count:8
+    ~name:
+      "every registry estimator kill/resumes bit-identically in the engine"
+    QCheck.(pair (int_range 0 100) (int_range 0 1000))
+    estimator_resume_prop
+
 (* --- robust detection ----------------------------------------------------- *)
 
 let test_scale_validation () =
@@ -689,7 +756,10 @@ let () =
           QCheck_alcotest.to_alcotest qcheck_supervisor_resume;
         ] );
       ( "kill-resume",
-        [ QCheck_alcotest.to_alcotest qcheck_self_heal_resume ] );
+        [
+          QCheck_alcotest.to_alcotest qcheck_self_heal_resume;
+          QCheck_alcotest.to_alcotest qcheck_estimator_resume;
+        ] );
       ( "robust-detection",
         [
           Alcotest.test_case "scale validation" `Quick test_scale_validation;
